@@ -1,0 +1,95 @@
+// Figure 8: impact of the amount of partial and full matches on the
+// throughput gain over ECEP.
+//
+//  (a) different amounts of partial matches — QA1(k small), QA2, QA3,
+//      plus the QA1(k large) scalability point;
+//  (b) different partial→full completion ratios — QA3 α sweep, QA4;
+//  (c) different amounts of full matches — QA1 band-width sweep (same
+//      partial matches, different full matches).
+//
+// Paper expectations: many partials + few completions ⇒ large gains
+// (QA3/QA4-style); few partials (QA1 k small) ⇒ small gains; partials
+// that almost all complete (QA2) ⇒ ACEP can lose to ECEP; at fixed
+// partials, fewer full matches ⇒ higher filtering ratio ⇒ higher gain.
+
+#include "common/string_util.h"
+#include "workloads/queries_a.h"
+#include "workloads/recipes.h"
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+int Run() {
+  const EventStream train = GenerateStockStream(StockConfig(6000, 1001));
+  const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
+  auto s = train.schema_ptr();
+  const size_t w = 20;
+
+  DlacepConfig config = BenchConfig();
+  config.event_threshold = 0.35;
+
+  PrintHeader(
+      "Fig 8(a): amount of partial matches (paper: QA1(k=7), QA2, QA3, "
+      "QA1(k=100) -> scaled k)");
+  struct Case {
+    std::string label;
+    Pattern pattern;
+    bool window_net_too;
+  };
+  std::vector<Case> cases_a;
+  cases_a.push_back({"QA1(j=4,k=4) few partials",
+                     QA1(s, 4, 4, 0.9, 1.1, 3, w), true});
+  cases_a.push_back({"QA2(k=5) partials complete",
+                     QA2(s, 5, 12), true});
+  cases_a.push_back({"QA3(j=5,k=12) many partials",
+                     QA3(s, 5, 12, 3, 2, 1, 4, 0.9, 1.1, 1.5, w), true});
+  cases_a.push_back({"QA1(j=5,k=32) massive partials",
+                     QA1(s, 5, 32, 0.9, 1.1, 4, w), false});
+  for (const Case& c : cases_a) {
+    PrintRow(RunDlacepExperiment(c.label, c.pattern, train, test,
+                                 FilterKind::kEventNetwork, config));
+    if (c.window_net_too) {
+      PrintRow(RunDlacepExperiment(c.label, c.pattern, train, test,
+                                   FilterKind::kWindowNetwork, config));
+    }
+  }
+
+  PrintHeader("Fig 8(b): partial-to-full completion ratio (QA3 alpha "
+              "sweep, QA4)");
+  std::vector<Case> cases_b;
+  cases_b.push_back({"QA3(a=0.95,b=1.05) few full",
+                     QA3(s, 5, 12, 3, 2, 1, 4, 0.95, 1.05, 1.5, w),
+                     false});
+  cases_b.push_back({"QA3(a=0.81,b=1.22) more full",
+                     QA3(s, 5, 12, 3, 2, 1, 4, 0.81, 1.22, 1.5, w),
+                     false});
+  cases_b.push_back({"QA4(j=4,k=12) smallest ratio",
+                     QA4(s, 4, 12, 3, 1, 3, 0.95, 1.05, 0.97, 1.03, w),
+                     false});
+  for (const Case& c : cases_b) {
+    PrintRow(RunDlacepExperiment(c.label, c.pattern, train, test,
+                                 FilterKind::kEventNetwork, config));
+  }
+
+  PrintHeader("Fig 8(c): amount of full matches (QA1 band sweep at fixed "
+              "partial matches; paper alpha=0.24..0.76)");
+  const std::vector<std::pair<double, double>> bands = {
+      {0.70, 1.45}, {0.85, 1.18}, {0.93, 1.08}, {0.97, 1.03}};
+  for (const auto& [alpha, beta] : bands) {
+    const std::string label =
+        StrFormat("QA1(j=4,k=12,a=%.2f,b=%.2f)", alpha, beta);
+    PrintRow(RunDlacepExperiment(label,
+                                 QA1(s, 4, 12, alpha, beta, 3, w), train,
+                                 test, FilterKind::kEventNetwork, config));
+  }
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep
+
+int main() { return dlacep::workloads::Run(); }

@@ -1,0 +1,123 @@
+// Figure 9: impact of the pattern operator on throughput gain over ECEP.
+//
+//  (a) KC non-nested (QA5, j = number of KC operators),
+//  (b) KC nested (QA6, j = nested sequence length),
+//  (c) NEG non-nested (QA7, j = number of NEG operators),
+//  (d) NEG nested (QA8, j = negated sequence length),
+//  (e) DISJ of 2 sequences of varying length (QA9),
+//  (f) DISJ of j sequences of length 4 (QA10),
+//  (g) separate vs combined (DISJ) evaluation.
+//
+// Paper expectations: longer/more DISJ branches and longer KC-nested
+// sequences ⇒ more partial matches ⇒ larger gains; more NEG/KC operators
+// ⇒ more full matches ⇒ smaller gains. NEG rows report F1 (false
+// positives are possible under negation, §4.4).
+
+#include "common/string_util.h"
+#include "pattern/builder.h"
+#include "workloads/queries_a.h"
+#include "workloads/recipes.h"
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+// Fig 9(g): DISJ(QA9-style SEQ(j=3), QA5-style SEQ + one KC), built as
+// one combined pattern over the same variables.
+Pattern CombinedDisjunction(std::shared_ptr<const Schema> s, size_t w) {
+  PatternBuilder b(std::move(s));
+  std::vector<PatternBuilder::Node> seq1;
+  for (size_t i = 1; i <= 3; ++i) {
+    seq1.push_back(b.PrimAnyOfIds(TopK(10), StrFormat("s%zu", i)));
+  }
+  std::vector<PatternBuilder::Node> seq2;
+  for (size_t i = 1; i <= 5; ++i) {
+    seq2.push_back(b.PrimAnyOfIds(TopK(10), StrFormat("t%zu", i)));
+  }
+  seq2.push_back(
+      b.Kleene(b.PrimAnyOfIds(RankRange(10, 12), "kc1"), 1, 2));
+  auto root = b.Disj(b.SeqOf(std::move(seq1)), b.SeqOf(std::move(seq2)));
+  for (size_t i = 1; i < 3; ++i) {
+    b.Where(MakeBandCondition(b.Var("s3"), 0,
+                              b.Var(StrFormat("s%zu", i)), 0, 0.9, 1.1));
+  }
+  for (size_t i = 1; i <= 4; ++i) {
+    b.Where(MakeBandCondition(b.Var("t5"), 0,
+                              b.Var(StrFormat("t%zu", i)), 0, 0.8, 1.25));
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(w));
+}
+
+int Run() {
+  const EventStream train = GenerateStockStream(StockConfig(5000, 1001));
+  const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
+  auto s = train.schema_ptr();
+  const size_t w = 18;
+  const DlacepConfig config = BenchConfig();
+
+  auto run = [&](const std::string& label, const Pattern& pattern) {
+    PrintRow(RunDlacepExperiment(label, pattern, train, test,
+                                 FilterKind::kEventNetwork, config));
+  };
+
+  PrintHeader("Fig 9(a): KC(non-nested) — QA5, j KC operators");
+  for (size_t j : {1, 2}) {
+    run(StrFormat("QA5(j=%zu)", j),
+        QA5(s, j, 10, 2, 0.8, 1.25, w, 2));
+  }
+
+  PrintHeader("Fig 9(b): KC(nested) — QA6, nested SEQ length j");
+  for (size_t j : {2, 3, 4}) {
+    run(StrFormat("QA6(j=%zu)", j), QA6(s, j, 10, 0.8, 1.25, w, 2));
+  }
+
+  PrintHeader("Fig 9(c): NEG(non-nested) — QA7, j NEG operators "
+              "(F1 metric: negation can produce false positives)");
+  for (size_t j : {1, 2}) {
+    run(StrFormat("QA7(j=%zu)", j), QA7(s, j, 10, 2, 0.8, 1.25, w));
+  }
+
+  PrintHeader("Fig 9(d): NEG(nested) — QA8, negated SEQ length j");
+  for (size_t j : {2, 3}) {
+    run(StrFormat("QA8(j=%zu)", j), QA8(s, j, 10, 2, 0.8, 1.25, w));
+  }
+
+  PrintHeader("Fig 9(e): DISJ of two SEQs of length j — QA9");
+  for (size_t j : {3, 4}) {
+    run(StrFormat("QA9(j=%zu)", j),
+        QA9(s, j, 10, 20, 0.9, 1.1, 0.85, 1.2, w));
+  }
+
+  PrintHeader("Fig 9(f): DISJ of j SEQs of length 4 — QA10");
+  for (size_t j : {2, 3}) {
+    run(StrFormat("QA10(j=%zu)", j), QA10(s, j, 8, 0.85, 1.2, w));
+  }
+
+  PrintHeader("Fig 9(g): separate vs combined (DISJ) evaluation");
+  {
+    PatternBuilder b1(s);
+    std::vector<PatternBuilder::Node> seq1;
+    for (size_t i = 1; i <= 3; ++i) {
+      seq1.push_back(b1.PrimAnyOfIds(TopK(10), StrFormat("s%zu", i)));
+    }
+    auto root1 = b1.SeqOf(std::move(seq1));
+    for (size_t i = 1; i < 3; ++i) {
+      b1.Where(MakeBandCondition(b1.Var("s3"), 0,
+                                 b1.Var(StrFormat("s%zu", i)), 0, 0.9,
+                                 1.1));
+    }
+    run("separate: SEQ(len 3)",
+        b1.BuildOrDie(std::move(root1), WindowSpec::Count(w)));
+    run("separate: QA5(j=1)", QA5(s, 1, 10, 2, 0.8, 1.25, w, 2));
+    run("combined: DISJ of both", CombinedDisjunction(s, w));
+  }
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep
+
+int main() { return dlacep::workloads::Run(); }

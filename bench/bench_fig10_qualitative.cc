@@ -1,0 +1,67 @@
+// Figure 10: qualitative analysis of detected vs undetected matches.
+//
+// Reproduces the paper's case study on QA10: partition the exact matches
+// by the variance of the volume attribute across the match's events and
+// count how many of each bucket DLACEP detected vs missed. Expectation:
+// missed matches exhibit significantly higher variance — smooth volume
+// transitions are easier for the network to categorize.
+
+#include <cstdio>
+
+#include "dlacep/analysis.h"
+#include "workloads/queries_a.h"
+#include "workloads/recipes.h"
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+int Run() {
+  const EventStream train = GenerateStockStream(StockConfig(5000, 1001));
+  const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
+  auto s = train.schema_ptr();
+  const size_t w = 18;
+  // Paper: QA10(j=4); scaled to j=3 rank bands of width 8.
+  const Pattern pattern = QA10(s, 3, 8, 0.85, 1.2, w);
+  const DlacepConfig config = BenchConfig();
+
+  std::printf("=== Fig 10: variance of detected (D) vs undetected (U) "
+              "matches, QA10(j=3) ===\n");
+
+  BuiltDlacep built =
+      BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
+  const ComparisonResult comparison =
+      built.pipeline->CompareWithEcep(test);
+
+  const VarianceSummary summary = SummarizeVariance(
+      comparison.exact_matches, comparison.dlacep.matches, test, 0);
+  std::printf("\ndetected:   %zu matches, mean volume variance %.4f\n",
+              summary.detected_count, summary.detected_mean);
+  std::printf("undetected: %zu matches, mean volume variance %.4f\n",
+              summary.undetected_count, summary.undetected_mean);
+  std::printf("recall %.3f\n\n",
+              comparison.quality.recall);
+
+  const auto buckets = VarianceDistribution(
+      comparison.exact_matches, comparison.dlacep.matches, test, 0, 8);
+  std::printf("%-24s %10s %10s %10s\n", "variance bucket", "detected",
+              "undetected", "miss-rate");
+  for (const VarianceBucket& bucket : buckets) {
+    const size_t total = bucket.detected + bucket.undetected;
+    std::printf("[%9.3f, %9.3f) %10zu %10zu %9.1f%%\n", bucket.lo,
+                bucket.hi, bucket.detected, bucket.undetected,
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(bucket.undetected) /
+                                 static_cast<double>(total));
+  }
+  std::printf("\n(paper: the volume of missed matches exhibits "
+              "significantly higher variance than detected ones)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep
+
+int main() { return dlacep::workloads::Run(); }

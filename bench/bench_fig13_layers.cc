@@ -1,0 +1,42 @@
+// Figure 13(c,d): impact of the number of stacked BiLSTM layers on
+// throughput gain and recall, evaluated on QB1 with a large window
+// (paper: W = 350, layers 3/4/5; scaled: W = 150, layers 1/2/3).
+//
+// Expectation: recall grows with network capacity while the added
+// inference cost erodes the throughput gain.
+
+#include "common/string_util.h"
+#include "workloads/queries_b.h"
+#include "workloads/recipes.h"
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+int Run() {
+  const size_t w = 150;
+  const EventStream train = SyntheticStream(7500, 501);
+  const EventStream test = SyntheticStream(3000, 902);
+  const Pattern pattern = QB1(train.schema_ptr(), w, 0.3, 3.0);
+
+  PrintHeader("Fig 13(c,d): gain & recall vs number of BiLSTM layers, "
+              "QB1 at W=150 (paper: layers 3/4/5 at W=350)");
+  for (size_t layers : {1, 2, 3}) {
+    DlacepConfig config = BenchConfig();
+    config.network.num_layers = layers;
+    config.oversample_positive = 8;
+    config.event_threshold = 0.3;
+    PrintRow(RunDlacepExperiment(StrFormat("layers=%zu", layers), pattern,
+                                 train, test, FilterKind::kEventNetwork,
+                                 config));
+  }
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep
+
+int main() { return dlacep::workloads::Run(); }

@@ -1,0 +1,56 @@
+// Figure 13(a,b): impact of window size W and pattern length on
+// throughput gain and recall.
+//
+// Protocol follows §5.2: a fresh synthetic dataset per (W, length) pair;
+// patterns are the Table 2 family (length 4/5/6 = QB3/QB2/QB1). The
+// paper sweeps W = 100..350 at 15 uniform types; we sweep W = 60..240
+// (train-stream length grows with W so the sample count stays usable).
+//
+// Expectation: ECEP cost grows polynomially/exponentially with both W
+// and the pattern length while the DLACEP filter cost is linear in the
+// stream, so the gain rises steeply with W and length; recall slowly
+// degrades as the pattern concept gets harder to learn.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "workloads/queries_b.h"
+#include "workloads/recipes.h"
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+int Run() {
+  PrintHeader("Fig 13(a,b): throughput gain & recall vs W and pattern "
+              "length (fresh dataset per pair; paper W=100..350)");
+  DlacepConfig config = FastBenchConfig();
+  config.train.max_epochs = 30;
+  config.oversample_positive = 8;
+  config.event_threshold = 0.3;
+
+  for (size_t length : {4, 5, 6}) {
+    for (size_t w : {60, 120, 240}) {
+      // Scale the training stream so enough matches exist to learn from
+      // (match density falls steeply as W shrinks).
+      const size_t train_events = std::max<size_t>(15000, 50 * w);
+      const EventStream train =
+          SyntheticStream(train_events, 500 + 10 * w + length);
+      const EventStream test = SyntheticStream(3000, 900 + 10 * w + length);
+      const Pattern pattern =
+          QBOfLength(train.schema_ptr(), length, w, 0.3, 3.0);
+      PrintRow(RunDlacepExperiment(
+          StrFormat("len=%zu W=%zu", length, w), pattern, train, test,
+          FilterKind::kEventNetwork, config));
+    }
+  }
+  PrintFooter();
+  return 0;
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep
+
+int main() { return dlacep::workloads::Run(); }

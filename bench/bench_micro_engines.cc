@@ -1,0 +1,91 @@
+// Micro benchmarks (google-benchmark): raw engine throughput and the
+// §3.2 scaling claims — ECEP work grows steeply with the window size W
+// and the pattern length, for all three engines.
+
+#include <benchmark/benchmark.h>
+
+#include "cep/engine.h"
+#include "cep/oracle.h"
+#include "workloads/queries_b.h"
+#include "workloads/recipes.h"
+
+namespace dlacep {
+namespace {
+
+using workloads::QBOfLength;
+using workloads::SyntheticStream;
+
+const EventStream& SharedStream() {
+  static const EventStream stream = SyntheticStream(2000, 77);
+  return stream;
+}
+
+void BM_NfaWindowScaling(benchmark::State& state) {
+  const EventStream& stream = SharedStream();
+  const size_t w = static_cast<size_t>(state.range(0));
+  const Pattern pattern = QBOfLength(stream.schema_ptr(), 5, w, 0.6, 1.6);
+  for (auto _ : state) {
+    auto engine = CreateEngine(EngineKind::kNfa, pattern);
+    MatchSet out;
+    benchmark::DoNotOptimize(
+        engine.value()->Evaluate({stream.events().data(), stream.size()},
+                                 &out));
+    state.counters["partial_matches"] = static_cast<double>(
+        engine.value()->stats().partial_matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_NfaWindowScaling)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_NfaPatternLengthScaling(benchmark::State& state) {
+  const EventStream& stream = SharedStream();
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Pattern pattern =
+      QBOfLength(stream.schema_ptr(), len, 100, 0.6, 1.6);
+  for (auto _ : state) {
+    auto engine = CreateEngine(EngineKind::kNfa, pattern);
+    MatchSet out;
+    benchmark::DoNotOptimize(
+        engine.value()->Evaluate({stream.events().data(), stream.size()},
+                                 &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_NfaPatternLengthScaling)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_EngineComparison(benchmark::State& state) {
+  const EventStream& stream = SharedStream();
+  const EngineKind kind = static_cast<EngineKind>(state.range(0));
+  const Pattern pattern = QBOfLength(stream.schema_ptr(), 5, 60, 0.6, 1.6);
+  for (auto _ : state) {
+    auto engine = CreateEngine(kind, pattern);
+    MatchSet out;
+    benchmark::DoNotOptimize(
+        engine.value()->Evaluate({stream.events().data(), stream.size()},
+                                 &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+  state.SetLabel(EngineKindName(kind));
+}
+BENCHMARK(BM_EngineComparison)
+    ->Arg(static_cast<int>(EngineKind::kNfa))
+    ->Arg(static_cast<int>(EngineKind::kTree))
+    ->Arg(static_cast<int>(EngineKind::kLazy));
+
+void BM_OracleEnumeration(benchmark::State& state) {
+  const EventStream& stream = SharedStream();
+  const Pattern pattern = QBOfLength(stream.schema_ptr(), 4, 40, 0.6, 1.6);
+  const auto span = stream.View(0, 400);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateAllMatches(pattern, span));
+  }
+}
+BENCHMARK(BM_OracleEnumeration);
+
+}  // namespace
+}  // namespace dlacep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Micro benchmarks (google-benchmark) for the nn substrate, backing the
+// §4.3 filtration-complexity claim: BiLSTM inference cost is O(h·l) —
+// linear in the parameter count and the sequence length, independent of
+// the number of partial matches in the data.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/crf.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace dlacep {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::Randn(n, n, 1.0, &rng);
+  const Matrix b = Matrix::Randn(n, n, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulPlain(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BiLstmForwardSeqLen(benchmark::State& state) {
+  const size_t t_steps = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  StackedBiLstm stack("s", 8, 16, 2, &rng);
+  const Matrix input = Matrix::Randn(t_steps, 8, 1.0, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    benchmark::DoNotOptimize(stack.Forward(&tape, tape.Input(input)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t_steps));
+}
+BENCHMARK(BM_BiLstmForwardSeqLen)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BiLstmForwardHidden(benchmark::State& state) {
+  const size_t hidden = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  StackedBiLstm stack("s", 8, hidden, 2, &rng);
+  const Matrix input = Matrix::Randn(32, 8, 1.0, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    benchmark::DoNotOptimize(stack.Forward(&tape, tape.Input(input)));
+  }
+}
+BENCHMARK(BM_BiLstmForwardHidden)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TrainingStep(benchmark::State& state) {
+  Rng rng(4);
+  StackedBiLstm stack("s", 8, 16, 2, &rng);
+  Dense head_f("hf", stack.out_dim(), 2, &rng);
+  Dense head_b("hb", stack.out_dim(), 2, &rng);
+  BiCrf crf("crf", 2, &rng);
+  const Matrix input = Matrix::Randn(32, 8, 1.0, &rng);
+  std::vector<int> labels(32);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = (i % 3) == 0;
+
+  std::vector<Parameter*> params = stack.Params();
+  for (Parameter* p : head_f.Params()) params.push_back(p);
+  for (Parameter* p : head_b.Params()) params.push_back(p);
+  for (Parameter* p : crf.Params()) params.push_back(p);
+
+  for (auto _ : state) {
+    Tape tape;
+    Var h = stack.Forward(&tape, tape.Input(input));
+    Var loss = crf.Nll(&tape, head_f.Forward(&tape, h),
+                       head_b.Forward(&tape, h), labels);
+    tape.Backward(loss);
+    for (Parameter* p : params) p->ZeroGrad();
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+}
+BENCHMARK(BM_TrainingStep);
+
+void BM_CrfViterbi(benchmark::State& state) {
+  const size_t t_steps = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  LinearChainCrf crf("crf", 2, &rng);
+  const Matrix emissions = Matrix::Randn(t_steps, 2, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Viterbi(emissions));
+  }
+}
+BENCHMARK(BM_CrfViterbi)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CrfMarginals(benchmark::State& state) {
+  Rng rng(6);
+  LinearChainCrf crf("crf", 2, &rng);
+  const Matrix emissions = Matrix::Randn(64, 2, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Marginals(emissions));
+  }
+}
+BENCHMARK(BM_CrfMarginals);
+
+}  // namespace
+}  // namespace dlacep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Adaptive multi-pattern monitoring — the extension modules in action:
+//
+//   * two patterns monitored by ONE shared event network (paper §4.3's
+//     semantic unification);
+//   * a concept-drift monitor watching the filter's marking rate, with
+//     warm-start fine-tuning when the live stream departs from the
+//     training distribution (§4.3's "model retraining" strategy).
+//
+//   $ ./examples/adaptive_monitoring
+
+#include <cstdio>
+
+#include "dlacep/drift.h"
+#include "dlacep/event_filter.h"
+#include "dlacep/multi_pattern.h"
+#include "pattern/builder.h"
+#include "stream/generator.h"
+
+using namespace dlacep;  // NOLINT — example brevity
+
+int main() {
+  // ------------------------------------------------------------------
+  // Part 1: one filter, two patterns.
+  SyntheticConfig gen;
+  gen.num_events = 7000;
+  gen.seed = 21;
+  const EventStream history = GenerateSynthetic(gen);
+  gen.num_events = 1200;
+  gen.seed = 22;
+  const EventStream live = GenerateSynthetic(gen);
+  auto schema = history.schema_ptr();
+
+  std::vector<Pattern> patterns;
+  {
+    PatternBuilder b(schema);
+    auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "b"),
+                      b.Prim("C", "c"));
+    patterns.push_back(b.BuildOrDie(std::move(root), WindowSpec::Count(8)));
+  }
+  {
+    PatternBuilder b(schema);
+    auto root = b.Seq(b.Prim("D", "d"), b.Prim("E", "e"));
+    b.WhereCmp(1.0, "d", "vol", CmpOp::kLt, 1.0, "e");
+    patterns.push_back(b.BuildOrDie(std::move(root), WindowSpec::Count(6)));
+  }
+
+  DlacepConfig config;
+  config.network.hidden_dim = 12;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 50;
+  config.event_threshold = 0.35;
+  config.oversample_positive = 2;
+
+  std::printf("training ONE filter for %zu patterns...\n",
+              patterns.size());
+  MultiPatternDlacep system(patterns, history, config);
+  std::printf("  unified labeling F1 on held-out windows: %.3f\n\n",
+              system.test_metrics().f1());
+
+  MultiPatternResult result = system.Evaluate(live);
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    std::printf("pattern %zu: %s\n  -> %zu matches\n", p,
+                patterns[p].ToString().c_str(),
+                result.per_pattern[p].size());
+  }
+  std::printf("shared filtering ratio: %.1f%%\n\n",
+              result.filtering_ratio() * 100.0);
+
+  // ------------------------------------------------------------------
+  // Part 2: drift detection + warm-start fine-tuning.
+  const Pattern& watched = patterns[0];
+  const Featurizer featurizer(watched, history);
+  EventNetworkFilter filter(&featurizer, config.network,
+                            config.event_threshold);
+  const InputAssembler assembler = InputAssembler::ForWindow(8);
+  const FilterDataset dataset = BuildFilterDataset(
+      watched, history, assembler, featurizer, 0.9, config.split_seed);
+  filter.Fit(dataset.train_event, config.train);
+
+  // A drifted live stream: different type mix starves the filter.
+  SyntheticConfig drift_gen;
+  drift_gen.num_events = 1500;
+  drift_gen.num_types = 15;  // training saw 15 too, but with other seed
+  drift_gen.attr_mean = 1.5;  // value distribution shifted
+  drift_gen.seed = 23;
+  const EventStream drifted = GenerateSynthetic(drift_gen);
+
+  DriftMonitor monitor(/*reference_rate=*/0.8, /*tolerance=*/0.2,
+                       /*window_budget=*/6);
+  std::printf("evaluating a drifted stream with adaptive retraining...\n");
+  DlacepConfig finetune = config;
+  finetune.train.max_epochs = 6;
+  const AdaptiveResult adaptive = EvaluateWithRetraining(
+      watched, &filter, featurizer, drifted, &monitor,
+      /*retrain_events=*/600, finetune);
+  std::printf("  drifts detected : %zu\n", adaptive.drifts_detected);
+  std::printf("  retrainings     : %zu (%.2fs fine-tuning)\n",
+              adaptive.retrainings, adaptive.retrain_seconds);
+  std::printf("  matches emitted : %zu\n", adaptive.matches.size());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// IoT anomaly detection with negation — a healthcare/IoT-style scenario
+// (the paper's §1 motivation) exercising the NEG operator and the
+// negation-aware labeling of §4.4:
+//
+//   "alert when a temperature spike (SPIKE) is followed by a shutdown
+//    (SHUTDOWN) within 20 readings, with no operator acknowledgment
+//    (ACK) in between"
+//
+// Under negation DLACEP may emit false positives when the filter drops
+// the ACK events; the event network therefore learns to relay negated
+// types too, and the reported metric is F1 rather than recall alone.
+//
+//   $ ./examples/iot_anomaly
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "dlacep/pipeline.h"
+#include "pattern/builder.h"
+
+using namespace dlacep;  // NOLINT — example brevity
+
+namespace {
+
+// A sensor stream: routine READING events plus occasional SPIKE /
+// SHUTDOWN / ACK control events, each carrying a severity value.
+EventStream MakeSensorStream(std::shared_ptr<const Schema> schema,
+                             size_t num_events, uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream(std::move(schema));
+  for (size_t i = 0; i < num_events; ++i) {
+    const double roll = rng.Uniform();
+    TypeId type = 0;  // READING
+    if (roll > 0.92) {
+      type = 1;  // SPIKE
+    } else if (roll > 0.86) {
+      type = 2;  // SHUTDOWN
+    } else if (roll > 0.82) {
+      type = 3;  // ACK
+    }
+    stream.Append(type, static_cast<double>(i),
+                  {rng.Normal(type == 1 ? 3.0 : 0.0, 1.0)});
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  auto schema = std::make_shared<Schema>();
+  schema->RegisterType("READING");
+  schema->RegisterType("SPIKE");
+  schema->RegisterType("SHUTDOWN");
+  schema->RegisterType("ACK");
+  schema->RegisterAttr("severity");
+
+  const EventStream history = MakeSensorStream(schema, 5000, 7);
+  const EventStream live = MakeSensorStream(schema, 3000, 8);
+
+  PatternBuilder builder(schema);
+  auto root = builder.Seq(builder.Prim("SPIKE", "spike"),
+                          builder.Neg(builder.Prim("ACK", "ack")),
+                          builder.Prim("SHUTDOWN", "down"));
+  builder.WhereCmp(1.0, "spike", "severity", CmpOp::kGt, 1.0, "down");
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(20));
+  std::printf("alert pattern: %s\n\n", pattern.ToString().c_str());
+
+  DlacepConfig config;
+  config.network.hidden_dim = 12;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 40;
+  config.event_threshold = 0.35;
+  config.oversample_positive = 2;
+
+  std::printf("training on %zu historical readings "
+              "(negation-aware labeling relays ACK events too)...\n",
+              history.size());
+  BuiltDlacep dlacep =
+      BuildDlacep(pattern, history, FilterKind::kEventNetwork, config);
+  std::printf("  held-out event-labeling F1: %.3f\n\n",
+              dlacep.test_metrics.f1());
+
+  const ComparisonResult result = dlacep.pipeline->CompareWithEcep(live);
+  std::printf("exact alerts    : %zu\n", result.exact_matches.size());
+  std::printf("DLACEP alerts   : %zu\n", result.dlacep.matches.size());
+  std::printf("recall          : %.3f\n", result.quality.recall);
+  std::printf("precision       : %.3f  (can dip below 1.0: dropped ACKs "
+              "may fabricate alerts)\n",
+              result.quality.precision);
+  std::printf("F1              : %.3f\n", result.quality.f1);
+  std::printf("throughput gain : %.2fx\n", result.throughput_gain());
+  std::printf("\nnote: a 2-positive-position pattern creates almost no "
+              "partial matches, so exact CEP is already cheap and the "
+              "filter overhead dominates — the paper's §3.2 regime where "
+              "ACEP is NOT worth it. The win here is quality control on "
+              "negation (precision stays 1.0); see stock_monitoring for "
+              "the throughput story.\n");
+  return 0;
+}

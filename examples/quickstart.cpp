@@ -1,0 +1,79 @@
+// Quickstart: define a pattern with the PQL query language, evaluate a
+// synthetic stream with the exact NFA engine, and print the matches.
+//
+//   $ ./examples/quickstart
+//
+// This is the paper's introductory Example (1): an A event, followed by
+// a B event, followed by a C event whose value exceeds both.
+
+#include <cstdio>
+
+#include "cep/engine.h"
+#include "pattern/parser.h"
+#include "stream/generator.h"
+
+using namespace dlacep;  // NOLINT — example brevity
+
+int main() {
+  // 1. A stream of synthetic events over types A..O with one "vol"
+  //    attribute (15 types, N(0,1) values, constant sampling rate).
+  SyntheticConfig config;
+  config.num_events = 300;
+  config.seed = 7;
+  const EventStream stream = GenerateSynthetic(config);
+
+  // 2. The pattern, written in PQL. `WITHIN 20 EVENTS` is a count-based
+  //    window: a match's events may span at most 20 arrival positions.
+  const char* query =
+      "PATTERN SEQ(A a, B b, C c) "
+      "WHERE a.vol < c.vol AND b.vol < c.vol "
+      "WITHIN 20 EVENTS";
+  auto pattern = ParsePattern(query, stream.schema_ptr());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 pattern.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pattern: %s\n\n", pattern.value().ToString().c_str());
+
+  // 3. Evaluate with the exact NFA engine (skip-till-any-match).
+  auto engine = CreateEngine(EngineKind::kNfa, pattern.value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  MatchSet matches;
+  const Status status = engine.value()->Evaluate(
+      {stream.events().data(), stream.size()}, &matches);
+  if (!status.ok()) {
+    std::fprintf(stderr, "evaluation error: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Report.
+  const EngineStats& stats = engine.value()->stats();
+  std::printf("events processed : %llu\n",
+              static_cast<unsigned long long>(stats.events_processed));
+  std::printf("partial matches  : %llu\n",
+              static_cast<unsigned long long>(stats.partial_matches));
+  std::printf("full matches     : %zu\n\n", matches.size());
+
+  size_t shown = 0;
+  for (const Match& match : matches) {
+    if (++shown > 10) {
+      std::printf("  ... (%zu more)\n", matches.size() - 10);
+      break;
+    }
+    std::printf("  match %zu: events", shown);
+    for (EventId id : match.ids) {
+      const Event& e = stream[static_cast<size_t>(id)];
+      std::printf("  [%llu %s vol=%.2f]",
+                  static_cast<unsigned long long>(id),
+                  stream.schema().TypeName(e.type).c_str(), e.attr(0));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "cep/engine.h"
+
+#include "cep/lazy_engine.h"
+#include "cep/nfa_engine.h"
+#include "cep/tree_engine.h"
+
+namespace dlacep {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNfa: return "nfa";
+    case EngineKind::kTree: return "zstream-tree";
+    case EngineKind::kLazy: return "lazy";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<CepEngine>> CreateEngine(
+    EngineKind kind, const Pattern& pattern, const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kNfa: {
+      auto engine = NfaEngine::Create(pattern, options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<CepEngine>(std::move(engine).value());
+    }
+    case EngineKind::kTree: {
+      auto engine = TreeEngine::Create(pattern, options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<CepEngine>(std::move(engine).value());
+    }
+    case EngineKind::kLazy: {
+      auto engine = LazyEngine::Create(pattern, options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<CepEngine>(std::move(engine).value());
+    }
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+}  // namespace dlacep

@@ -1,0 +1,88 @@
+// The CEP evaluation-engine interface.
+//
+// All engines consume a finite span of events (sorted by arrival id) and
+// produce the deduplicated set of full matches. Each engine counts the
+// partial matches it creates — the paper's §3.2 cost measure C_ECEP — so
+// benches can report both wall-clock throughput and the analytic cost.
+
+#ifndef DLACEP_CEP_ENGINE_H_
+#define DLACEP_CEP_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cep/match.h"
+#include "common/timer.h"
+#include "pattern/pattern.h"
+#include "pattern/plan.h"
+
+namespace dlacep {
+
+/// Counters accumulated across Evaluate() calls (ResetStats() clears).
+struct EngineStats {
+  uint64_t events_processed = 0;
+  /// Partial matches created: NFA prefixes, tree intermediate join
+  /// results, or lazy search nodes — the engine's unit of work.
+  uint64_t partial_matches = 0;
+  /// Full matches emitted before deduplication.
+  uint64_t matches_emitted = 0;
+  /// Partial matches dropped by the storage cap (0 in normal operation).
+  uint64_t partial_matches_dropped = 0;
+  double elapsed_seconds = 0.0;
+
+  double throughput() const {
+    return Throughput(static_cast<double>(events_processed),
+                      elapsed_seconds);
+  }
+};
+
+/// Evaluation-engine base. Implementations are single-threaded (matching
+/// the paper's single-core measurement protocol) and keep no state across
+/// Evaluate() calls except the stats counters.
+class CepEngine {
+ public:
+  virtual ~CepEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Evaluates `events` (sorted by id) and merges all full matches into
+  /// `out`. Timing and counters accumulate into stats().
+  virtual Status Evaluate(std::span<const Event> events, MatchSet* out) = 0;
+
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EngineStats{}; }
+
+ protected:
+  EngineStats stats_;
+};
+
+enum class EngineKind {
+  kNfa,    ///< skip-till-any-match NFA (the baseline ECEP mechanism)
+  kTree,   ///< ZStream-style cost-based tree engine
+  kLazy,   ///< lazy (frequency-ordered) evaluation
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Tuning knobs common to all engines.
+struct EngineOptions {
+  /// Safety cap on simultaneously stored partial matches (per plan).
+  /// Exceeding it drops the newest candidates and counts them in
+  /// partial_matches_dropped rather than aborting the run.
+  size_t max_partial_matches = 50'000'000;
+  /// Sample size for selectivity estimation (tree engine cost model).
+  size_t selectivity_samples = 1000;
+  uint64_t seed = 42;
+};
+
+/// Creates an engine for `pattern`. The pattern is copied; the engine
+/// owns everything it needs. Fails when the pattern shape is outside the
+/// engine's supported class (see each engine's header).
+StatusOr<std::unique_ptr<CepEngine>> CreateEngine(
+    EngineKind kind, const Pattern& pattern,
+    const EngineOptions& options = EngineOptions{});
+
+}  // namespace dlacep
+
+#endif  // DLACEP_CEP_ENGINE_H_

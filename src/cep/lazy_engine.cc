@@ -1,0 +1,202 @@
+#include "cep/lazy_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stream/window.h"
+
+namespace dlacep {
+
+LazyEngine::LazyEngine(Pattern pattern, EngineOptions options)
+    : pattern_(std::move(pattern)), options_(options) {}
+
+StatusOr<std::unique_ptr<LazyEngine>> LazyEngine::Create(
+    const Pattern& pattern, const EngineOptions& options) {
+  std::unique_ptr<LazyEngine> engine(new LazyEngine(pattern, options));
+  auto plans = CompilePlans(engine->pattern_);
+  if (!plans.ok()) return plans.status();
+  engine->plans_ = std::move(plans).value();
+  for (const LinearPlan& plan : engine->plans_) {
+    if (plan.group_repeat || !plan.negs.empty()) {
+      return Status::Unimplemented(
+          "lazy engine supports SEQ/CONJ/DISJ of primitives only");
+    }
+    for (const PlanPosition& pos : plan.positions) {
+      if (pos.kleene) {
+        return Status::Unimplemented(
+            "lazy engine does not support Kleene closure");
+      }
+    }
+  }
+  return engine;
+}
+
+namespace {
+
+/// Backtracking join over one plan in least-frequent-type-first order.
+class LazySearch {
+ public:
+  LazySearch(const LinearPlan& plan, const Pattern& pattern,
+             std::span<const Event> events, EngineStats* stats,
+             MatchSet* out)
+      : plan_(plan),
+        pattern_(pattern),
+        events_(events),
+        stats_(stats),
+        out_(out),
+        binding_(pattern.num_vars()),
+        bound_(plan.num_positions(), nullptr) {
+    candidates_.resize(plan_.num_positions());
+    for (const Event& e : events_) {
+      if (e.is_blank()) continue;
+      for (size_t p = 0; p < plan_.num_positions(); ++p) {
+        if (plan_.positions[p].Matches(e.type)) {
+          candidates_[p].push_back(&e);
+        }
+      }
+    }
+    // Lazy evaluation order: ascending frequency of the position's
+    // accepted types.
+    order_.resize(plan_.num_positions());
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](size_t a, size_t b) {
+                       return candidates_[a].size() <
+                              candidates_[b].size();
+                     });
+  }
+
+  void Run() { Rec(0); }
+
+ private:
+  bool AlreadyBound(const Event* e) const {
+    for (const Event* b : bound_) {
+      if (b == e) return true;
+    }
+    return false;
+  }
+
+  void Rec(size_t order_index) {
+    if (order_index == order_.size()) {
+      for (const Condition* condition : plan_.pos_conditions) {
+        if (!condition->Eval(binding_)) return;
+      }
+      if (!FitsWindow(binding_.AllEvents(), pattern_.window())) return;
+      ++stats_->matches_emitted;
+      out_->Insert(MatchFromBinding(binding_));
+      return;
+    }
+    const size_t p = order_[order_index];
+    const PlanPosition& pos = plan_.positions[p];
+    const auto& bucket = candidates_[p];
+    if (bucket.empty()) return;
+
+    // Id bounds from the precedence relation against bound positions.
+    EventId lb = 0;
+    bool has_lb = false;
+    EventId ub = ~EventId{0};
+    bool has_ub = false;
+    for (size_t q = 0; q < plan_.num_positions(); ++q) {
+      const Event* bq = bound_[q];
+      if (bq == nullptr) continue;
+      if ((plan_.preds[p] >> q) & 1) {  // q must precede p
+        if (!has_lb || bq->id >= lb) {
+          lb = bq->id + 1;
+          has_lb = true;
+        }
+      }
+      if ((plan_.preds[q] >> p) & 1) {  // p must precede q
+        if (!has_ub || bq->id <= ub) {
+          ub = bq->id == 0 ? 0 : bq->id - 1;
+          has_ub = true;
+          if (bq->id == 0) return;  // nothing can precede id 0
+        }
+      }
+    }
+    // Count-window bounds against everything bound so far.
+    const WindowSpec& window = pattern_.window();
+    if (window.kind == WindowKind::kCount) {
+      const EventId w = static_cast<EventId>(window.count_size()) - 1;
+      for (const Event* b : bound_) {
+        if (b == nullptr) continue;
+        if (b->id > w) lb = std::max(lb, b->id - w);
+        ub = std::min(ub, b->id + w);
+      }
+    }
+    if (lb > ub) return;
+
+    auto it = std::lower_bound(
+        bucket.begin(), bucket.end(), lb,
+        [](const Event* e, EventId id) { return e->id < id; });
+    for (; it != bucket.end() && (*it)->id <= ub; ++it) {
+      const Event* e = *it;
+      if (AlreadyBound(e)) continue;
+      if (window.kind == WindowKind::kTime) {
+        bool ok = true;
+        for (const Event* b : bound_) {
+          if (b != nullptr &&
+              std::abs(b->timestamp - e->timestamp) > window.size) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+      }
+      binding_.Bind(pos.var, e);
+      bound_[p] = e;
+      bool pass = true;
+      for (const Condition* condition : plan_.pos_conditions) {
+        bool references = false;
+        for (VarId v : condition->Vars()) {
+          if (v == pos.var) {
+            references = true;
+            break;
+          }
+        }
+        if (!references) continue;
+        if (!ReadyForPruningEval(*condition, binding_, pattern_)) continue;
+        if (!condition->Eval(binding_)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        ++stats_->partial_matches;  // a surviving search node
+        Rec(order_index + 1);
+      }
+      bound_[p] = nullptr;
+      binding_.Unbind(pos.var);
+    }
+  }
+
+  const LinearPlan& plan_;
+  const Pattern& pattern_;
+  std::span<const Event> events_;
+  EngineStats* stats_;
+  MatchSet* out_;
+  Binding binding_;
+  std::vector<const Event*> bound_;  ///< per plan position
+  std::vector<std::vector<const Event*>> candidates_;  ///< per position
+  std::vector<size_t> order_;
+};
+
+}  // namespace
+
+void LazyEngine::EvaluatePlan(const LinearPlan& plan,
+                              std::span<const Event> events, MatchSet* out) {
+  LazySearch search(plan, pattern_, events, &stats_, out);
+  search.Run();
+}
+
+Status LazyEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
+  DLACEP_CHECK(out != nullptr);
+  Stopwatch watch;
+  for (const LinearPlan& plan : plans_) {
+    EvaluatePlan(plan, events, out);
+  }
+  stats_.events_processed += events.size();
+  stats_.elapsed_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dlacep

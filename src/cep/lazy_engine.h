@@ -1,0 +1,45 @@
+// Lazy (frequency-ordered) evaluation engine — the second ECEP
+// optimization baseline of Fig 12, after Kolchinsky, Sharfman & Schuster
+// (DEBS'15): instead of extending prefixes in arrival order, events are
+// buffered and the pattern is instantiated starting from the *least
+// frequent* event type, which usually prunes the search drastically.
+//
+// The implementation buffers the span, orders plan positions by ascending
+// type frequency, and runs a backtracking join in that order; each search
+// node (candidate binding extension) counts as a partial match.
+//
+// Supported pattern class: same as the tree engine — DISJ branches of
+// SEQ / CONJ over primitives.
+
+#ifndef DLACEP_CEP_LAZY_ENGINE_H_
+#define DLACEP_CEP_LAZY_ENGINE_H_
+
+#include <vector>
+
+#include "cep/engine.h"
+
+namespace dlacep {
+
+class LazyEngine : public CepEngine {
+ public:
+  static StatusOr<std::unique_ptr<LazyEngine>> Create(
+      const Pattern& pattern, const EngineOptions& options);
+
+  std::string name() const override { return "lazy"; }
+
+  Status Evaluate(std::span<const Event> events, MatchSet* out) override;
+
+ private:
+  LazyEngine(Pattern pattern, EngineOptions options);
+
+  void EvaluatePlan(const LinearPlan& plan, std::span<const Event> events,
+                    MatchSet* out);
+
+  Pattern pattern_;
+  EngineOptions options_;
+  std::vector<LinearPlan> plans_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_CEP_LAZY_ENGINE_H_

@@ -1,0 +1,82 @@
+#include "cep/match.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dlacep {
+
+Match::Match(std::vector<EventId> ids_in) : ids(std::move(ids_in)) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+EventId Match::IdSpan() const {
+  if (ids.empty()) return 0;
+  return ids.back() - ids.front();
+}
+
+std::string Match::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out << ',';
+    out << ids[i];
+  }
+  out << '}';
+  return out.str();
+}
+
+Match MatchFromBinding(const Binding& binding) {
+  std::vector<EventId> ids;
+  for (const Event* e : binding.AllEvents()) ids.push_back(e->id);
+  return Match(std::move(ids));
+}
+
+bool MatchSet::Insert(Match match) {
+  return matches_.insert(std::move(match)).second;
+}
+
+void MatchSet::Merge(const MatchSet& other) {
+  matches_.insert(other.matches_.begin(), other.matches_.end());
+}
+
+size_t MatchSet::IntersectionSize(const MatchSet& other) const {
+  const MatchSet* small = this;
+  const MatchSet* large = &other;
+  if (small->size() > large->size()) std::swap(small, large);
+  size_t common = 0;
+  for (const Match& m : *small) {
+    if (large->Contains(m)) ++common;
+  }
+  return common;
+}
+
+MatchSetMetrics CompareMatchSets(const MatchSet& exact,
+                                 const MatchSet& approx) {
+  MatchSetMetrics metrics;
+  metrics.exact_count = exact.size();
+  metrics.approx_count = approx.size();
+  metrics.common_count = exact.IntersectionSize(approx);
+  metrics.recall =
+      exact.empty() ? 1.0
+                    : static_cast<double>(metrics.common_count) /
+                          static_cast<double>(exact.size());
+  metrics.precision =
+      approx.empty() ? 1.0
+                     : static_cast<double>(metrics.common_count) /
+                           static_cast<double>(approx.size());
+  metrics.f1 = (metrics.recall + metrics.precision) > 0
+                   ? 2.0 * metrics.precision * metrics.recall /
+                         (metrics.precision + metrics.recall)
+                   : 0.0;
+  const size_t union_count =
+      exact.size() + approx.size() - metrics.common_count;
+  metrics.jaccard = union_count == 0
+                        ? 1.0
+                        : static_cast<double>(metrics.common_count) /
+                              static_cast<double>(union_count);
+  metrics.false_negative_pct = (1.0 - metrics.recall) * 100.0;
+  return metrics;
+}
+
+}  // namespace dlacep

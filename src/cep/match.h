@@ -1,0 +1,85 @@
+// Matches and match sets.
+//
+// A match is identified by the set of event ids of its (positively) bound
+// events — the paper's Definition (4) output is "a set of event subsets".
+// MatchSet deduplicates by that identity and offers the set-similarity
+// metrics used throughout the evaluation (recall, precision, F1,
+// Jaccard).
+
+#ifndef DLACEP_CEP_MATCH_H_
+#define DLACEP_CEP_MATCH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pattern/condition.h"
+#include "stream/event.h"
+
+namespace dlacep {
+
+/// One full pattern match: the sorted ids of its constituent events.
+struct Match {
+  std::vector<EventId> ids;
+
+  Match() = default;
+  explicit Match(std::vector<EventId> ids_in);
+
+  /// Window span: max id - min id (0 for singletons/empty).
+  EventId IdSpan() const;
+
+  bool operator==(const Match& other) const { return ids == other.ids; }
+  bool operator<(const Match& other) const { return ids < other.ids; }
+
+  std::string ToString() const;
+};
+
+/// Builds a match from the positively bound variables of a binding.
+Match MatchFromBinding(const Binding& binding);
+
+/// A deduplicated set of matches.
+class MatchSet {
+ public:
+  /// Inserts a match; returns true when it was not present yet.
+  bool Insert(Match match);
+
+  /// Inserts every match of `other`.
+  void Merge(const MatchSet& other);
+
+  bool Contains(const Match& match) const {
+    return matches_.count(match) > 0;
+  }
+  size_t size() const { return matches_.size(); }
+  bool empty() const { return matches_.empty(); }
+
+  std::set<Match>::const_iterator begin() const { return matches_.begin(); }
+  std::set<Match>::const_iterator end() const { return matches_.end(); }
+
+  /// |this ∩ other|.
+  size_t IntersectionSize(const MatchSet& other) const;
+
+ private:
+  std::set<Match> matches_;
+};
+
+/// Set-similarity metrics between an exact match set and an approximate
+/// one (paper §4.3 and §5.1).
+struct MatchSetMetrics {
+  double recall = 1.0;     ///< |exact ∩ approx| / |exact|
+  double precision = 1.0;  ///< |exact ∩ approx| / |approx|
+  double f1 = 1.0;
+  double jaccard = 1.0;    ///< |∩| / |∪|
+  double false_negative_pct = 0.0;  ///< the paper's FN% (Fig 11)
+  size_t exact_count = 0;
+  size_t approx_count = 0;
+  size_t common_count = 0;
+};
+
+/// Computes the metrics; empty exact and approx sets score 1.0 across
+/// the board.
+MatchSetMetrics CompareMatchSets(const MatchSet& exact,
+                                 const MatchSet& approx);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_CEP_MATCH_H_

@@ -1,0 +1,181 @@
+#include "cep/nfa_engine.h"
+
+#include <algorithm>
+
+namespace dlacep {
+
+NfaEngine::NfaEngine(Pattern pattern, EngineOptions options)
+    : pattern_(std::move(pattern)), options_(options) {}
+
+StatusOr<std::unique_ptr<NfaEngine>> NfaEngine::Create(
+    const Pattern& pattern, const EngineOptions& options) {
+  std::unique_ptr<NfaEngine> engine(new NfaEngine(pattern, options));
+  auto plans = CompilePlans(engine->pattern_);
+  if (!plans.ok()) return plans.status();
+  engine->plans_ = std::move(plans).value();
+  return engine;
+}
+
+bool NfaEngine::PassesPruning(const LinearPlan& plan, const Binding& binding,
+                              VarId var) const {
+  for (const Condition* condition : plan.pos_conditions) {
+    bool references = false;
+    for (VarId v : condition->Vars()) {
+      if (v == var) {
+        references = true;
+        break;
+      }
+    }
+    if (!references) continue;
+    if (!ReadyForPruningEval(*condition, binding, pattern_)) continue;
+    if (!condition->Eval(binding)) return false;
+  }
+  return true;
+}
+
+void NfaEngine::MaybeEmit(const LinearPlan& plan, const PartialMatch& pm,
+                          std::span<const Event> events, MatchSet* out) {
+  if (pm.mask != full_mask_) return;
+  // Kleene positions must have reached their minimum absorption.
+  for (size_t i = 0; i < plan.num_positions(); ++i) {
+    const PlanPosition& pos = plan.positions[i];
+    if (pos.kleene &&
+        pm.binding.Of(pos.var).size() < pos.min_reps * (pm.reps + 1)) {
+      return;
+    }
+  }
+  if (plan.group_repeat && pm.reps + 1 < plan.group_min_reps) return;
+  // Full condition check (covers aligned-Kleene semantics that pruning
+  // skips mid-repetition).
+  for (const Condition* condition : plan.pos_conditions) {
+    if (!condition->Eval(pm.binding)) return;
+  }
+  if (!FitsWindow(pm.binding.AllEvents(), pattern_.window())) return;
+  if (ViolatesNegation(plan, pm.binding, events)) return;
+  ++stats_.matches_emitted;
+  out->Insert(MatchFromBinding(pm.binding));
+}
+
+void NfaEngine::EvaluatePlan(const LinearPlan& plan,
+                             std::span<const Event> events, MatchSet* out) {
+  const size_t n = plan.num_positions();
+  full_mask_ = n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  const WindowSpec& window = pattern_.window();
+
+  std::vector<PartialMatch> storage;
+
+  for (const Event& e : events) {
+    if (e.is_blank()) continue;
+
+    auto is_expired = [&](const PartialMatch& pm) {
+      // Extensions only add events at or after `e`, so a prefix whose
+      // anchor is out of `e`'s window range can never complete.
+      if (window.kind == WindowKind::kCount) {
+        return e.id - pm.first_id >
+               static_cast<EventId>(window.count_size()) - 1;
+      }
+      return e.timestamp - pm.first_ts > window.size;
+    };
+
+    const size_t stored_before = storage.size();
+    std::vector<PartialMatch> created;
+
+    auto try_store = [&](PartialMatch&& pm) {
+      ++stats_.partial_matches;
+      if (storage.size() + created.size() >= options_.max_partial_matches) {
+        ++stats_.partial_matches_dropped;
+        return;
+      }
+      MaybeEmit(plan, pm, events, out);
+      created.push_back(std::move(pm));
+    };
+
+    // Extend every live stored prefix (skip-till-any-match keeps the
+    // original stored), compacting expired prefixes away in the same
+    // pass. Only prefixes created before this event are candidates;
+    // `stored_before` freezes the range.
+    size_t write = 0;
+    for (size_t s = 0; s < stored_before; ++s) {
+      if (is_expired(storage[s])) continue;
+      if (write != s) storage[write] = std::move(storage[s]);
+      const PartialMatch& pm = storage[write];
+      ++write;
+      for (size_t p = 0; p < n; ++p) {
+        const PlanPosition& pos = plan.positions[p];
+        if (!pos.Matches(e.type)) continue;
+        const bool filled = (pm.mask >> p) & 1;
+        if (!filled) {
+          // Fill a fresh position: all predecessors must be filled.
+          if ((plan.preds[p] & pm.mask) != plan.preds[p]) continue;
+          PartialMatch next = pm;
+          next.mask |= uint64_t{1} << p;
+          next.binding.Bind(pos.var, &e);
+          if (!PassesPruning(plan, next.binding, pos.var)) continue;
+          try_store(std::move(next));
+        } else if (pos.kleene) {
+          // Absorb another event into a Kleene position, allowed only
+          // while no successor position has been filled yet.
+          const size_t limit = pos.max_reps * (pm.reps + 1);
+          if (pm.binding.Of(pos.var).size() >= limit) continue;
+          bool successor_filled = false;
+          for (size_t q = 0; q < n; ++q) {
+            if (((plan.preds[q] >> p) & 1) && ((pm.mask >> q) & 1)) {
+              successor_filled = true;
+              break;
+            }
+          }
+          if (successor_filled) continue;
+          PartialMatch next = pm;
+          next.binding.Bind(pos.var, &e);
+          if (!PassesPruning(plan, next.binding, pos.var)) continue;
+          try_store(std::move(next));
+        }
+      }
+      // Group repetition: a complete prefix may loop back to position 0.
+      if (plan.group_repeat && pm.mask == full_mask_ &&
+          pm.reps + 1 < plan.group_max_reps &&
+          plan.positions[0].Matches(e.type)) {
+        PartialMatch next = pm;
+        next.mask = uint64_t{1} << 0;
+        next.reps = pm.reps + 1;
+        next.binding.Bind(plan.positions[0].var, &e);
+        if (PassesPruning(plan, next.binding, plan.positions[0].var)) {
+          try_store(std::move(next));
+        }
+      }
+    }
+
+    storage.resize(write);
+
+    // Start fresh prefixes at positions with no predecessors.
+    for (size_t p = 0; p < n; ++p) {
+      const PlanPosition& pos = plan.positions[p];
+      if (!pos.Matches(e.type) || plan.preds[p] != 0) continue;
+      PartialMatch pm;
+      pm.mask = uint64_t{1} << p;
+      pm.binding = Binding(pattern_.num_vars());
+      pm.binding.Bind(pos.var, &e);
+      pm.first_id = e.id;
+      pm.first_ts = e.timestamp;
+      if (!PassesPruning(plan, pm.binding, pos.var)) continue;
+      try_store(std::move(pm));
+    }
+
+    for (PartialMatch& pm : created) {
+      storage.push_back(std::move(pm));
+    }
+  }
+}
+
+Status NfaEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
+  DLACEP_CHECK(out != nullptr);
+  Stopwatch watch;
+  for (const LinearPlan& plan : plans_) {
+    EvaluatePlan(plan, events, out);
+  }
+  stats_.events_processed += events.size();
+  stats_.elapsed_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+}  // namespace dlacep

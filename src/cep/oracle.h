@@ -1,0 +1,34 @@
+// Brute-force match enumerator.
+//
+// A deliberately naive, clearly-correct implementation of the match
+// semantics (see pattern/pattern.h): recursively enumerate every
+// assignment of stream events to plan positions, check every constraint
+// at the end. Exponential — use only on small spans. It is the ground
+// truth that the production engines are property-tested against, and the
+// labeling oracle for DLACEP training samples.
+
+#ifndef DLACEP_CEP_ORACLE_H_
+#define DLACEP_CEP_ORACLE_H_
+
+#include <functional>
+#include <span>
+
+#include "cep/match.h"
+#include "pattern/pattern.h"
+
+namespace dlacep {
+
+/// Enumerates every full match of `pattern` within `events` (sorted by
+/// id). Deduplicated by event-id set.
+MatchSet EnumerateAllMatches(const Pattern& pattern,
+                             std::span<const Event> events);
+
+/// Like EnumerateAllMatches but invokes `on_match` with the full binding
+/// of each (pre-deduplication) match. Used by the DLACEP labeler, which
+/// needs the bound events, not just their ids.
+void ForEachMatch(const Pattern& pattern, std::span<const Event> events,
+                  const std::function<void(const Binding&)>& on_match);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_CEP_ORACLE_H_

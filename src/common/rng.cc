@@ -1,0 +1,62 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace dlacep {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DLACEP_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  DLACEP_CHECK_GT(n, 0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int64_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[static_cast<size_t>(k)] = total;
+    }
+    for (auto& v : zipf_cdf_) v /= total;
+  }
+  const double u = Uniform(0.0, 1.0);
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<int64_t>(it - zipf_cdf_.begin());
+}
+
+size_t Rng::Index(size_t n) {
+  DLACEP_CHECK_GT(n, 0u);
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+}  // namespace dlacep

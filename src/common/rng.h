@@ -1,0 +1,58 @@
+// Deterministic random number generation utilities.
+//
+// Every stochastic component in the library (data generators, weight
+// initialization, training shuffles) draws from an explicitly seeded `Rng`
+// so that experiments and tests are reproducible bit-for-bit.
+
+#ifndef DLACEP_COMMON_RNG_H_
+#define DLACEP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dlacep {
+
+/// A seeded pseudo-random generator with the distributions the library
+/// needs. Not thread-safe; create one per thread/component.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Gaussian sample.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n), exponent s (s = 0 is uniform).
+  /// Sampled by inverse-CDF over the precomputable harmonic weights.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Uniformly chosen index into a non-empty container of size n.
+  size_t Index(size_t n);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Underlying engine, for std:: algorithms that want one.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf CDF for the most recent (n, s) pair; Zipf sampling is used
+  // heavily by the stock simulator with a fixed configuration.
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_COMMON_RNG_H_

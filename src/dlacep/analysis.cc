@@ -1,0 +1,92 @@
+#include "dlacep/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dlacep {
+
+double MatchAttrVariance(const Match& match, const EventStream& stream,
+                         size_t attr_index) {
+  DLACEP_CHECK(!match.ids.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (EventId id : match.ids) {
+    // Event ids equal stream positions for unfiltered streams.
+    DLACEP_CHECK_LT(id, stream.size());
+    const double v = stream[static_cast<size_t>(id)].attr(attr_index);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = static_cast<double>(match.ids.size());
+  const double mean = sum / n;
+  return std::max(0.0, sum_sq / n - mean * mean);
+}
+
+std::vector<VarianceBucket> VarianceDistribution(const MatchSet& exact,
+                                                 const MatchSet& approx,
+                                                 const EventStream& stream,
+                                                 size_t attr_index,
+                                                 size_t num_buckets) {
+  DLACEP_CHECK_GT(num_buckets, 0u);
+  std::vector<VarianceBucket> buckets(num_buckets);
+  if (exact.empty()) return buckets;
+
+  std::vector<std::pair<double, bool>> points;  // (variance, detected)
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Match& match : exact) {
+    const double variance = MatchAttrVariance(match, stream, attr_index);
+    points.emplace_back(variance, approx.Contains(match));
+    lo = std::min(lo, variance);
+    hi = std::max(hi, variance);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    buckets[b].lo = lo + (hi - lo) * static_cast<double>(b) /
+                             static_cast<double>(num_buckets);
+    buckets[b].hi = lo + (hi - lo) * static_cast<double>(b + 1) /
+                             static_cast<double>(num_buckets);
+  }
+  for (const auto& [variance, detected] : points) {
+    size_t b = static_cast<size_t>((variance - lo) / (hi - lo) *
+                                   static_cast<double>(num_buckets));
+    b = std::min(b, num_buckets - 1);
+    if (detected) {
+      ++buckets[b].detected;
+    } else {
+      ++buckets[b].undetected;
+    }
+  }
+  return buckets;
+}
+
+VarianceSummary SummarizeVariance(const MatchSet& exact,
+                                  const MatchSet& approx,
+                                  const EventStream& stream,
+                                  size_t attr_index) {
+  VarianceSummary summary;
+  double detected_sum = 0.0;
+  double undetected_sum = 0.0;
+  for (const Match& match : exact) {
+    const double variance = MatchAttrVariance(match, stream, attr_index);
+    if (approx.Contains(match)) {
+      detected_sum += variance;
+      ++summary.detected_count;
+    } else {
+      undetected_sum += variance;
+      ++summary.undetected_count;
+    }
+  }
+  if (summary.detected_count > 0) {
+    summary.detected_mean =
+        detected_sum / static_cast<double>(summary.detected_count);
+  }
+  if (summary.undetected_count > 0) {
+    summary.undetected_mean =
+        undetected_sum / static_cast<double>(summary.undetected_count);
+  }
+  return summary;
+}
+
+}  // namespace dlacep

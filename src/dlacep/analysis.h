@@ -1,0 +1,52 @@
+// Qualitative match analysis (paper §5.2, Fig 10): partition the matches
+// DLACEP detected and missed by an attribute statistic (the paper uses
+// the variance of the stock volume across the match's events) to reveal
+// which matches the network finds hard.
+
+#ifndef DLACEP_DLACEP_ANALYSIS_H_
+#define DLACEP_DLACEP_ANALYSIS_H_
+
+#include <vector>
+
+#include "cep/match.h"
+#include "stream/stream.h"
+
+namespace dlacep {
+
+/// Per-match variance of `attr_index` across the match's events.
+double MatchAttrVariance(const Match& match, const EventStream& stream,
+                         size_t attr_index);
+
+struct VarianceBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t detected = 0;
+  size_t undetected = 0;
+};
+
+/// Buckets `exact` matches by attribute variance into `num_buckets`
+/// equal-width bins over the observed range, counting detected
+/// (∈ approx) vs undetected matches per bin — the Fig 10 histogram.
+std::vector<VarianceBucket> VarianceDistribution(const MatchSet& exact,
+                                                 const MatchSet& approx,
+                                                 const EventStream& stream,
+                                                 size_t attr_index,
+                                                 size_t num_buckets);
+
+/// Mean variance of detected and undetected matches (the Fig 10 summary
+/// statistic: missed matches exhibit significantly higher variance).
+struct VarianceSummary {
+  double detected_mean = 0.0;
+  double undetected_mean = 0.0;
+  size_t detected_count = 0;
+  size_t undetected_count = 0;
+};
+
+VarianceSummary SummarizeVariance(const MatchSet& exact,
+                                  const MatchSet& approx,
+                                  const EventStream& stream,
+                                  size_t attr_index);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_ANALYSIS_H_

@@ -1,0 +1,69 @@
+#include "dlacep/event_filter.h"
+
+namespace dlacep {
+
+EventNetworkFilter::EventNetworkFilter(const Featurizer* featurizer,
+                                       const NetworkConfig& network,
+                                       double event_threshold)
+    : featurizer_(featurizer),
+      event_threshold_(event_threshold),
+      init_rng_(network.seed),
+      stack_("event.stack", featurizer->feature_dim(), network.hidden_dim,
+             network.num_layers, &init_rng_),
+      head_fwd_("event.head_fwd", stack_.out_dim(), 2, &init_rng_),
+      head_bwd_("event.head_bwd", stack_.out_dim(), 2, &init_rng_),
+      crf_("event.crf", 2, &init_rng_) {
+  DLACEP_CHECK(featurizer_ != nullptr);
+}
+
+std::pair<Var, Var> EventNetworkFilter::Emissions(Tape* tape,
+                                                  const Matrix& features) {
+  Var h = stack_.Forward(tape, tape->Input(features));
+  return {head_fwd_.Forward(tape, h), head_bwd_.Forward(tape, h)};
+}
+
+Var EventNetworkFilter::Loss(Tape* tape, const Sample& sample) {
+  auto [emissions_f, emissions_b] = Emissions(tape, sample.features);
+  return crf_.Nll(tape, emissions_f, emissions_b, sample.labels);
+}
+
+std::vector<Parameter*> EventNetworkFilter::Params() {
+  std::vector<Parameter*> params = stack_.Params();
+  for (Parameter* p : head_fwd_.Params()) params.push_back(p);
+  for (Parameter* p : head_bwd_.Params()) params.push_back(p);
+  for (Parameter* p : crf_.Params()) params.push_back(p);
+  return params;
+}
+
+std::vector<int> EventNetworkFilter::MarkFeatures(const Matrix& features) {
+  Tape tape;
+  auto [emissions_f, emissions_b] = Emissions(&tape, features);
+  const Matrix marginals =
+      crf_.Marginals(emissions_f.value(), emissions_b.value());
+  std::vector<int> marks(features.rows());
+  for (size_t t = 0; t < features.rows(); ++t) {
+    marks[t] = marginals(t, 1) >= event_threshold_ ? 1 : 0;
+  }
+  return marks;
+}
+
+std::vector<int> EventNetworkFilter::Mark(const EventStream& stream,
+                                          WindowRange range) {
+  return MarkFeatures(
+      featurizer_->Encode(stream.View(range.begin, range.size())));
+}
+
+TrainResult EventNetworkFilter::Fit(const std::vector<Sample>& samples,
+                                    const TrainConfig& config) {
+  return Train(this, samples, config);
+}
+
+BinaryMetrics EventNetworkFilter::Score(const std::vector<Sample>& samples) {
+  BinaryMetrics metrics;
+  for (const Sample& sample : samples) {
+    metrics.Accumulate(MarkFeatures(sample.features), sample.labels);
+  }
+  return metrics;
+}
+
+}  // namespace dlacep

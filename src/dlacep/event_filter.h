@@ -1,0 +1,54 @@
+// The event-network filter (paper §4.3, Fig 7): stacked BiLSTM feature
+// extractor topped with a BI-CRF that labels every event of the input
+// window as participating / not participating in a full match. The
+// bidirectional CRF is fed by two separate linear emission heads (one per
+// chain direction), and decoding takes the per-position argmax of the
+// averaged posterior marginals against `event_threshold`.
+
+#ifndef DLACEP_DLACEP_EVENT_FILTER_H_
+#define DLACEP_DLACEP_EVENT_FILTER_H_
+
+#include <memory>
+
+#include "dlacep/config.h"
+#include "dlacep/featurizer.h"
+#include "dlacep/filter.h"
+#include "nn/crf.h"
+
+namespace dlacep {
+
+class EventNetworkFilter : public TrainableFilter, public SequenceModel {
+ public:
+  EventNetworkFilter(const Featurizer* featurizer,
+                     const NetworkConfig& network, double event_threshold);
+
+  std::string name() const override { return "event-network"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) override;
+  std::vector<int> MarkFeatures(const Matrix& features) override;
+
+  TrainResult Fit(const std::vector<Sample>& samples,
+                  const TrainConfig& config) override;
+
+  BinaryMetrics Score(const std::vector<Sample>& samples) override;
+
+  // SequenceModel:
+  Var Loss(Tape* tape, const Sample& sample) override;
+  std::vector<Parameter*> Params() override;
+
+ private:
+  std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features);
+
+  const Featurizer* featurizer_;  ///< not owned
+  double event_threshold_;
+  Rng init_rng_;  ///< declared before the layers it initializes
+  StackedBiLstm stack_;
+  Dense head_fwd_;
+  Dense head_bwd_;
+  BiCrf crf_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_EVENT_FILTER_H_

@@ -1,0 +1,35 @@
+#include "dlacep/extractor.h"
+
+#include <algorithm>
+
+namespace dlacep {
+
+CepExtractor::CepExtractor(const Pattern& pattern, EngineKind engine_kind,
+                           const EngineOptions& options) {
+  auto engine = CreateEngine(engine_kind, pattern, options);
+  DLACEP_CHECK_MSG(engine.ok(), engine.status().ToString());
+  engine_ = std::move(engine).value();
+}
+
+Status CepExtractor::Extract(std::vector<const Event*> marked,
+                             MatchSet* out) {
+  DLACEP_CHECK(out != nullptr);
+  // Duplicate marks (overlapping assembler windows) are erased before the
+  // relay (paper §4.2) and arrival order restored.
+  std::sort(marked.begin(), marked.end(),
+            [](const Event* a, const Event* b) { return a->id < b->id; });
+  marked.erase(std::unique(marked.begin(), marked.end(),
+                           [](const Event* a, const Event* b) {
+                             return a->id == b->id;
+                           }),
+               marked.end());
+  std::vector<Event> filtered;
+  filtered.reserve(marked.size());
+  for (const Event* e : marked) {
+    if (!e->is_blank()) filtered.push_back(*e);
+  }
+  return engine_->Evaluate(
+      std::span<const Event>(filtered.data(), filtered.size()), out);
+}
+
+}  // namespace dlacep

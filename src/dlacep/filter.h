@@ -1,0 +1,52 @@
+// The stream-filter interface of the filtration-based ACEP system
+// (paper §3.1, §4.3): given one assembler window, mark the events that
+// should be relayed to the CEP extractor.
+
+#ifndef DLACEP_DLACEP_FILTER_H_
+#define DLACEP_DLACEP_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "dlacep/labeler.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "stream/stream.h"
+#include "stream/window.h"
+
+namespace dlacep {
+
+class StreamFilter {
+ public:
+  virtual ~StreamFilter() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Per-event 0/1 marks for stream[range] (1 = relay).
+  virtual std::vector<int> Mark(const EventStream& stream,
+                                WindowRange range) = 0;
+};
+
+/// A filter backed by a trainable network.
+class TrainableFilter : public StreamFilter {
+ public:
+  /// Trains on pre-encoded samples (see BuildFilterDataset); returns the
+  /// trainer's result.
+  virtual TrainResult Fit(const std::vector<Sample>& samples,
+                          const TrainConfig& config) = 0;
+
+  /// Marks from pre-encoded features (used during evaluation so that the
+  /// featurization cost is attributed to the filter).
+  virtual std::vector<int> MarkFeatures(const Matrix& features) = 0;
+
+  virtual std::vector<Parameter*> Params() = 0;
+
+  /// Evaluates filter quality on pre-encoded samples: the paper's
+  /// entity-level P/R/F1 (§4.3) — entities are events for the event
+  /// network and windows for the window network.
+  virtual BinaryMetrics Score(const std::vector<Sample>& samples) = 0;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_FILTER_H_

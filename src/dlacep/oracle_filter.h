@@ -1,0 +1,42 @@
+// A perfect-knowledge filter that marks exactly the ground-truth labels
+// the SampleLabeler produces. It is the upper bound of what any trained
+// filter can achieve (recall 1.0 by construction for NEG-free patterns)
+// and is used by property tests and ablation benches to separate
+// filtering-scheme effects from learning effects.
+
+#ifndef DLACEP_DLACEP_ORACLE_FILTER_H_
+#define DLACEP_DLACEP_ORACLE_FILTER_H_
+
+#include "dlacep/filter.h"
+
+namespace dlacep {
+
+class OracleFilter : public StreamFilter {
+ public:
+  explicit OracleFilter(const Pattern& pattern) : labeler_(pattern) {}
+
+  std::string name() const override { return "oracle"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) override {
+    return labeler_.Label(stream, range).event_labels;
+  }
+
+ private:
+  SampleLabeler labeler_;
+};
+
+/// A filter that marks everything — DLACEP degenerates to plain ECEP plus
+/// assembler overhead. Baseline for ablations.
+class PassThroughFilter : public StreamFilter {
+ public:
+  std::string name() const override { return "pass-through"; }
+
+  std::vector<int> Mark(const EventStream&, WindowRange range) override {
+    return std::vector<int>(range.size(), 1);
+  }
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_ORACLE_FILTER_H_

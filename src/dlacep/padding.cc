@@ -1,0 +1,72 @@
+#include "dlacep/padding.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dlacep {
+
+namespace {
+
+/// Copies stream[begin, begin+take) into `out` and pads with blanks to
+/// `max_window` events, carrying the last real timestamp forward.
+void EmitPadded(const EventStream& source, size_t begin, size_t take,
+                size_t max_window, EventStream* out) {
+  double last_ts = take > 0 ? source[begin].timestamp : 0.0;
+  for (size_t k = 0; k < take; ++k) {
+    const Event& e = source[begin + k];
+    out->Append(e.type, e.timestamp, e.attrs);
+    last_ts = e.timestamp;
+  }
+  for (size_t k = take; k < max_window; ++k) {
+    out->AppendBlank(last_ts);
+  }
+}
+
+}  // namespace
+
+EventStream PadTimeWindows(const EventStream& source, double time_span,
+                           size_t max_window) {
+  DLACEP_CHECK_GT(max_window, 0u);
+  EventStream out(source.schema_ptr());
+  size_t i = 0;
+  while (i < source.size()) {
+    size_t take = 1;
+    while (i + take < source.size() && take < max_window &&
+           source[i + take].timestamp - source[i].timestamp <=
+               time_span) {
+      ++take;
+    }
+    EmitPadded(source, i, take, max_window, &out);
+    i += take;
+  }
+  return out;
+}
+
+EventStream PadRandomWindows(const EventStream& source, size_t max_window,
+                             uint64_t seed) {
+  DLACEP_CHECK_GT(max_window, 0u);
+  Rng rng(seed);
+  EventStream out(source.schema_ptr());
+  size_t i = 0;
+  while (i < source.size()) {
+    const size_t chunk = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(std::max<size_t>(1, max_window / 2)),
+        static_cast<int64_t>(max_window)));
+    const size_t take = std::min(chunk, source.size() - i);
+    EmitPadded(source, i, take, max_window, &out);
+    i += take;
+  }
+  return out;
+}
+
+double PaddingRatio(const EventStream& stream) {
+  if (stream.empty()) return 0.0;
+  size_t blanks = 0;
+  for (const Event& e : stream) {
+    if (e.is_blank()) ++blanks;
+  }
+  return static_cast<double>(blanks) / static_cast<double>(stream.size());
+}
+
+}  // namespace dlacep

@@ -1,0 +1,43 @@
+// Time-based-window support via fixed-size padding (paper §4, §5.2).
+//
+// DLACEP's networks require fixed-length input sequences, so count-based
+// windows are native. For time-based semantics the paper simulates
+// fixed-size windows: the stream is partitioned into windows of varying
+// (bounded) size and each window is padded to the maximum size with
+// blank events, which the featurizer encodes with a dedicated blank
+// flag and the engines ignore (they still consume id space, preserving
+// the window arithmetic). This module provides the two partitioning
+// strategies:
+//
+//  * PadTimeWindows — honest time semantics: cut a new window whenever
+//    the next event's timestamp leaves the current window's span;
+//  * PadRandomWindows — the paper's Fig 14 simulation protocol: window
+//    sizes drawn uniformly from [max/2, max].
+
+#ifndef DLACEP_DLACEP_PADDING_H_
+#define DLACEP_DLACEP_PADDING_H_
+
+#include <cstdint>
+
+#include "stream/stream.h"
+
+namespace dlacep {
+
+/// Partitions `source` by timestamp span: each window holds consecutive
+/// events whose timestamps fit within `time_span`, truncated at
+/// `max_window` events, padded with blanks to exactly `max_window`.
+EventStream PadTimeWindows(const EventStream& source, double time_span,
+                           size_t max_window);
+
+/// Partitions `source` into windows of uniformly random sizes in
+/// [max_window/2, max_window], each padded to `max_window` (the Fig 14
+/// protocol).
+EventStream PadRandomWindows(const EventStream& source, size_t max_window,
+                             uint64_t seed);
+
+/// Fraction of blank (padding) events in a padded stream.
+double PaddingRatio(const EventStream& stream);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_PADDING_H_

@@ -1,0 +1,159 @@
+#include "dlacep/pipeline.h"
+
+#include "common/logging.h"
+#include "dlacep/event_filter.h"
+#include "dlacep/oracle_filter.h"
+#include "dlacep/window_filter.h"
+
+namespace dlacep {
+
+namespace {
+
+InputAssembler MakeAssembler(const Pattern& pattern,
+                             const DlacepConfig& config) {
+  const size_t w = pattern.window().count_size();
+  const size_t mark = config.mark_size != 0 ? config.mark_size : 2 * w;
+  const size_t step = config.step_size != 0 ? config.step_size : w;
+  return InputAssembler(mark, step);
+}
+
+}  // namespace
+
+DlacepPipeline::DlacepPipeline(const Pattern& pattern,
+                               std::unique_ptr<StreamFilter> filter,
+                               const DlacepConfig& config)
+    : pattern_(pattern),
+      config_(config),
+      assembler_(MakeAssembler(pattern, config)),
+      filter_(std::move(filter)),
+      extractor_(pattern_) {
+  DLACEP_CHECK(filter_ != nullptr);
+  DLACEP_CHECK(pattern_.window().kind == WindowKind::kCount);
+}
+
+PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
+  PipelineResult result;
+  result.total_events = stream.size();
+
+  // Filtration: mark events window by window.
+  Stopwatch filter_watch;
+  std::vector<const Event*> marked;
+  for (const WindowRange& range : assembler_.Windows(stream.size())) {
+    const std::vector<int> marks = filter_->Mark(stream, range);
+    DLACEP_CHECK_EQ(marks.size(), range.size());
+    for (size_t t = 0; t < marks.size(); ++t) {
+      if (marks[t] != 0) {
+        marked.push_back(&stream[range.begin + t]);
+      }
+    }
+  }
+  result.filter_seconds = filter_watch.ElapsedSeconds();
+
+  // Extraction on the filtered stream.
+  extractor_.ResetStats();
+  Stopwatch cep_watch;
+  const Status status = extractor_.Extract(std::move(marked),
+                                           &result.matches);
+  DLACEP_CHECK_MSG(status.ok(), status.ToString());
+  result.cep_seconds = cep_watch.ElapsedSeconds();
+  result.cep_stats = extractor_.stats();
+  result.marked_events = result.cep_stats.events_processed;
+  return result;
+}
+
+ComparisonResult DlacepPipeline::CompareWithEcep(const EventStream& stream,
+                                                 EngineKind baseline) {
+  ComparisonResult comparison;
+  comparison.dlacep = Evaluate(stream);
+
+  auto engine = CreateEngine(baseline, pattern_);
+  DLACEP_CHECK_MSG(engine.ok(), engine.status().ToString());
+  Stopwatch watch;
+  const Status status = engine.value()->Evaluate(
+      std::span<const Event>(stream.events().data(), stream.size()),
+      &comparison.exact_matches);
+  DLACEP_CHECK_MSG(status.ok(), status.ToString());
+  comparison.ecep_seconds = watch.ElapsedSeconds();
+  comparison.ecep_stats = engine.value()->stats();
+  comparison.quality =
+      CompareMatchSets(comparison.exact_matches, comparison.dlacep.matches);
+  return comparison;
+}
+
+const char* FilterKindName(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::kEventNetwork: return "event-network";
+    case FilterKind::kWindowNetwork: return "window-network";
+    case FilterKind::kOracle: return "oracle";
+    case FilterKind::kPassThrough: return "pass-through";
+  }
+  return "?";
+}
+
+BuiltDlacep BuildDlacep(const Pattern& pattern,
+                        const EventStream& train_stream, FilterKind kind,
+                        const DlacepConfig& config) {
+  BuiltDlacep built;
+  built.featurizer = std::make_unique<Featurizer>(pattern, train_stream);
+
+  std::unique_ptr<StreamFilter> filter;
+  if (kind == FilterKind::kOracle) {
+    filter = std::make_unique<OracleFilter>(pattern);
+  } else if (kind == FilterKind::kPassThrough) {
+    filter = std::make_unique<PassThroughFilter>();
+  } else {
+    const InputAssembler assembler = MakeAssembler(pattern, config);
+    Stopwatch label_watch;
+    FilterDataset dataset = BuildFilterDataset(
+        pattern, train_stream, assembler, *built.featurizer,
+        config.train_fraction, config.split_seed,
+        config.negation_aware_labeling);
+    built.label_seconds = label_watch.ElapsedSeconds();
+
+    if (config.oversample_positive > 1) {
+      auto oversample = [&](std::vector<Sample>* samples) {
+        const size_t original = samples->size();
+        for (size_t i = 0; i < original; ++i) {
+          // Copy: push_back below may reallocate and invalidate
+          // references into the vector.
+          const Sample sample = (*samples)[i];
+          bool positive = false;
+          for (int label : sample.labels) positive |= label != 0;
+          if (!positive) continue;
+          for (size_t r = 1; r < config.oversample_positive; ++r) {
+            samples->push_back(sample);
+          }
+        }
+      };
+      oversample(&dataset.train_event);
+      oversample(&dataset.train_window);
+    }
+
+    Stopwatch train_watch;
+    if (kind == FilterKind::kEventNetwork) {
+      auto event_filter = std::make_unique<EventNetworkFilter>(
+          built.featurizer.get(), config.network, config.event_threshold);
+      built.train_result =
+          event_filter->Fit(dataset.train_event, config.train);
+      built.test_metrics = event_filter->Score(dataset.test_event);
+      filter = std::move(event_filter);
+    } else {
+      auto window_filter = std::make_unique<WindowNetworkFilter>(
+          built.featurizer.get(), config.network, config.window_threshold);
+      built.train_result =
+          window_filter->Fit(dataset.train_window, config.train);
+      built.test_metrics = window_filter->Score(dataset.test_window);
+      filter = std::move(window_filter);
+    }
+    built.train_seconds = train_watch.ElapsedSeconds();
+    DLACEP_LOG(Debug) << FilterKindName(kind) << " trained "
+                      << built.train_result.epochs_run << " epochs, loss "
+                      << built.train_result.final_loss << ", test F1 "
+                      << built.test_metrics.f1();
+  }
+  built.pipeline =
+      std::make_unique<DlacepPipeline>(pattern, std::move(filter), config);
+  return built;
+}
+
+}  // namespace dlacep

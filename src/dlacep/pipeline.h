@@ -1,0 +1,118 @@
+// The end-to-end DLACEP pipeline (paper Fig 4):
+//
+//   stream → input assembler → DNN filter → CEP extractor → matches
+//
+// plus the measurement protocol of §5.1: BuildDlacep() assembles,
+// labels, trains, and scores a filter network from a historical stream;
+// Evaluate() runs the filtration + extraction path over a fresh stream
+// and reports throughput, filtering ratio, and the match set;
+// CompareWithEcep() additionally runs a baseline ECEP engine over the
+// same stream and reports throughput gain and match quality.
+
+#ifndef DLACEP_DLACEP_PIPELINE_H_
+#define DLACEP_DLACEP_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "dlacep/assembler.h"
+#include "dlacep/config.h"
+#include "dlacep/extractor.h"
+#include "dlacep/featurizer.h"
+#include "dlacep/filter.h"
+
+namespace dlacep {
+
+/// Outcome of one pipeline evaluation.
+struct PipelineResult {
+  MatchSet matches;
+  size_t total_events = 0;
+  size_t marked_events = 0;   ///< after deduplication
+  double filter_seconds = 0.0;
+  double cep_seconds = 0.0;
+  EngineStats cep_stats;
+
+  double elapsed_seconds() const { return filter_seconds + cep_seconds; }
+  double throughput() const {
+    return Throughput(static_cast<double>(total_events),
+                      elapsed_seconds());
+  }
+  /// Fraction of events filtered out (the paper's filtering ratio Ψ,
+  /// aggregated over all types).
+  double filtering_ratio() const {
+    return total_events == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(marked_events) /
+                           static_cast<double>(total_events);
+  }
+};
+
+/// ECEP-vs-DLACEP comparison (one row of the paper's gain/recall plots).
+struct ComparisonResult {
+  PipelineResult dlacep;
+  MatchSet exact_matches;
+  EngineStats ecep_stats;
+  double ecep_seconds = 0.0;
+  MatchSetMetrics quality;  ///< recall / precision / F1 / FN%
+
+  double throughput_gain() const {
+    return dlacep.throughput() /
+           Throughput(static_cast<double>(dlacep.total_events),
+                      ecep_seconds);
+  }
+};
+
+/// The assembled system: filter + extractor + assembler.
+class DlacepPipeline {
+ public:
+  /// `filter` may be a trained network, the oracle filter, or the
+  /// pass-through filter. The pipeline owns it.
+  DlacepPipeline(const Pattern& pattern,
+                 std::unique_ptr<StreamFilter> filter,
+                 const DlacepConfig& config);
+
+  /// Runs filtration + extraction over `stream`.
+  PipelineResult Evaluate(const EventStream& stream);
+
+  /// Runs Evaluate() plus a baseline ECEP engine over the same stream.
+  ComparisonResult CompareWithEcep(const EventStream& stream,
+                                   EngineKind baseline = EngineKind::kNfa);
+
+  StreamFilter& filter() { return *filter_; }
+  const InputAssembler& assembler() const { return assembler_; }
+
+ private:
+  Pattern pattern_;
+  DlacepConfig config_;
+  InputAssembler assembler_;
+  std::unique_ptr<StreamFilter> filter_;
+  CepExtractor extractor_;
+};
+
+/// A fully built DLACEP instance: featurizer + trained filter + pipeline
+/// + training/test diagnostics.
+struct BuiltDlacep {
+  std::unique_ptr<Featurizer> featurizer;
+  std::unique_ptr<DlacepPipeline> pipeline;
+  TrainResult train_result;
+  BinaryMetrics test_metrics;   ///< entity-level P/R/F1 on the test split
+  double label_seconds = 0.0;   ///< dataset labeling time
+  double train_seconds = 0.0;
+};
+
+enum class FilterKind { kEventNetwork, kWindowNetwork, kOracle,
+                        kPassThrough };
+
+const char* FilterKindName(FilterKind kind);
+
+/// Builds a DLACEP system for `pattern` from the historical
+/// `train_stream`: assembles sample windows, labels them with exact CEP,
+/// trains the requested filter network (no-op for oracle/pass-through),
+/// and scores it on the held-out test split.
+BuiltDlacep BuildDlacep(const Pattern& pattern,
+                        const EventStream& train_stream, FilterKind kind,
+                        const DlacepConfig& config);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_PIPELINE_H_

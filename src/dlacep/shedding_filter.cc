@@ -1,0 +1,42 @@
+#include "dlacep/shedding_filter.h"
+
+namespace dlacep {
+
+RandomSheddingFilter::RandomSheddingFilter(double keep_probability,
+                                           uint64_t seed)
+    : keep_probability_(keep_probability), rng_(seed) {
+  DLACEP_CHECK_GE(keep_probability_, 0.0);
+  DLACEP_CHECK_LE(keep_probability_, 1.0);
+}
+
+std::vector<int> RandomSheddingFilter::Mark(const EventStream&,
+                                            WindowRange range) {
+  std::vector<int> marks(range.size());
+  for (int& m : marks) {
+    m = rng_.Bernoulli(keep_probability_) ? 1 : 0;
+  }
+  return marks;
+}
+
+TypeSheddingFilter::TypeSheddingFilter(const Pattern& pattern) {
+  relevant_.assign(pattern.schema().num_types(), false);
+  for (TypeId type : pattern.ReferencedTypes()) {
+    if (type >= 0 && static_cast<size_t>(type) < relevant_.size()) {
+      relevant_[static_cast<size_t>(type)] = true;
+    }
+  }
+}
+
+std::vector<int> TypeSheddingFilter::Mark(const EventStream& stream,
+                                          WindowRange range) {
+  std::vector<int> marks(range.size(), 0);
+  for (size_t t = 0; t < range.size(); ++t) {
+    const Event& e = stream[range.begin + t];
+    if (!e.is_blank() && relevant_[static_cast<size_t>(e.type)]) {
+      marks[t] = 1;
+    }
+  }
+  return marks;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,58 @@
+// Load-shedding baseline filters (paper §6 "Load shedding").
+//
+// Load shedding drops events (or partial matches) to meet a resource
+// budget, classically at random or by simple per-type utilities. These
+// filters plug into the DLACEP pipeline in place of the learned network,
+// giving an apples-to-apples baseline: at the SAME filtering ratio, how
+// many matches does a non-learned policy lose compared to the trained
+// filter? (The paper positions DLACEP as a conceptual shift away from
+// such emergency shedding.)
+
+#ifndef DLACEP_DLACEP_SHEDDING_FILTER_H_
+#define DLACEP_DLACEP_SHEDDING_FILTER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dlacep/filter.h"
+#include "pattern/pattern.h"
+
+namespace dlacep {
+
+/// Uniform random shedding: every event is relayed with probability
+/// `keep_probability`, regardless of content.
+class RandomSheddingFilter : public StreamFilter {
+ public:
+  RandomSheddingFilter(double keep_probability, uint64_t seed);
+
+  std::string name() const override { return "random-shedding"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) override;
+
+ private:
+  double keep_probability_;
+  Rng rng_;
+};
+
+/// Type-aware shedding: events whose type the pattern references are
+/// always relayed; all other events are dropped. The cheapest
+/// content-aware policy — it achieves exactly the filtering ratio of the
+/// pattern-irrelevant traffic and loses no matches, but cannot filter
+/// within the relevant types (where DLACEP's gains come from).
+class TypeSheddingFilter : public StreamFilter {
+ public:
+  explicit TypeSheddingFilter(const Pattern& pattern);
+
+  std::string name() const override { return "type-shedding"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) override;
+
+ private:
+  std::vector<bool> relevant_;  ///< indexed by type id
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_SHEDDING_FILTER_H_

@@ -1,0 +1,70 @@
+#include "dlacep/tcn_filter.h"
+
+namespace dlacep {
+
+TcnEventFilter::TcnEventFilter(const Featurizer* featurizer,
+                               const NetworkConfig& network,
+                               double event_threshold, size_t kernel)
+    : featurizer_(featurizer),
+      event_threshold_(event_threshold),
+      init_rng_(network.seed + 2),
+      backbone_("tcn.stack", featurizer->feature_dim(),
+                network.hidden_dim, network.num_layers, kernel,
+                &init_rng_),
+      head_fwd_("tcn.head_fwd", backbone_.out_dim(), 2, &init_rng_),
+      head_bwd_("tcn.head_bwd", backbone_.out_dim(), 2, &init_rng_),
+      crf_("tcn.crf", 2, &init_rng_) {
+  DLACEP_CHECK(featurizer_ != nullptr);
+}
+
+std::pair<Var, Var> TcnEventFilter::Emissions(Tape* tape,
+                                              const Matrix& features) {
+  Var h = backbone_.Forward(tape, tape->Input(features));
+  return {head_fwd_.Forward(tape, h), head_bwd_.Forward(tape, h)};
+}
+
+Var TcnEventFilter::Loss(Tape* tape, const Sample& sample) {
+  auto [emissions_f, emissions_b] = Emissions(tape, sample.features);
+  return crf_.Nll(tape, emissions_f, emissions_b, sample.labels);
+}
+
+std::vector<Parameter*> TcnEventFilter::Params() {
+  std::vector<Parameter*> params = backbone_.Params();
+  for (Parameter* p : head_fwd_.Params()) params.push_back(p);
+  for (Parameter* p : head_bwd_.Params()) params.push_back(p);
+  for (Parameter* p : crf_.Params()) params.push_back(p);
+  return params;
+}
+
+std::vector<int> TcnEventFilter::MarkFeatures(const Matrix& features) {
+  Tape tape;
+  auto [emissions_f, emissions_b] = Emissions(&tape, features);
+  const Matrix marginals =
+      crf_.Marginals(emissions_f.value(), emissions_b.value());
+  std::vector<int> marks(features.rows());
+  for (size_t t = 0; t < features.rows(); ++t) {
+    marks[t] = marginals(t, 1) >= event_threshold_ ? 1 : 0;
+  }
+  return marks;
+}
+
+std::vector<int> TcnEventFilter::Mark(const EventStream& stream,
+                                      WindowRange range) {
+  return MarkFeatures(
+      featurizer_->Encode(stream.View(range.begin, range.size())));
+}
+
+TrainResult TcnEventFilter::Fit(const std::vector<Sample>& samples,
+                                const TrainConfig& config) {
+  return Train(this, samples, config);
+}
+
+BinaryMetrics TcnEventFilter::Score(const std::vector<Sample>& samples) {
+  BinaryMetrics metrics;
+  for (const Sample& sample : samples) {
+    metrics.Accumulate(MarkFeatures(sample.features), sample.labels);
+  }
+  return metrics;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,53 @@
+// TCN-backed event filter — the alternative architecture the paper's
+// preliminary experiments evaluated and rejected in favour of BiLSTM
+// (§4.1: "BiLSTM was empirically shown to be superior to other
+// approaches such as TCN"). Identical head (two linear emission layers
+// + BI-CRF) and API to EventNetworkFilter; only the sequence backbone
+// differs. bench_ablation_backbone reproduces the comparison.
+
+#ifndef DLACEP_DLACEP_TCN_FILTER_H_
+#define DLACEP_DLACEP_TCN_FILTER_H_
+
+#include "dlacep/config.h"
+#include "dlacep/featurizer.h"
+#include "dlacep/filter.h"
+#include "nn/crf.h"
+
+namespace dlacep {
+
+class TcnEventFilter : public TrainableFilter, public SequenceModel {
+ public:
+  TcnEventFilter(const Featurizer* featurizer,
+                 const NetworkConfig& network, double event_threshold,
+                 size_t kernel = 3);
+
+  std::string name() const override { return "tcn-event-network"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) override;
+  std::vector<int> MarkFeatures(const Matrix& features) override;
+
+  TrainResult Fit(const std::vector<Sample>& samples,
+                  const TrainConfig& config) override;
+
+  BinaryMetrics Score(const std::vector<Sample>& samples) override;
+
+  // SequenceModel:
+  Var Loss(Tape* tape, const Sample& sample) override;
+  std::vector<Parameter*> Params() override;
+
+ private:
+  std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features);
+
+  const Featurizer* featurizer_;  ///< not owned
+  double event_threshold_;
+  Rng init_rng_;
+  Tcn backbone_;
+  Dense head_fwd_;
+  Dense head_bwd_;
+  BiCrf crf_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_TCN_FILTER_H_

@@ -1,0 +1,74 @@
+#include "dlacep/window_filter.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace dlacep {
+
+WindowNetworkFilter::WindowNetworkFilter(const Featurizer* featurizer,
+                                         const NetworkConfig& network,
+                                         double window_threshold)
+    : featurizer_(featurizer),
+      window_threshold_(window_threshold),
+      init_rng_(network.seed + 1),
+      stack_("window.stack", featurizer->feature_dim(), network.hidden_dim,
+             network.num_layers, &init_rng_),
+      head_("window.head", stack_.out_dim(), 1, &init_rng_) {
+  DLACEP_CHECK(featurizer_ != nullptr);
+}
+
+Var WindowNetworkFilter::Logit(Tape* tape, const Matrix& features) {
+  Var h = stack_.Forward(tape, tape->Input(features));
+  Var pooled = ops::MaxOverRows(h);
+  return head_.Forward(tape, pooled);
+}
+
+Var WindowNetworkFilter::Loss(Tape* tape, const Sample& sample) {
+  DLACEP_CHECK_EQ(sample.labels.size(), 1u);
+  Matrix target(1, 1);
+  target(0, 0) = static_cast<double>(sample.labels[0]);
+  return ops::BceWithLogits(Logit(tape, sample.features), target);
+}
+
+std::vector<Parameter*> WindowNetworkFilter::Params() {
+  std::vector<Parameter*> params = stack_.Params();
+  for (Parameter* p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+double WindowNetworkFilter::WindowProbability(const Matrix& features) {
+  Tape tape;
+  const double logit = Logit(&tape, features).value()(0, 0);
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+std::vector<int> WindowNetworkFilter::MarkFeatures(const Matrix& features) {
+  const int mark =
+      WindowProbability(features) >= window_threshold_ ? 1 : 0;
+  return std::vector<int>(features.rows(), mark);
+}
+
+std::vector<int> WindowNetworkFilter::Mark(const EventStream& stream,
+                                           WindowRange range) {
+  return MarkFeatures(
+      featurizer_->Encode(stream.View(range.begin, range.size())));
+}
+
+TrainResult WindowNetworkFilter::Fit(const std::vector<Sample>& samples,
+                                     const TrainConfig& config) {
+  return Train(this, samples, config);
+}
+
+BinaryMetrics WindowNetworkFilter::Score(
+    const std::vector<Sample>& samples) {
+  BinaryMetrics metrics;
+  for (const Sample& sample : samples) {
+    const int predicted =
+        WindowProbability(sample.features) >= window_threshold_ ? 1 : 0;
+    metrics.Accumulate({predicted}, {sample.labels[0]});
+  }
+  return metrics;
+}
+
+}  // namespace dlacep

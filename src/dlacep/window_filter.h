@@ -1,0 +1,54 @@
+// The window-network filter (paper §4.3): stacked BiLSTM whose hidden
+// sequence is max-pooled and classified by a linear layer with a sigmoid
+// — a single applicable / not-applicable label per input window. An
+// applicable window relays ALL of its events; an inapplicable one relays
+// none. Coarser than the event network (lower filtering ratio, Fig 8)
+// but cheaper to run and faster to train (§5.2 "Network training").
+
+#ifndef DLACEP_DLACEP_WINDOW_FILTER_H_
+#define DLACEP_DLACEP_WINDOW_FILTER_H_
+
+#include "dlacep/config.h"
+#include "dlacep/featurizer.h"
+#include "dlacep/filter.h"
+#include "nn/layers.h"
+
+namespace dlacep {
+
+class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
+ public:
+  WindowNetworkFilter(const Featurizer* featurizer,
+                      const NetworkConfig& network,
+                      double window_threshold);
+
+  std::string name() const override { return "window-network"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) override;
+  std::vector<int> MarkFeatures(const Matrix& features) override;
+
+  TrainResult Fit(const std::vector<Sample>& samples,
+                  const TrainConfig& config) override;
+
+  BinaryMetrics Score(const std::vector<Sample>& samples) override;
+
+  // SequenceModel:
+  Var Loss(Tape* tape, const Sample& sample) override;
+  std::vector<Parameter*> Params() override;
+
+  /// Raw sigmoid probability that the window is applicable.
+  double WindowProbability(const Matrix& features);
+
+ private:
+  Var Logit(Tape* tape, const Matrix& features);
+
+  const Featurizer* featurizer_;  ///< not owned
+  double window_threshold_;
+  Rng init_rng_;
+  StackedBiLstm stack_;
+  Dense head_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_DLACEP_WINDOW_FILTER_H_

@@ -1,0 +1,227 @@
+#include "nn/crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlacep {
+
+namespace {
+
+// Numerically stable log(Σ exp(v_i)) over a raw vector.
+double LogSumExp(const std::vector<double>& v) {
+  double m = v[0];
+  for (double x : v) m = std::max(m, x);
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+}  // namespace
+
+Matrix ReverseRows(const Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      out(m.rows() - 1 - i, j) = m(i, j);
+    }
+  }
+  return out;
+}
+
+LinearChainCrf::LinearChainCrf(std::string name, size_t num_tags, Rng* rng)
+    : num_tags_(num_tags),
+      transitions_(name + ".trans",
+                   Matrix::Randn(num_tags, num_tags, 0.1, rng)),
+      start_(name + ".start", Matrix::Randn(1, num_tags, 0.1, rng)),
+      end_(name + ".end", Matrix::Randn(1, num_tags, 0.1, rng)) {}
+
+Var LinearChainCrf::Nll(Tape* tape, Var emissions,
+                        const std::vector<int>& labels) {
+  const size_t t_steps = emissions.value().rows();
+  DLACEP_CHECK_EQ(emissions.value().cols(), num_tags_);
+  DLACEP_CHECK_EQ(labels.size(), t_steps);
+
+  Var trans = tape->Param(&transitions_);
+  Var start = tape->Param(&start_);
+  Var end = tape->Param(&end_);
+
+  // Gold-path score.
+  std::vector<std::pair<size_t, size_t>> emit_picks;
+  emit_picks.reserve(t_steps);
+  for (size_t t = 0; t < t_steps; ++t) {
+    DLACEP_CHECK_GE(labels[t], 0);
+    DLACEP_CHECK_LT(static_cast<size_t>(labels[t]), num_tags_);
+    emit_picks.emplace_back(t, static_cast<size_t>(labels[t]));
+  }
+  Var score = ops::PickSum(emissions, std::move(emit_picks));
+  if (t_steps > 1) {
+    std::vector<std::pair<size_t, size_t>> trans_picks;
+    trans_picks.reserve(t_steps - 1);
+    for (size_t t = 1; t < t_steps; ++t) {
+      trans_picks.emplace_back(static_cast<size_t>(labels[t - 1]),
+                               static_cast<size_t>(labels[t]));
+    }
+    score = ops::Add(score, ops::PickSum(trans, std::move(trans_picks)));
+  }
+  score = ops::Add(score,
+                   ops::PickSum(start, {{0, static_cast<size_t>(labels[0])}}));
+  score = ops::Add(
+      score,
+      ops::PickSum(end, {{0, static_cast<size_t>(labels[t_steps - 1])}}));
+
+  // Partition function by the forward algorithm (on the tape).
+  Var alpha = ops::Add(ops::SliceRows(emissions, 0, 1), start);  // 1×K
+  for (size_t t = 1; t < t_steps; ++t) {
+    // M[i][j] = alpha[i] + trans[i][j]; next alpha[j] = LSE_i M[i][j].
+    Var m = ops::AddBroadcastCol(trans, ops::Transpose(alpha));
+    alpha = ops::Add(ops::LogSumExpOverRows(m),
+                     ops::SliceRows(emissions, t, 1));
+  }
+  Var log_z = ops::LogSumExpOverCols(ops::Add(alpha, end));  // 1×1
+
+  return ops::Sub(log_z, score);
+}
+
+std::vector<int> LinearChainCrf::Viterbi(const Matrix& emissions) const {
+  const size_t t_steps = emissions.rows();
+  const size_t k = num_tags_;
+  DLACEP_CHECK_EQ(emissions.cols(), k);
+  DLACEP_CHECK_GT(t_steps, 0u);
+
+  std::vector<std::vector<double>> delta(t_steps,
+                                         std::vector<double>(k, 0.0));
+  std::vector<std::vector<int>> psi(t_steps, std::vector<int>(k, 0));
+  for (size_t j = 0; j < k; ++j) {
+    delta[0][j] = start_.value(0, j) + emissions(0, j);
+  }
+  for (size_t t = 1; t < t_steps; ++t) {
+    for (size_t j = 0; j < k; ++j) {
+      double best = delta[t - 1][0] + transitions_.value(0, j);
+      int best_i = 0;
+      for (size_t i = 1; i < k; ++i) {
+        const double cand = delta[t - 1][i] + transitions_.value(i, j);
+        if (cand > best) {
+          best = cand;
+          best_i = static_cast<int>(i);
+        }
+      }
+      delta[t][j] = best + emissions(t, j);
+      psi[t][j] = best_i;
+    }
+  }
+  size_t last = 0;
+  double best = delta[t_steps - 1][0] + end_.value(0, 0);
+  for (size_t j = 1; j < k; ++j) {
+    const double cand = delta[t_steps - 1][j] + end_.value(0, j);
+    if (cand > best) {
+      best = cand;
+      last = j;
+    }
+  }
+  std::vector<int> labels(t_steps);
+  labels[t_steps - 1] = static_cast<int>(last);
+  for (size_t t = t_steps - 1; t > 0; --t) {
+    labels[t - 1] = psi[t][static_cast<size_t>(labels[t])];
+  }
+  return labels;
+}
+
+Matrix LinearChainCrf::Marginals(const Matrix& emissions) const {
+  const size_t t_steps = emissions.rows();
+  const size_t k = num_tags_;
+  DLACEP_CHECK_EQ(emissions.cols(), k);
+
+  std::vector<std::vector<double>> alpha(t_steps, std::vector<double>(k));
+  std::vector<std::vector<double>> beta(t_steps, std::vector<double>(k));
+  for (size_t j = 0; j < k; ++j) {
+    alpha[0][j] = start_.value(0, j) + emissions(0, j);
+    beta[t_steps - 1][j] = end_.value(0, j);
+  }
+  std::vector<double> scratch(k);
+  for (size_t t = 1; t < t_steps; ++t) {
+    for (size_t j = 0; j < k; ++j) {
+      for (size_t i = 0; i < k; ++i) {
+        scratch[i] = alpha[t - 1][i] + transitions_.value(i, j);
+      }
+      alpha[t][j] = LogSumExp(scratch) + emissions(t, j);
+    }
+  }
+  for (size_t t = t_steps - 1; t > 0; --t) {
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        scratch[j] = transitions_.value(i, j) + emissions(t, j) +
+                     beta[t][j];
+      }
+      beta[t - 1][i] = LogSumExp(scratch);
+    }
+  }
+  for (size_t j = 0; j < k; ++j) {
+    scratch[j] = alpha[t_steps - 1][j] + end_.value(0, j);
+  }
+  const double log_z = LogSumExp(scratch);
+
+  Matrix marginals(t_steps, k);
+  for (size_t t = 0; t < t_steps; ++t) {
+    for (size_t j = 0; j < k; ++j) {
+      marginals(t, j) = std::exp(alpha[t][j] + beta[t][j] - log_z);
+    }
+  }
+  return marginals;
+}
+
+BiCrf::BiCrf(std::string name, size_t num_tags, Rng* rng)
+    : fwd_(name + ".fwd", num_tags, rng), bwd_(name + ".bwd", num_tags, rng) {}
+
+Var BiCrf::Nll(Tape* tape, Var emissions_fwd, Var emissions_bwd,
+               const std::vector<int>& labels) {
+  Var nll_fwd = fwd_.Nll(tape, emissions_fwd, labels);
+
+  // The backward chain sees the sequence reversed.
+  const size_t t_steps = labels.size();
+  std::vector<int> reversed_labels(labels.rbegin(), labels.rend());
+  std::vector<Var> reversed_rows;
+  reversed_rows.reserve(t_steps);
+  for (size_t t = 0; t < t_steps; ++t) {
+    reversed_rows.push_back(
+        ops::SliceRows(emissions_bwd, t_steps - 1 - t, 1));
+  }
+  Var reversed = ops::ConcatRows(reversed_rows);
+  Var nll_bwd = bwd_.Nll(tape, reversed, reversed_labels);
+  return ops::Add(nll_fwd, nll_bwd);
+}
+
+Matrix BiCrf::Marginals(const Matrix& emissions_fwd,
+                        const Matrix& emissions_bwd) const {
+  const Matrix fwd_marg = fwd_.Marginals(emissions_fwd);
+  const Matrix bwd_marg =
+      ReverseRows(bwd_.Marginals(ReverseRows(emissions_bwd)));
+  Matrix avg(fwd_marg.rows(), fwd_marg.cols());
+  for (size_t i = 0; i < avg.rows(); ++i) {
+    for (size_t j = 0; j < avg.cols(); ++j) {
+      avg(i, j) = 0.5 * (fwd_marg(i, j) + bwd_marg(i, j));
+    }
+  }
+  return avg;
+}
+
+std::vector<int> BiCrf::Decode(const Matrix& emissions_fwd,
+                               const Matrix& emissions_bwd) const {
+  const Matrix marginals = Marginals(emissions_fwd, emissions_bwd);
+  std::vector<int> labels(marginals.rows());
+  for (size_t t = 0; t < marginals.rows(); ++t) {
+    size_t best = 0;
+    for (size_t j = 1; j < marginals.cols(); ++j) {
+      if (marginals(t, j) > marginals(t, best)) best = j;
+    }
+    labels[t] = static_cast<int>(best);
+  }
+  return labels;
+}
+
+std::vector<Parameter*> BiCrf::Params() {
+  std::vector<Parameter*> params = fwd_.Params();
+  for (Parameter* p : bwd_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,90 @@
+// Linear-chain conditional random fields (Lafferty et al. '01) and the
+// bidirectional BI-CRF variant (Panchendrarajan & Amaresan '19) used by
+// DLACEP's event-network output layer (paper §4.3, Fig 7).
+//
+// The CRF models a joint label distribution over a sequence given
+// per-step emission scores:
+//   score(y) = start[y_0] + Σ_t emit[t][y_t] + Σ_t trans[y_{t-1}][y_t]
+//            + end[y_{T-1}]
+// Training minimizes the negative log-likelihood logZ − score(y*), with
+// logZ computed by the forward algorithm on the tape (fully
+// differentiable). Decoding uses Viterbi; posterior marginals come from
+// the forward-backward algorithm in plain (non-tape) arithmetic.
+
+#ifndef DLACEP_NN_CRF_H_
+#define DLACEP_NN_CRF_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace dlacep {
+
+class LinearChainCrf : public Module {
+ public:
+  /// K = number of tags (DLACEP uses K = 2: participates / does not).
+  LinearChainCrf(std::string name, size_t num_tags, Rng* rng);
+
+  /// Negative log-likelihood of `labels` (length T, values in [0, K))
+  /// given `emissions` (T×K). Differentiable in both the emissions and
+  /// the CRF parameters.
+  Var Nll(Tape* tape, Var emissions, const std::vector<int>& labels);
+
+  /// Most probable tag sequence (plain arithmetic).
+  std::vector<int> Viterbi(const Matrix& emissions) const;
+
+  /// Posterior marginals P(y_t = k | x) as a T×K matrix (plain
+  /// forward-backward).
+  Matrix Marginals(const Matrix& emissions) const;
+
+  std::vector<Parameter*> Params() override {
+    return {&transitions_, &start_, &end_};
+  }
+
+  size_t num_tags() const { return num_tags_; }
+
+ private:
+  size_t num_tags_;
+  Parameter transitions_;  ///< K×K, [from][to]
+  Parameter start_;        ///< 1×K
+  Parameter end_;          ///< 1×K
+};
+
+/// Bidirectional CRF: one chain over the sequence left-to-right and an
+/// independent chain right-to-left, each with its own parameters. The
+/// training loss is the sum of the two NLLs ("maximizes the likelihood
+/// probability sums of correct sequences ... for both forward and
+/// backward CRF layers", paper §5.1); decoding takes the per-position
+/// argmax of the averaged posterior marginals.
+class BiCrf : public Module {
+ public:
+  BiCrf(std::string name, size_t num_tags, Rng* rng);
+
+  /// Sum of forward-chain NLL on (emissions_fwd, labels) and
+  /// backward-chain NLL on the reversed sequence.
+  Var Nll(Tape* tape, Var emissions_fwd, Var emissions_bwd,
+          const std::vector<int>& labels);
+
+  /// Averaged-marginal decode. Both emission matrices are in input
+  /// (left-to-right) row order.
+  std::vector<int> Decode(const Matrix& emissions_fwd,
+                          const Matrix& emissions_bwd) const;
+
+  /// Averaged posterior marginals, T×K, rows in input order.
+  Matrix Marginals(const Matrix& emissions_fwd,
+                   const Matrix& emissions_bwd) const;
+
+  std::vector<Parameter*> Params() override;
+
+ private:
+  LinearChainCrf fwd_;
+  LinearChainCrf bwd_;
+};
+
+/// Reverses the row order of a matrix (helper for BI-CRF).
+Matrix ReverseRows(const Matrix& m);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_CRF_H_

@@ -1,0 +1,50 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dlacep {
+
+GradCheckResult CheckGradients(
+    const std::vector<Parameter*>& params,
+    const std::function<double()>& loss_fn,
+    const std::function<void()>& loss_and_backward, double epsilon,
+    double tolerance) {
+  GradCheckResult result;
+
+  for (Parameter* p : params) p->ZeroGrad();
+  loss_and_backward();
+
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.rows(); ++i) {
+      for (size_t j = 0; j < p->value.cols(); ++j) {
+        const double original = p->value(i, j);
+        p->value(i, j) = original + epsilon;
+        const double plus = loss_fn();
+        p->value(i, j) = original - epsilon;
+        const double minus = loss_fn();
+        p->value(i, j) = original;
+
+        const double numeric = (plus - minus) / (2.0 * epsilon);
+        const double analytic = p->grad(i, j);
+        const double abs_err = std::abs(numeric - analytic);
+        const double denom =
+            std::max({std::abs(numeric), std::abs(analytic), 1.0});
+        const double rel_err = abs_err / denom;
+        if (rel_err > result.worst_rel_error) {
+          result.worst_rel_error = rel_err;
+          result.worst_abs_error = abs_err;
+          result.worst_location =
+              StrFormat("%s(%zu,%zu): analytic=%g numeric=%g",
+                        p->name.c_str(), i, j, analytic, numeric);
+        }
+      }
+    }
+  }
+  result.ok = result.worst_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace dlacep

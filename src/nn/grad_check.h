@@ -1,0 +1,34 @@
+// Finite-difference gradient verification for tests.
+
+#ifndef DLACEP_NN_GRAD_CHECK_H_
+#define DLACEP_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace dlacep {
+
+struct GradCheckResult {
+  bool ok = true;
+  double worst_abs_error = 0.0;
+  double worst_rel_error = 0.0;
+  std::string worst_location;
+};
+
+/// Verifies the analytic gradients of `params` against central finite
+/// differences of `loss_fn` (which must rebuild the forward pass from the
+/// current parameter values and return the scalar loss). Each call must
+/// be side-effect free. `loss_and_backward` must run one forward +
+/// backward pass, leaving gradients accumulated in the parameters.
+GradCheckResult CheckGradients(
+    const std::vector<Parameter*>& params,
+    const std::function<double()>& loss_fn,
+    const std::function<void()>& loss_and_backward, double epsilon = 1e-5,
+    double tolerance = 1e-6);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_GRAD_CHECK_H_

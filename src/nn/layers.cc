@@ -1,0 +1,163 @@
+#include "nn/layers.h"
+
+namespace dlacep {
+
+using ops::Add;
+using ops::AddBroadcastRow;
+using ops::ConcatCols;
+using ops::ConcatRows;
+using ops::MatMul;
+using ops::Mul;
+using ops::Sigmoid;
+using ops::SliceCols;
+using ops::SliceRows;
+using ops::Tanh;
+
+Dense::Dense(std::string name, size_t in_dim, size_t out_dim, Rng* rng)
+    : w_(name + ".W", Matrix::Xavier(in_dim, out_dim, rng)),
+      b_(name + ".b", Matrix::Zeros(1, out_dim)) {}
+
+Var Dense::Forward(Tape* tape, Var x) {
+  Var w = tape->Param(&w_);
+  Var b = tape->Param(&b_);
+  return AddBroadcastRow(MatMul(x, w), b);
+}
+
+Lstm::Lstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      wx_(name + ".Wx", Matrix::Xavier(in_dim, 4 * hidden_dim, rng)),
+      wh_(name + ".Wh", Matrix::Xavier(hidden_dim, 4 * hidden_dim, rng)),
+      b_(name + ".b", Matrix::Zeros(1, 4 * hidden_dim)) {
+  // Standard trick: bias the forget gate open so gradients flow early in
+  // training.
+  for (size_t j = 0; j < hidden_dim; ++j) {
+    b_.value(0, hidden_dim + j) = 1.0;
+  }
+}
+
+Var Lstm::Forward(Tape* tape, Var x_seq, bool reverse) {
+  const size_t t_steps = x_seq.value().rows();
+  DLACEP_CHECK_GT(t_steps, 0u);
+  const size_t h = hidden_dim_;
+
+  Var wx = tape->Param(&wx_);
+  Var wh = tape->Param(&wh_);
+  Var b = tape->Param(&b_);
+
+  Var h_prev = tape->Input(Matrix::Zeros(1, h));
+  Var c_prev = tape->Input(Matrix::Zeros(1, h));
+
+  std::vector<Var> outputs(t_steps);
+  for (size_t step = 0; step < t_steps; ++step) {
+    const size_t t = reverse ? t_steps - 1 - step : step;
+    Var x_t = SliceRows(x_seq, t, 1);
+    // gates = x_t·Wx + h_prev·Wh + b, fused as one 1×4H row.
+    Var gates =
+        AddBroadcastRow(Add(MatMul(x_t, wx), MatMul(h_prev, wh)), b);
+    Var i_gate = Sigmoid(SliceCols(gates, 0, h));
+    Var f_gate = Sigmoid(SliceCols(gates, h, h));
+    Var g_gate = Tanh(SliceCols(gates, 2 * h, h));
+    Var o_gate = Sigmoid(SliceCols(gates, 3 * h, h));
+    Var c_t = Add(Mul(f_gate, c_prev), Mul(i_gate, g_gate));
+    Var h_t = Mul(o_gate, Tanh(c_t));
+    outputs[t] = h_t;
+    h_prev = h_t;
+    c_prev = c_t;
+  }
+  return ConcatRows(outputs);
+}
+
+BiLstm::BiLstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng)
+    : fwd_(name + ".fwd", in_dim, hidden_dim, rng),
+      bwd_(name + ".bwd", in_dim, hidden_dim, rng) {}
+
+Var BiLstm::Forward(Tape* tape, Var x_seq) {
+  Var forward = fwd_.Forward(tape, x_seq, /*reverse=*/false);
+  Var backward = bwd_.Forward(tape, x_seq, /*reverse=*/true);
+  return ConcatCols({forward, backward});
+}
+
+std::vector<Parameter*> BiLstm::Params() {
+  std::vector<Parameter*> params = fwd_.Params();
+  for (Parameter* p : bwd_.Params()) params.push_back(p);
+  return params;
+}
+
+StackedBiLstm::StackedBiLstm(std::string name, size_t in_dim,
+                             size_t hidden_dim, size_t num_layers,
+                             Rng* rng) {
+  DLACEP_CHECK_GE(num_layers, 1u);
+  size_t dim = in_dim;
+  for (size_t layer = 0; layer < num_layers; ++layer) {
+    layers_.push_back(std::make_unique<BiLstm>(
+        name + ".l" + std::to_string(layer), dim, hidden_dim, rng));
+    dim = 2 * hidden_dim;
+  }
+}
+
+Var StackedBiLstm::Forward(Tape* tape, Var x_seq) {
+  Var out = x_seq;
+  for (auto& layer : layers_) {
+    out = layer->Forward(tape, out);
+  }
+  return out;
+}
+
+std::vector<Parameter*> StackedBiLstm::Params() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+size_t StackedBiLstm::out_dim() const {
+  return layers_.back()->out_dim();
+}
+
+Tcn::Tcn(std::string name, size_t in_dim, size_t hidden_dim,
+         size_t num_layers, size_t kernel, Rng* rng)
+    : hidden_dim_(hidden_dim), kernel_(kernel) {
+  DLACEP_CHECK_GE(num_layers, 1u);
+  DLACEP_CHECK_GE(kernel, 1u);
+  size_t dim = in_dim;
+  for (size_t layer = 0; layer < num_layers; ++layer) {
+    weights_.emplace_back(
+        name + ".w" + std::to_string(layer),
+        Matrix::Xavier(kernel * dim, hidden_dim, rng));
+    biases_.emplace_back(name + ".b" + std::to_string(layer),
+                         Matrix::Zeros(1, hidden_dim));
+    dim = hidden_dim;
+  }
+}
+
+Var Tcn::Forward(Tape* tape, Var x_seq) {
+  Var out = x_seq;
+  size_t dilation = 1;
+  for (size_t layer = 0; layer < weights_.size(); ++layer) {
+    Var w = tape->Param(&weights_[layer]);
+    Var b = tape->Param(&biases_[layer]);
+    out = ops::Relu(ops::AddBroadcastRow(
+        ops::Conv1D(out, w, kernel_, dilation), b));
+    dilation *= 2;
+  }
+  return out;
+}
+
+std::vector<Parameter*> Tcn::Params() {
+  std::vector<Parameter*> params;
+  for (size_t layer = 0; layer < weights_.size(); ++layer) {
+    params.push_back(&weights_[layer]);
+    params.push_back(&biases_[layer]);
+  }
+  return params;
+}
+
+size_t Tcn::receptive_field() const {
+  // Centered kernel K with dilations 1, 2, ..., 2^(L-1):
+  // field = 1 + (K - 1) * (2^L - 1).
+  const size_t layers = weights_.size();
+  return 1 + (kernel_ - 1) * ((size_t{1} << layers) - 1);
+}
+
+}  // namespace dlacep

@@ -1,0 +1,130 @@
+// Neural-network layers: Dense, LSTM, BiLSTM, stacked BiLSTM.
+//
+// All layers operate on whole sequences represented as T×D matrices (one
+// row per time step) and process one sequence at a time; batching is done
+// by gradient accumulation across samples (see trainer.h). This matches
+// the paper's setting, where an input sample is a window of 2·W events.
+
+#ifndef DLACEP_NN_LAYERS_H_
+#define DLACEP_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/tape.h"
+
+namespace dlacep {
+
+/// Anything owning trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// Pointers to every trainable parameter (stable across calls).
+  virtual std::vector<Parameter*> Params() = 0;
+};
+
+/// Fully connected layer: y = x · W + b.
+class Dense : public Module {
+ public:
+  Dense(std::string name, size_t in_dim, size_t out_dim, Rng* rng);
+
+  /// x: N×in → N×out.
+  Var Forward(Tape* tape, Var x);
+
+  std::vector<Parameter*> Params() override { return {&w_, &b_}; }
+
+  size_t in_dim() const { return w_.value.rows(); }
+  size_t out_dim() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;
+  Parameter b_;
+};
+
+/// Single-direction LSTM over a sequence (Hochreiter & Schmidhuber '97).
+/// Gate layout in the fused weight matrices: [i | f | g | o].
+class Lstm : public Module {
+ public:
+  Lstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng);
+
+  /// x_seq: T×in. Returns the hidden sequence T×H. When `reverse` is
+  /// true the sequence is processed right-to-left and the output rows are
+  /// realigned to input order (row t is the state after seeing t..T-1).
+  Var Forward(Tape* tape, Var x_seq, bool reverse = false);
+
+  std::vector<Parameter*> Params() override { return {&wx_, &wh_, &b_}; }
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t hidden_dim_;
+  Parameter wx_;  ///< in×4H
+  Parameter wh_;  ///< H×4H
+  Parameter b_;   ///< 1×4H
+};
+
+/// Bidirectional LSTM: forward and backward passes concatenated per time
+/// step (T×2H output), the architecture DLACEP's filters rely on (§4.1).
+class BiLstm : public Module {
+ public:
+  BiLstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng);
+
+  Var Forward(Tape* tape, Var x_seq);
+
+  std::vector<Parameter*> Params() override;
+
+  size_t out_dim() const { return 2 * fwd_.hidden_dim(); }
+
+ private:
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+/// A stack of BiLSTM layers (paper default: 3 layers, hidden 75; this
+/// reproduction scales the defaults down — see dlacep/config.h).
+class StackedBiLstm : public Module {
+ public:
+  StackedBiLstm(std::string name, size_t in_dim, size_t hidden_dim,
+                size_t num_layers, Rng* rng);
+
+  Var Forward(Tape* tape, Var x_seq);
+
+  std::vector<Parameter*> Params() override;
+
+  size_t out_dim() const;
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<BiLstm>> layers_;
+};
+
+/// Temporal convolutional network: a stack of centered dilated Conv1D +
+/// bias + ReLU blocks with dilation doubling per layer (1, 2, 4, ...).
+/// The alternative filter backbone the paper's preliminary experiments
+/// compared against BiLSTM (§4.1) — non-causal so that, like the
+/// BiLSTM, every position sees both past and future context.
+class Tcn : public Module {
+ public:
+  Tcn(std::string name, size_t in_dim, size_t hidden_dim,
+      size_t num_layers, size_t kernel, Rng* rng);
+
+  /// x_seq: T×in → T×hidden.
+  Var Forward(Tape* tape, Var x_seq);
+
+  std::vector<Parameter*> Params() override;
+
+  size_t out_dim() const { return hidden_dim_; }
+  size_t receptive_field() const;
+
+ private:
+  size_t hidden_dim_;
+  size_t kernel_;
+  std::vector<Parameter> weights_;  ///< (K·D_l)×hidden per layer
+  std::vector<Parameter> biases_;   ///< 1×hidden per layer
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_LAYERS_H_

@@ -1,0 +1,81 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dlacep {
+
+Matrix Matrix::Randn(size_t rows, size_t cols, double stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng* rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng->Uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::Row(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  DLACEP_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AxpyInPlace(double scale, const Matrix& other) {
+  DLACEP_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+double Matrix::Norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  DLACEP_CHECK(SameShape(other));
+  double worst = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::string Matrix::ShapeString() const {
+  return StrFormat("%zux%zu", rows_, cols_);
+}
+
+Matrix MatMulPlain(const Matrix& a, const Matrix& b) {
+  DLACEP_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dlacep

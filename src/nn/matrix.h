@@ -1,0 +1,88 @@
+// Dense row-major matrix of doubles — the numeric carrier of the nn
+// library. Double precision keeps finite-difference gradient checks tight
+// at the small model sizes this reproduction uses.
+
+#ifndef DLACEP_NN_MATRIX_H_
+#define DLACEP_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dlacep {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) {
+    return Matrix(rows, cols, 0.0);
+  }
+  /// Gaussian init with the given stddev.
+  static Matrix Randn(size_t rows, size_t cols, double stddev, Rng* rng);
+  /// Glorot/Xavier-uniform init for a (fan_in × fan_out) weight.
+  static Matrix Xavier(size_t rows, size_t cols, Rng* rng);
+  /// 1×n row from a std::vector.
+  static Matrix Row(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // Element access sits on the innermost loops of every layer; bounds
+  // checks are compiled out of release builds (NDEBUG).
+  double& operator()(size_t r, size_t c) {
+#ifndef NDEBUG
+    DLACEP_CHECK_LT(r, rows_);
+    DLACEP_CHECK_LT(c, cols_);
+#endif
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+#ifndef NDEBUG
+    DLACEP_CHECK_LT(r, rows_);
+    DLACEP_CHECK_LT(c, cols_);
+#endif
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double value) { data_.assign(data_.size(), value); }
+
+  /// this += other (same shape).
+  void AddInPlace(const Matrix& other);
+  /// this += scale * other (same shape).
+  void AxpyInPlace(double scale, const Matrix& other);
+  /// Frobenius norm.
+  double Norm() const;
+  /// Sum of all entries.
+  double Sum() const;
+  /// Elementwise maximum absolute difference against `other`.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ShapeString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a × b (plain, non-autograd product).
+Matrix MatMulPlain(const Matrix& a, const Matrix& b);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_MATRIX_H_

@@ -1,0 +1,25 @@
+#include "nn/metrics.h"
+
+#include "common/status.h"
+
+namespace dlacep {
+
+void BinaryMetrics::Accumulate(const std::vector<int>& predicted,
+                               const std::vector<int>& expected) {
+  DLACEP_CHECK_EQ(predicted.size(), expected.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const bool p = predicted[i] != 0;
+    const bool e = expected[i] != 0;
+    if (p && e) {
+      ++true_positives;
+    } else if (p && !e) {
+      ++false_positives;
+    } else if (!p && e) {
+      ++false_negatives;
+    } else {
+      ++true_negatives;
+    }
+  }
+}
+
+}  // namespace dlacep

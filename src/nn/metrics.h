@@ -1,0 +1,51 @@
+// Classification metrics: precision, recall, F1 over binary labels
+// (paper §4.3 "Training evaluation").
+
+#ifndef DLACEP_NN_METRICS_H_
+#define DLACEP_NN_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dlacep {
+
+struct BinaryMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+
+  double precision() const {
+    const size_t denom = true_positives + false_positives;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double recall() const {
+    const size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double accuracy() const {
+    const size_t total = true_positives + false_positives +
+                         false_negatives + true_negatives;
+    return total == 0
+               ? 1.0
+               : static_cast<double>(true_positives + true_negatives) /
+                     static_cast<double>(total);
+  }
+
+  /// Accumulates another batch of predictions (labels in {0,1}).
+  void Accumulate(const std::vector<int>& predicted,
+                  const std::vector<int>& expected);
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_METRICS_H_

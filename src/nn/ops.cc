@@ -1,0 +1,568 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlacep {
+namespace ops {
+
+namespace {
+void CheckSameTape(Var a, Var b) {
+  DLACEP_CHECK(a.valid() && b.valid());
+  DLACEP_CHECK(a.tape() == b.tape());
+}
+}  // namespace
+
+Var MatMul(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape();
+  Matrix value = MatMulPlain(a.value(), b.value());
+  const int ia = a.id();
+  const int ib = b.id();
+  return tape->MakeNode(std::move(value), [ia, ib](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& av = t->ValueOf(ia);
+    const Matrix& bv = t->ValueOf(ib);
+    Matrix& da = t->GradOf(ia);
+    Matrix& db = t->GradOf(ib);
+    // da += dc * b^T
+    for (size_t i = 0; i < av.rows(); ++i) {
+      for (size_t k = 0; k < av.cols(); ++k) {
+        double sum = 0.0;
+        for (size_t j = 0; j < bv.cols(); ++j) {
+          sum += dc(i, j) * bv(k, j);
+        }
+        da(i, k) += sum;
+      }
+    }
+    // db += a^T * dc
+    for (size_t k = 0; k < bv.rows(); ++k) {
+      for (size_t j = 0; j < bv.cols(); ++j) {
+        double sum = 0.0;
+        for (size_t i = 0; i < av.rows(); ++i) {
+          sum += av(i, k) * dc(i, j);
+        }
+        db(k, j) += sum;
+      }
+    }
+  });
+}
+
+Var Add(Var a, Var b) {
+  CheckSameTape(a, b);
+  DLACEP_CHECK(a.value().SameShape(b.value()));
+  Matrix value = a.value();
+  value.AddInPlace(b.value());
+  const int ia = a.id();
+  const int ib = b.id();
+  return a.tape()->MakeNode(std::move(value), [ia, ib](Tape* t, int self) {
+    t->GradOf(ia).AddInPlace(t->GradOf(self));
+    t->GradOf(ib).AddInPlace(t->GradOf(self));
+  });
+}
+
+Var Sub(Var a, Var b) {
+  CheckSameTape(a, b);
+  DLACEP_CHECK(a.value().SameShape(b.value()));
+  Matrix value = a.value();
+  value.AxpyInPlace(-1.0, b.value());
+  const int ia = a.id();
+  const int ib = b.id();
+  return a.tape()->MakeNode(std::move(value), [ia, ib](Tape* t, int self) {
+    t->GradOf(ia).AddInPlace(t->GradOf(self));
+    t->GradOf(ib).AxpyInPlace(-1.0, t->GradOf(self));
+  });
+}
+
+Var Mul(Var a, Var b) {
+  CheckSameTape(a, b);
+  DLACEP_CHECK(a.value().SameShape(b.value()));
+  Matrix value = a.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) {
+      value(i, j) *= b.value()(i, j);
+    }
+  }
+  const int ia = a.id();
+  const int ib = b.id();
+  return a.tape()->MakeNode(std::move(value), [ia, ib](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& av = t->ValueOf(ia);
+    const Matrix& bv = t->ValueOf(ib);
+    Matrix& da = t->GradOf(ia);
+    Matrix& db = t->GradOf(ib);
+    for (size_t i = 0; i < dc.rows(); ++i) {
+      for (size_t j = 0; j < dc.cols(); ++j) {
+        da(i, j) += dc(i, j) * bv(i, j);
+        db(i, j) += dc(i, j) * av(i, j);
+      }
+    }
+  });
+}
+
+Var Scale(Var a, double scale) {
+  Matrix value = a.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) value(i, j) *= scale;
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value),
+                            [ia, scale](Tape* t, int self) {
+                              t->GradOf(ia).AxpyInPlace(scale,
+                                                        t->GradOf(self));
+                            });
+}
+
+Var AddBroadcastRow(Var m, Var row) {
+  CheckSameTape(m, row);
+  DLACEP_CHECK_EQ(row.value().rows(), 1u);
+  DLACEP_CHECK_EQ(row.value().cols(), m.value().cols());
+  Matrix value = m.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) {
+      value(i, j) += row.value()(0, j);
+    }
+  }
+  const int im = m.id();
+  const int ir = row.id();
+  return m.tape()->MakeNode(std::move(value), [im, ir](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    t->GradOf(im).AddInPlace(dc);
+    Matrix& dr = t->GradOf(ir);
+    for (size_t i = 0; i < dc.rows(); ++i) {
+      for (size_t j = 0; j < dc.cols(); ++j) {
+        dr(0, j) += dc(i, j);
+      }
+    }
+  });
+}
+
+Var AddBroadcastCol(Var m, Var col) {
+  CheckSameTape(m, col);
+  DLACEP_CHECK_EQ(col.value().cols(), 1u);
+  DLACEP_CHECK_EQ(col.value().rows(), m.value().rows());
+  Matrix value = m.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) {
+      value(i, j) += col.value()(i, 0);
+    }
+  }
+  const int im = m.id();
+  const int ic = col.id();
+  return m.tape()->MakeNode(std::move(value), [im, ic](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    t->GradOf(im).AddInPlace(dc);
+    Matrix& dcol = t->GradOf(ic);
+    for (size_t i = 0; i < dc.rows(); ++i) {
+      for (size_t j = 0; j < dc.cols(); ++j) {
+        dcol(i, 0) += dc(i, j);
+      }
+    }
+  });
+}
+
+Var Sigmoid(Var a) {
+  Matrix value = a.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) {
+      value(i, j) = 1.0 / (1.0 + std::exp(-value(i, j)));
+    }
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& y = t->ValueOf(self);
+    Matrix& da = t->GradOf(ia);
+    for (size_t i = 0; i < dc.rows(); ++i) {
+      for (size_t j = 0; j < dc.cols(); ++j) {
+        da(i, j) += dc(i, j) * y(i, j) * (1.0 - y(i, j));
+      }
+    }
+  });
+}
+
+Var Tanh(Var a) {
+  Matrix value = a.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) {
+      value(i, j) = std::tanh(value(i, j));
+    }
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& y = t->ValueOf(self);
+    Matrix& da = t->GradOf(ia);
+    for (size_t i = 0; i < dc.rows(); ++i) {
+      for (size_t j = 0; j < dc.cols(); ++j) {
+        da(i, j) += dc(i, j) * (1.0 - y(i, j) * y(i, j));
+      }
+    }
+  });
+}
+
+Var Relu(Var a) {
+  Matrix value = a.value();
+  for (size_t i = 0; i < value.rows(); ++i) {
+    for (size_t j = 0; j < value.cols(); ++j) {
+      value(i, j) = std::max(0.0, value(i, j));
+    }
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& av = t->ValueOf(ia);
+    Matrix& da = t->GradOf(ia);
+    for (size_t i = 0; i < dc.rows(); ++i) {
+      for (size_t j = 0; j < dc.cols(); ++j) {
+        if (av(i, j) > 0.0) da(i, j) += dc(i, j);
+      }
+    }
+  });
+}
+
+Var SliceRows(Var a, size_t from, size_t count) {
+  const Matrix& av = a.value();
+  DLACEP_CHECK_LE(from + count, av.rows());
+  Matrix value(count, av.cols());
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = 0; j < av.cols(); ++j) {
+      value(i, j) = av(from + i, j);
+    }
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value),
+                            [ia, from](Tape* t, int self) {
+                              const Matrix& dc = t->GradOf(self);
+                              Matrix& da = t->GradOf(ia);
+                              for (size_t i = 0; i < dc.rows(); ++i) {
+                                for (size_t j = 0; j < dc.cols(); ++j) {
+                                  da(from + i, j) += dc(i, j);
+                                }
+                              }
+                            });
+}
+
+Var SliceCols(Var a, size_t from, size_t count) {
+  const Matrix& av = a.value();
+  DLACEP_CHECK_LE(from + count, av.cols());
+  Matrix value(av.rows(), count);
+  for (size_t i = 0; i < av.rows(); ++i) {
+    for (size_t j = 0; j < count; ++j) {
+      value(i, j) = av(i, from + j);
+    }
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value),
+                            [ia, from](Tape* t, int self) {
+                              const Matrix& dc = t->GradOf(self);
+                              Matrix& da = t->GradOf(ia);
+                              for (size_t i = 0; i < dc.rows(); ++i) {
+                                for (size_t j = 0; j < dc.cols(); ++j) {
+                                  da(i, from + j) += dc(i, j);
+                                }
+                              }
+                            });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  DLACEP_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape();
+  size_t rows = 0;
+  const size_t cols = parts[0].value().cols();
+  std::vector<int> ids;
+  std::vector<size_t> offsets;
+  for (const Var& part : parts) {
+    DLACEP_CHECK(part.tape() == tape);
+    DLACEP_CHECK_EQ(part.value().cols(), cols);
+    offsets.push_back(rows);
+    rows += part.value().rows();
+    ids.push_back(part.id());
+  }
+  Matrix value(rows, cols);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const Matrix& pv = parts[p].value();
+    for (size_t i = 0; i < pv.rows(); ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        value(offsets[p] + i, j) = pv(i, j);
+      }
+    }
+  }
+  return tape->MakeNode(
+      std::move(value), [ids, offsets](Tape* t, int self) {
+        const Matrix& dc = t->GradOf(self);
+        for (size_t p = 0; p < ids.size(); ++p) {
+          Matrix& dp = t->GradOf(ids[p]);
+          for (size_t i = 0; i < dp.rows(); ++i) {
+            for (size_t j = 0; j < dp.cols(); ++j) {
+              dp(i, j) += dc(offsets[p] + i, j);
+            }
+          }
+        }
+      });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  DLACEP_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape();
+  size_t cols = 0;
+  const size_t rows = parts[0].value().rows();
+  std::vector<int> ids;
+  std::vector<size_t> offsets;
+  for (const Var& part : parts) {
+    DLACEP_CHECK(part.tape() == tape);
+    DLACEP_CHECK_EQ(part.value().rows(), rows);
+    offsets.push_back(cols);
+    cols += part.value().cols();
+    ids.push_back(part.id());
+  }
+  Matrix value(rows, cols);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const Matrix& pv = parts[p].value();
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < pv.cols(); ++j) {
+        value(i, offsets[p] + j) = pv(i, j);
+      }
+    }
+  }
+  return tape->MakeNode(
+      std::move(value), [ids, offsets](Tape* t, int self) {
+        const Matrix& dc = t->GradOf(self);
+        for (size_t p = 0; p < ids.size(); ++p) {
+          Matrix& dp = t->GradOf(ids[p]);
+          for (size_t i = 0; i < dp.rows(); ++i) {
+            for (size_t j = 0; j < dp.cols(); ++j) {
+              dp(i, j) += dc(i, offsets[p] + j);
+            }
+          }
+        }
+      });
+}
+
+Var Transpose(Var a) {
+  const Matrix& av = a.value();
+  Matrix value(av.cols(), av.rows());
+  for (size_t i = 0; i < av.rows(); ++i) {
+    for (size_t j = 0; j < av.cols(); ++j) {
+      value(j, i) = av(i, j);
+    }
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    Matrix& da = t->GradOf(ia);
+    for (size_t i = 0; i < da.rows(); ++i) {
+      for (size_t j = 0; j < da.cols(); ++j) {
+        da(i, j) += dc(j, i);
+      }
+    }
+  });
+}
+
+Var MaxOverRows(Var a) {
+  const Matrix& av = a.value();
+  DLACEP_CHECK_GT(av.rows(), 0u);
+  Matrix value(1, av.cols());
+  std::vector<size_t> argmax(av.cols(), 0);
+  for (size_t j = 0; j < av.cols(); ++j) {
+    double best = av(0, j);
+    for (size_t i = 1; i < av.rows(); ++i) {
+      if (av(i, j) > best) {
+        best = av(i, j);
+        argmax[j] = i;
+      }
+    }
+    value(0, j) = best;
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(
+      std::move(value), [ia, argmax = std::move(argmax)](Tape* t, int self) {
+        const Matrix& dc = t->GradOf(self);
+        Matrix& da = t->GradOf(ia);
+        for (size_t j = 0; j < argmax.size(); ++j) {
+          da(argmax[j], j) += dc(0, j);
+        }
+      });
+}
+
+Var SumAll(Var a) {
+  Matrix value(1, 1);
+  value(0, 0) = a.value().Sum();
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const double d = t->GradOf(self)(0, 0);
+    Matrix& da = t->GradOf(ia);
+    for (size_t i = 0; i < da.rows(); ++i) {
+      for (size_t j = 0; j < da.cols(); ++j) {
+        da(i, j) += d;
+      }
+    }
+  });
+}
+
+Var MeanAll(Var a) {
+  const double n = static_cast<double>(a.value().size());
+  return Scale(SumAll(a), 1.0 / n);
+}
+
+Var PickSum(Var a, std::vector<std::pair<size_t, size_t>> entries) {
+  Matrix value(1, 1);
+  for (const auto& [r, c] : entries) {
+    value(0, 0) += a.value()(r, c);
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(
+      std::move(value),
+      [ia, entries = std::move(entries)](Tape* t, int self) {
+        const double d = t->GradOf(self)(0, 0);
+        Matrix& da = t->GradOf(ia);
+        for (const auto& [r, c] : entries) {
+          da(r, c) += d;
+        }
+      });
+}
+
+Var LogSumExpOverRows(Var a) {
+  const Matrix& av = a.value();
+  Matrix value(1, av.cols());
+  for (size_t j = 0; j < av.cols(); ++j) {
+    double m = av(0, j);
+    for (size_t i = 1; i < av.rows(); ++i) m = std::max(m, av(i, j));
+    double sum = 0.0;
+    for (size_t i = 0; i < av.rows(); ++i) sum += std::exp(av(i, j) - m);
+    value(0, j) = m + std::log(sum);
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& y = t->ValueOf(self);
+    const Matrix& av = t->ValueOf(ia);
+    Matrix& da = t->GradOf(ia);
+    for (size_t j = 0; j < av.cols(); ++j) {
+      for (size_t i = 0; i < av.rows(); ++i) {
+        da(i, j) += dc(0, j) * std::exp(av(i, j) - y(0, j));
+      }
+    }
+  });
+}
+
+Var LogSumExpOverCols(Var a) {
+  const Matrix& av = a.value();
+  Matrix value(av.rows(), 1);
+  for (size_t i = 0; i < av.rows(); ++i) {
+    double m = av(i, 0);
+    for (size_t j = 1; j < av.cols(); ++j) m = std::max(m, av(i, j));
+    double sum = 0.0;
+    for (size_t j = 0; j < av.cols(); ++j) sum += std::exp(av(i, j) - m);
+    value(i, 0) = m + std::log(sum);
+  }
+  const int ia = a.id();
+  return a.tape()->MakeNode(std::move(value), [ia](Tape* t, int self) {
+    const Matrix& dc = t->GradOf(self);
+    const Matrix& y = t->ValueOf(self);
+    const Matrix& av = t->ValueOf(ia);
+    Matrix& da = t->GradOf(ia);
+    for (size_t i = 0; i < av.rows(); ++i) {
+      for (size_t j = 0; j < av.cols(); ++j) {
+        da(i, j) += dc(i, 0) * std::exp(av(i, j) - y(i, 0));
+      }
+    }
+  });
+}
+
+Var BceWithLogits(Var logits, const Matrix& targets) {
+  const Matrix& z = logits.value();
+  DLACEP_CHECK(z.SameShape(targets));
+  const double n = static_cast<double>(z.size());
+  Matrix value(1, 1);
+  double loss = 0.0;
+  for (size_t i = 0; i < z.rows(); ++i) {
+    for (size_t j = 0; j < z.cols(); ++j) {
+      const double zv = z(i, j);
+      const double y = targets(i, j);
+      // max(z,0) - z*y + log(1 + exp(-|z|)) — the stable formulation.
+      loss += std::max(zv, 0.0) - zv * y + std::log1p(std::exp(-std::abs(zv)));
+    }
+  }
+  value(0, 0) = loss / n;
+  const int il = logits.id();
+  return logits.tape()->MakeNode(
+      std::move(value), [il, targets, n](Tape* t, int self) {
+        const double d = t->GradOf(self)(0, 0);
+        const Matrix& z = t->ValueOf(il);
+        Matrix& dz = t->GradOf(il);
+        for (size_t i = 0; i < z.rows(); ++i) {
+          for (size_t j = 0; j < z.cols(); ++j) {
+            const double sig = 1.0 / (1.0 + std::exp(-z(i, j)));
+            dz(i, j) += d * (sig - targets(i, j)) / n;
+          }
+        }
+      });
+}
+
+Var Conv1D(Var x, Var w, size_t kernel, size_t dilation) {
+  CheckSameTape(x, w);
+  const Matrix& xv = x.value();
+  const Matrix& wv = w.value();
+  DLACEP_CHECK_GE(kernel, 1u);
+  DLACEP_CHECK_GE(dilation, 1u);
+  const size_t t_steps = xv.rows();
+  const size_t d_in = xv.cols();
+  DLACEP_CHECK_EQ(wv.rows(), kernel * d_in);
+  const size_t d_out = wv.cols();
+  const ptrdiff_t center = static_cast<ptrdiff_t>(kernel / 2);
+
+  Matrix value(t_steps, d_out);
+  for (size_t t = 0; t < t_steps; ++t) {
+    for (size_t k = 0; k < kernel; ++k) {
+      const ptrdiff_t src =
+          static_cast<ptrdiff_t>(t) +
+          (static_cast<ptrdiff_t>(k) - center) *
+              static_cast<ptrdiff_t>(dilation);
+      if (src < 0 || src >= static_cast<ptrdiff_t>(t_steps)) continue;
+      for (size_t o = 0; o < d_out; ++o) {
+        double sum = 0.0;
+        for (size_t i = 0; i < d_in; ++i) {
+          sum += xv(static_cast<size_t>(src), i) * wv(k * d_in + i, o);
+        }
+        value(t, o) += sum;
+      }
+    }
+  }
+  const int ix = x.id();
+  const int iw = w.id();
+  return x.tape()->MakeNode(
+      std::move(value),
+      [ix, iw, kernel, dilation, center](Tape* tape, int self) {
+        const Matrix& dc = tape->GradOf(self);
+        const Matrix& xv = tape->ValueOf(ix);
+        const Matrix& wv = tape->ValueOf(iw);
+        Matrix& dx = tape->GradOf(ix);
+        Matrix& dw = tape->GradOf(iw);
+        const size_t t_steps = xv.rows();
+        const size_t d_in = xv.cols();
+        const size_t d_out = wv.cols();
+        for (size_t t = 0; t < t_steps; ++t) {
+          for (size_t k = 0; k < kernel; ++k) {
+            const ptrdiff_t src =
+                static_cast<ptrdiff_t>(t) +
+                (static_cast<ptrdiff_t>(k) - center) *
+                    static_cast<ptrdiff_t>(dilation);
+            if (src < 0 || src >= static_cast<ptrdiff_t>(t_steps)) {
+              continue;
+            }
+            for (size_t o = 0; o < d_out; ++o) {
+              const double g = dc(t, o);
+              if (g == 0.0) continue;
+              for (size_t i = 0; i < d_in; ++i) {
+                dx(static_cast<size_t>(src), i) += g * wv(k * d_in + i, o);
+                dw(k * d_in + i, o) += g * xv(static_cast<size_t>(src), i);
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace ops
+}  // namespace dlacep

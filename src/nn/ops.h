@@ -1,0 +1,81 @@
+// Differentiable matrix operations over Tape Vars.
+//
+// All binary ops require operands on the same tape. Gradients of every op
+// are verified against finite differences in tests/autograd_test.cc.
+
+#ifndef DLACEP_NN_OPS_H_
+#define DLACEP_NN_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace dlacep {
+namespace ops {
+
+/// c = a × b.
+Var MatMul(Var a, Var b);
+
+/// Elementwise ops (same shape).
+Var Add(Var a, Var b);
+Var Sub(Var a, Var b);
+Var Mul(Var a, Var b);
+
+/// c = scale * a.
+Var Scale(Var a, double scale);
+
+/// c = m + row (row broadcast over every row of m; row is 1×C).
+Var AddBroadcastRow(Var m, Var row);
+/// c = m + col (col broadcast over every column of m; col is R×1).
+Var AddBroadcastCol(Var m, Var col);
+
+/// Pointwise nonlinearities.
+Var Sigmoid(Var a);
+Var Tanh(Var a);
+Var Relu(Var a);
+
+/// Row / column slices: rows [from, from+count), cols [from, from+count).
+Var SliceRows(Var a, size_t from, size_t count);
+Var SliceCols(Var a, size_t from, size_t count);
+
+/// Vertical / horizontal concatenation.
+Var ConcatRows(const std::vector<Var>& parts);
+Var ConcatCols(const std::vector<Var>& parts);
+
+/// c = a^T.
+Var Transpose(Var a);
+
+/// Column-wise max pooling: 1×C row of per-column maxima. Gradient flows
+/// to the (first) argmax entry of each column.
+Var MaxOverRows(Var a);
+
+/// Scalar reductions (1×1 results).
+Var SumAll(Var a);
+Var MeanAll(Var a);
+
+/// Sum of selected entries (r, c) of `a`, as a 1×1 scalar. Entries may
+/// repeat; each occurrence contributes once.
+Var PickSum(Var a, std::vector<std::pair<size_t, size_t>> entries);
+
+/// Numerically stable log-sum-exp reducing over rows (result 1×C) or
+/// over columns (result R×1).
+Var LogSumExpOverRows(Var a);
+Var LogSumExpOverCols(Var a);
+
+/// Mean binary-cross-entropy-with-logits loss: targets in {0,1}, same
+/// shape as logits; result 1×1. Numerically stable formulation.
+Var BceWithLogits(Var logits, const Matrix& targets);
+
+/// Centered dilated 1-D convolution over a sequence.
+/// x: T×Din; w: (K·Din)×Dout with tap k occupying rows
+/// [k·Din, (k+1)·Din); result: T×Dout with
+///   out[t] = Σ_k x[t + (k − K/2)·dilation] · w_k
+/// (zero padding outside the sequence). The building block of the TCN
+/// alternative filter backbone (paper §4.1 preliminary comparison).
+Var Conv1D(Var x, Var w, size_t kernel, size_t dilation);
+
+}  // namespace ops
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_OPS_H_

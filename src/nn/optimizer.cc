@@ -1,0 +1,94 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dlacep {
+
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  double total = 0.0;
+  for (const Parameter* p : params) {
+    const double n = p->grad.Norm();
+    total += n * n;
+  }
+  total = std::sqrt(total);
+  if (total > max_norm && total > 0.0) {
+    const double scale = max_norm / total;
+    for (Parameter* p : params) {
+      for (size_t i = 0; i < p->grad.rows(); ++i) {
+        for (size_t j = 0; j < p->grad.cols(); ++j) {
+          p->grad(i, j) *= scale;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double learning_rate,
+         double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = learning_rate;
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    Matrix& vel = velocity_[k];
+    for (size_t i = 0; i < p->value.rows(); ++i) {
+      for (size_t j = 0; j < p->value.cols(); ++j) {
+        vel(i, j) = momentum_ * vel(i, j) - learning_rate_ * p->grad(i, j);
+        p->value(i, j) += vel(i, j);
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double learning_rate,
+           double beta1, double beta2, double epsilon)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  learning_rate_ = learning_rate;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    for (size_t i = 0; i < p->value.rows(); ++i) {
+      for (size_t j = 0; j < p->value.cols(); ++j) {
+        const double g = p->grad(i, j);
+        m_[k](i, j) = beta1_ * m_[k](i, j) + (1.0 - beta1_) * g;
+        v_[k](i, j) = beta2_ * v_[k](i, j) + (1.0 - beta2_) * g * g;
+        const double m_hat = m_[k](i, j) / bias1;
+        const double v_hat = v_[k](i, j) / bias2;
+        p->value(i, j) -=
+            learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+double LrSchedule::At(size_t epoch) const {
+  if (epoch >= total_epochs_) return final_;
+  const double frac =
+      static_cast<double>(epoch) / static_cast<double>(total_epochs_);
+  return initial_ * std::pow(final_ / initial_, frac);
+}
+
+}  // namespace dlacep

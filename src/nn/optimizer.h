@@ -1,0 +1,86 @@
+// Gradient-descent optimizers and learning-rate scheduling.
+
+#ifndef DLACEP_NN_OPTIMIZER_H_
+#define DLACEP_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace dlacep {
+
+/// Rescales all gradients so their global L2 norm does not exceed
+/// `max_norm` (essential for LSTM training stability). Returns the norm
+/// before clipping.
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
+/// Optimizer interface: Step() consumes the accumulated gradients of the
+/// registered parameters and zeroes them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double learning_rate_ = 1e-3;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double learning_rate,
+      double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba '15) — the default for all DLACEP networks.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double learning_rate,
+       double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
+
+  void Step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  size_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// The paper's "dynamic learning rate" (§5.1): the rate decays from
+/// `initial` to `final_rate` over the course of training; we interpolate
+/// geometrically per epoch.
+class LrSchedule {
+ public:
+  LrSchedule(double initial, double final_rate, size_t total_epochs)
+      : initial_(initial),
+        final_(final_rate),
+        total_epochs_(total_epochs == 0 ? 1 : total_epochs) {}
+
+  double At(size_t epoch) const;
+
+ private:
+  double initial_;
+  double final_;
+  size_t total_epochs_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_OPTIMIZER_H_

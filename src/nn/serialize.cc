@@ -1,0 +1,95 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace dlacep {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'L', 'N', 'N'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : params) {
+    const uint64_t name_len = p->name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t rows = p->value.rows();
+    const uint64_t cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for reading: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a DLNN parameter file: " + path);
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported DLNN version");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::unordered_map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) by_name.emplace(p->name, p);
+
+  size_t loaded = 0;
+  for (uint64_t k = 0; k < count; ++k) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      return Status::InvalidArgument("corrupt DLNN file: " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in) return Status::InvalidArgument("corrupt DLNN file: " + path);
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("unknown parameter in file: " + name);
+    }
+    Parameter* p = it->second;
+    if (p->value.rows() != rows || p->value.cols() != cols) {
+      return Status::InvalidArgument("shape mismatch for parameter " +
+                                     name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(double)));
+    if (!in) return Status::InvalidArgument("truncated DLNN file: " + path);
+    ++loaded;
+  }
+  if (loaded != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch when loading " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dlacep

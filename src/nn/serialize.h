@@ -1,0 +1,27 @@
+// Binary save/load of model parameters.
+//
+// Format: magic "DLNN" + version, then per parameter: name length, name,
+// rows, cols, row-major doubles. Loading matches parameters by name and
+// fails when a stored parameter is missing or shaped differently —
+// retraining on a changed architecture should be explicit, not silent.
+
+#ifndef DLACEP_NN_SERIALIZE_H_
+#define DLACEP_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tape.h"
+
+namespace dlacep {
+
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+Status LoadParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_SERIALIZE_H_

@@ -1,0 +1,67 @@
+#include "nn/tape.h"
+
+namespace dlacep {
+
+const Matrix& Var::value() const {
+  DLACEP_CHECK(tape_ != nullptr);
+  return tape_->ValueOf(id_);
+}
+
+Var Tape::Input(Matrix value) {
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size() - 1));
+}
+
+Var Tape::Param(Parameter* param) {
+  DLACEP_CHECK(param != nullptr);
+  Node node;
+  node.value = param->value;
+  node.grad = Matrix(node.value.rows(), node.value.cols());
+  node.param = param;
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size() - 1));
+}
+
+Var Tape::MakeNode(Matrix value,
+                   std::function<void(Tape*, int)> backward) {
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size() - 1));
+}
+
+void Tape::Backward(Var loss) {
+  DLACEP_CHECK(loss.tape() == this);
+  DLACEP_CHECK_EQ(ValueOf(loss.id()).rows(), 1u);
+  DLACEP_CHECK_EQ(ValueOf(loss.id()).cols(), 1u);
+  GradOf(loss.id())(0, 0) = 1.0;
+  // Nodes were appended in topological (forward) order; walk backwards.
+  for (int i = loss.id(); i >= 0; --i) {
+    Node& node = nodes_[static_cast<size_t>(i)];
+    if (node.backward) {
+      node.backward(this, i);
+    }
+    if (node.param != nullptr) {
+      node.param->grad.AddInPlace(node.grad);
+    }
+  }
+}
+
+const Matrix& Tape::ValueOf(int id) const {
+  DLACEP_CHECK_GE(id, 0);
+  DLACEP_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  return nodes_[static_cast<size_t>(id)].value;
+}
+
+Matrix& Tape::GradOf(int id) {
+  DLACEP_CHECK_GE(id, 0);
+  DLACEP_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  return nodes_[static_cast<size_t>(id)].grad;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,99 @@
+// Reverse-mode automatic differentiation on matrices.
+//
+// A Tape records a computation graph of matrix operations. Var is a
+// lightweight handle (tape pointer + node index). Calling Backward() on a
+// scalar (1×1) Var runs the recorded backward closures in reverse order,
+// accumulating gradients; Parameter leaves additionally flush their
+// gradient into an external accumulator, which is how batch-gradient
+// accumulation across samples works (one tape per sample, shared
+// Parameter structs).
+//
+// The op vocabulary (ops.h) is exactly what stacked BiLSTM + CRF models
+// need; every op's gradient is verified against finite differences in
+// tests/autograd_test.cc.
+
+#ifndef DLACEP_NN_TAPE_H_
+#define DLACEP_NN_TAPE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace dlacep {
+
+/// A model parameter: value plus gradient accumulator.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string name_in, Matrix value_in)
+      : name(std::move(name_in)),
+        value(std::move(value_in)),
+        grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+class Tape;
+
+/// Handle to a node of a tape's computation graph.
+class Var {
+ public:
+  Var() = default;
+  Var(Tape* tape, int id) : tape_(tape), id_(id) {}
+
+  bool valid() const { return tape_ != nullptr; }
+  int id() const { return id_; }
+  Tape* tape() const { return tape_; }
+
+  const Matrix& value() const;
+
+ private:
+  Tape* tape_ = nullptr;
+  int id_ = -1;
+};
+
+/// The recorded computation graph of one forward pass.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// A constant leaf (no gradient flows out of the tape).
+  Var Input(Matrix value);
+
+  /// A parameter leaf; Backward() adds its gradient into `param->grad`.
+  Var Param(Parameter* param);
+
+  /// Runs backpropagation from `loss` (must be 1×1).
+  void Backward(Var loss);
+
+  /// Internal node construction — used by the ops in ops.h.
+  Var MakeNode(Matrix value, std::function<void(Tape*, int)> backward);
+
+  const Matrix& ValueOf(int id) const;
+  Matrix& GradOf(int id);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    std::function<void(Tape*, int)> backward;  // null for leaves
+    Parameter* param = nullptr;                // set for Param leaves
+  };
+  // Deque, not vector: Var::value() hands out references into the node
+  // store, and later ops keep appending nodes — references must stay
+  // stable across growth.
+  std::deque<Node> nodes_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_TAPE_H_

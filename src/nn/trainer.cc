@@ -1,0 +1,85 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dlacep {
+
+TrainResult Train(SequenceModel* model, const std::vector<Sample>& samples,
+                  const TrainConfig& config) {
+  DLACEP_CHECK(model != nullptr);
+  DLACEP_CHECK(!samples.empty());
+  TrainResult result;
+
+  std::vector<Parameter*> params = model->Params();
+  for (Parameter* p : params) p->ZeroGrad();
+  Adam optimizer(params, config.lr_initial);
+  const LrSchedule schedule(config.lr_initial, config.lr_final,
+                            config.max_epochs);
+  Rng rng(config.shuffle_seed);
+
+  double reference_loss = std::numeric_limits<double>::infinity();
+  size_t stable_epochs = 0;
+
+  for (size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    optimizer.set_learning_rate(schedule.At(epoch));
+    const std::vector<size_t> order = rng.Permutation(samples.size());
+
+    double epoch_loss = 0.0;
+    size_t in_batch = 0;
+    for (size_t k = 0; k < order.size(); ++k) {
+      const Sample& sample = samples[order[k]];
+      Tape tape;
+      Var loss = model->Loss(&tape, sample);
+      epoch_loss += loss.value()(0, 0);
+      tape.Backward(loss);
+      ++in_batch;
+      if (in_batch == config.batch_size || k + 1 == order.size()) {
+        // Mean gradient over the batch, then clip — keeps the step scale
+        // independent of the batch size.
+        const double inv = 1.0 / static_cast<double>(in_batch);
+        for (Parameter* p : params) {
+          for (size_t i = 0; i < p->grad.rows(); ++i) {
+            for (size_t j = 0; j < p->grad.cols(); ++j) {
+              p->grad(i, j) *= inv;
+            }
+          }
+        }
+        ClipGradNorm(params, config.grad_clip);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    epoch_loss /= static_cast<double>(samples.size());
+    result.loss_history.push_back(epoch_loss);
+    result.final_loss = epoch_loss;
+    result.epochs_run = epoch + 1;
+
+    if (config.verbose) {
+      DLACEP_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss
+                       << " lr " << optimizer.learning_rate();
+    }
+    if (config.on_epoch && !config.on_epoch(epoch, epoch_loss)) {
+      break;
+    }
+
+    // Convergence: the loss has stayed inside a band of width
+    // `convergence_band` around the reference for N consecutive epochs.
+    if (std::abs(epoch_loss - reference_loss) <= config.convergence_band) {
+      ++stable_epochs;
+      if (stable_epochs >= config.convergence_epochs) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      reference_loss = epoch_loss;
+      stable_epochs = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace dlacep

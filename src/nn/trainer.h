@@ -1,0 +1,66 @@
+// Generic training loop for sequence-labeling models, implementing the
+// paper's protocol (§5.1): varying batch size, dynamic learning rate
+// (1e-3 → 1e-4), and a convergence rule — stop at the first epoch in
+// which the loss has stayed within a 0.01 band for 5 consecutive epochs.
+
+#ifndef DLACEP_NN_TRAINER_H_
+#define DLACEP_NN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/tape.h"
+
+namespace dlacep {
+
+/// One training sample: a feature sequence (T×D) and either T per-event
+/// labels (event network) or a single window label (window network).
+struct Sample {
+  Matrix features;
+  std::vector<int> labels;
+};
+
+/// The trainable-model contract the trainer understands.
+class SequenceModel {
+ public:
+  virtual ~SequenceModel() = default;
+
+  /// Builds the forward graph for one sample and returns its scalar loss.
+  virtual Var Loss(Tape* tape, const Sample& sample) = 0;
+
+  virtual std::vector<Parameter*> Params() = 0;
+};
+
+struct TrainConfig {
+  size_t max_epochs = 30;
+  size_t batch_size = 16;      ///< samples per optimizer step
+  double lr_initial = 1e-3;    ///< paper: 0.001 decaying to 0.0001
+  double lr_final = 1e-4;
+  double grad_clip = 5.0;
+  /// Convergence: loss stays within `convergence_band` of the running
+  /// reference for `convergence_epochs` consecutive epochs (paper §5.1).
+  double convergence_band = 0.01;
+  size_t convergence_epochs = 5;
+  uint64_t shuffle_seed = 13;
+  bool verbose = false;
+  /// Invoked after every epoch with (epoch, mean loss); may be empty.
+  /// Returning false stops training early (used by the Fig 11 epoch
+  /// sweep to snapshot intermediate models).
+  std::function<bool(size_t, double)> on_epoch;
+};
+
+struct TrainResult {
+  size_t epochs_run = 0;
+  double final_loss = 0.0;
+  bool converged = false;
+  std::vector<double> loss_history;
+};
+
+/// Runs mini-batch Adam over `samples` until convergence or max_epochs.
+TrainResult Train(SequenceModel* model, const std::vector<Sample>& samples,
+                  const TrainConfig& config);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_TRAINER_H_

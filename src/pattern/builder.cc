@@ -1,0 +1,131 @@
+#include "pattern/builder.h"
+
+namespace dlacep {
+
+PatternBuilder::Node PatternBuilder::Prim(const std::string& type_name,
+                                          const std::string& var_name) {
+  auto type = schema_->TypeIdOf(type_name);
+  DLACEP_CHECK_MSG(type.ok(), "unknown type " + type_name);
+  return PrimAnyOfIds({type.value()}, var_name);
+}
+
+PatternBuilder::Node PatternBuilder::PrimAnyOf(
+    const std::vector<std::string>& type_names, const std::string& var_name) {
+  std::vector<TypeId> types;
+  types.reserve(type_names.size());
+  for (const std::string& name : type_names) {
+    auto type = schema_->TypeIdOf(name);
+    DLACEP_CHECK_MSG(type.ok(), "unknown type " + name);
+    types.push_back(type.value());
+  }
+  return PrimAnyOfIds(std::move(types), var_name);
+}
+
+PatternBuilder::Node PatternBuilder::PrimAnyOfIds(
+    std::vector<TypeId> types, const std::string& var_name) {
+  DLACEP_CHECK(!types.empty());
+  for (const VarInfo& v : vars_) {
+    DLACEP_CHECK_MSG(v.name != var_name,
+                     "duplicate variable name " + var_name);
+  }
+  const VarId var = static_cast<VarId>(vars_.size());
+  Node node = PatternNode::PrimitiveAnyOf(std::move(types), var);
+  vars_.push_back(VarInfo{var_name, node->types, /*kleene=*/false,
+                          /*negated=*/false});
+  return node;
+}
+
+PatternBuilder::Node PatternBuilder::Compose(OpKind kind,
+                                             std::vector<Node> children) {
+  DLACEP_CHECK(!children.empty());
+  return PatternNode::Compose(kind, std::move(children));
+}
+
+void PatternBuilder::MarkVars(const PatternNode& node, bool kleene,
+                              bool negated) {
+  if (node.kind == OpKind::kPrimitive) {
+    DLACEP_CHECK_GE(node.var, 0);
+    DLACEP_CHECK_LT(static_cast<size_t>(node.var), vars_.size());
+    if (kleene) vars_[static_cast<size_t>(node.var)].kleene = true;
+    if (negated) vars_[static_cast<size_t>(node.var)].negated = true;
+    return;
+  }
+  for (const auto& child : node.children) MarkVars(*child, kleene, negated);
+}
+
+PatternBuilder::Node PatternBuilder::Kleene(Node child, size_t min_reps,
+                                            size_t max_reps) {
+  DLACEP_CHECK(child != nullptr);
+  MarkVars(*child, /*kleene=*/true, /*negated=*/false);
+  return PatternNode::Kleene(std::move(child), min_reps, max_reps);
+}
+
+PatternBuilder::Node PatternBuilder::Neg(Node child) {
+  DLACEP_CHECK(child != nullptr);
+  MarkVars(*child, /*kleene=*/false, /*negated=*/true);
+  return PatternNode::Neg(std::move(child));
+}
+
+PatternBuilder& PatternBuilder::Where(std::unique_ptr<Condition> condition) {
+  DLACEP_CHECK(condition != nullptr);
+  conditions_.push_back(std::move(condition));
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::WhereBand(const std::string& x_var,
+                                          const std::string& y_var,
+                                          const std::string& attr_name,
+                                          double lo, double hi) {
+  auto attr = schema_->AttrIndexOf(attr_name);
+  DLACEP_CHECK_MSG(attr.ok(), "unknown attribute " + attr_name);
+  return Where(MakeBandCondition(Var(x_var), attr.value(), Var(y_var),
+                                 attr.value(), lo, hi));
+}
+
+PatternBuilder& PatternBuilder::WhereCmp(double coeff_l,
+                                         const std::string& l_var,
+                                         const std::string& attr_name,
+                                         CmpOp op, double coeff_r,
+                                         const std::string& r_var) {
+  auto attr = schema_->AttrIndexOf(attr_name);
+  DLACEP_CHECK_MSG(attr.ok(), "unknown attribute " + attr_name);
+  return Where(std::make_unique<CompareCondition>(
+      Term::Attr(Var(l_var), attr.value(), coeff_l), op,
+      Term::Attr(Var(r_var), attr.value(), coeff_r)));
+}
+
+VarId PatternBuilder::Var(const std::string& name) const {
+  auto found = FindVar(name);
+  DLACEP_CHECK_MSG(found.ok(), "unknown variable " + name);
+  return found.value();
+}
+
+StatusOr<VarId> PatternBuilder::FindVar(const std::string& name) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].name == name) return static_cast<VarId>(i);
+  }
+  return Status::NotFound("unknown variable: " + name);
+}
+
+Term PatternBuilder::Attr(const std::string& var, const std::string& attr,
+                          double coeff) const {
+  auto index = schema_->AttrIndexOf(attr);
+  DLACEP_CHECK_MSG(index.ok(), "unknown attribute " + attr);
+  return Term::Attr(Var(var), index.value(), coeff);
+}
+
+StatusOr<Pattern> PatternBuilder::Build(Node root, WindowSpec window) {
+  DLACEP_CHECK(root != nullptr);
+  Pattern pattern(schema_, std::move(root), std::move(conditions_),
+                  std::move(vars_), window);
+  DLACEP_RETURN_IF_ERROR(pattern.Validate());
+  return pattern;
+}
+
+Pattern PatternBuilder::BuildOrDie(Node root, WindowSpec window) {
+  auto result = Build(std::move(root), window);
+  DLACEP_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace dlacep

@@ -1,0 +1,133 @@
+// Fluent programmatic construction of patterns.
+//
+// Example (the paper's introductory stock pattern):
+//
+//   PatternBuilder b(schema);
+//   auto node = b.Seq(b.Prim("GOOG", "a"), b.Prim("AAPL", "b"),
+//                     b.Prim("MSFT", "c"));
+//   b.Where(MakeBandCondition(b.Var("b"), vol, b.Var("a"), vol, 0.55, 1.45));
+//   Pattern p = b.BuildOrDie(std::move(node), WindowSpec::Count(150));
+
+#ifndef DLACEP_PATTERN_BUILDER_H_
+#define DLACEP_PATTERN_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace dlacep {
+
+/// Builds a Pattern step by step. Variables are registered on first use
+/// by Prim(); conditions may reference them through Var()/Attr().
+class PatternBuilder {
+ public:
+  using Node = std::unique_ptr<PatternNode>;
+
+  explicit PatternBuilder(std::shared_ptr<const Schema> schema)
+      : schema_(std::move(schema)) {
+    DLACEP_CHECK(schema_ != nullptr);
+  }
+
+  /// A primitive position binding a fresh variable `var_name` of event
+  /// type `type_name`. Aborts when the type is unknown or the variable
+  /// name was already used.
+  Node Prim(const std::string& type_name, const std::string& var_name);
+
+  /// A primitive accepting any of several named types (the paper's
+  /// "S_t ∈ T_k" position binding any of the top-k identifiers).
+  Node PrimAnyOf(const std::vector<std::string>& type_names,
+                 const std::string& var_name);
+
+  /// Same, with raw type ids (used by the workload kit, where T_k is a
+  /// contiguous id range by construction).
+  Node PrimAnyOfIds(std::vector<TypeId> types, const std::string& var_name);
+
+  /// Composition helpers accepting any number of child nodes.
+  template <typename... Nodes>
+  Node Seq(Nodes... children) {
+    return Compose(OpKind::kSeq, MoveToVector(std::move(children)...));
+  }
+  template <typename... Nodes>
+  Node Conj(Nodes... children) {
+    return Compose(OpKind::kConj, MoveToVector(std::move(children)...));
+  }
+  template <typename... Nodes>
+  Node Disj(Nodes... children) {
+    return Compose(OpKind::kDisj, MoveToVector(std::move(children)...));
+  }
+
+  /// Vector-based overloads for programmatic composition.
+  Node SeqOf(std::vector<Node> children) {
+    return Compose(OpKind::kSeq, std::move(children));
+  }
+  Node ConjOf(std::vector<Node> children) {
+    return Compose(OpKind::kConj, std::move(children));
+  }
+  Node DisjOf(std::vector<Node> children) {
+    return Compose(OpKind::kDisj, std::move(children));
+  }
+
+  /// Kleene closure over `child`; every variable below becomes a list
+  /// variable. `max_reps` bounds enumeration (see pattern.h).
+  Node Kleene(Node child, size_t min_reps = 1, size_t max_reps = 3);
+
+  /// Negation of `child`; every variable below is marked negated.
+  Node Neg(Node child);
+
+  /// Adds a WHERE conjunct.
+  PatternBuilder& Where(std::unique_ptr<Condition> condition);
+
+  /// Convenience: lo * y.attr < x.attr < hi * y.attr on attribute
+  /// `attr_name` of both variables.
+  PatternBuilder& WhereBand(const std::string& x_var,
+                            const std::string& y_var,
+                            const std::string& attr_name, double lo,
+                            double hi);
+
+  /// Convenience: single comparison `coeff_l * l.attr (op) coeff_r *
+  /// r.attr`.
+  PatternBuilder& WhereCmp(double coeff_l, const std::string& l_var,
+                           const std::string& attr_name, CmpOp op,
+                           double coeff_r, const std::string& r_var);
+
+  /// Id of a registered variable; aborts when unknown.
+  VarId Var(const std::string& name) const;
+
+  /// Non-aborting lookup for parser error paths.
+  StatusOr<VarId> FindVar(const std::string& name) const;
+
+  /// Term referencing `var.attr` (for hand-built CompareConditions).
+  Term Attr(const std::string& var, const std::string& attr,
+            double coeff = 1.0) const;
+
+  /// Finalizes the pattern. The builder is left in a moved-from state.
+  StatusOr<Pattern> Build(Node root, WindowSpec window);
+
+  /// Build() that aborts on error — for tests and static workloads.
+  Pattern BuildOrDie(Node root, WindowSpec window);
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  template <typename... Nodes>
+  static std::vector<Node> MoveToVector(Nodes... children) {
+    std::vector<Node> out;
+    out.reserve(sizeof...(children));
+    (out.push_back(std::move(children)), ...);
+    return out;
+  }
+
+  Node Compose(OpKind kind, std::vector<Node> children);
+  void MarkVars(const PatternNode& node, bool kleene, bool negated);
+
+  std::shared_ptr<const Schema> schema_;
+  std::vector<VarInfo> vars_;
+  std::vector<std::unique_ptr<Condition>> conditions_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_PATTERN_BUILDER_H_

@@ -1,0 +1,164 @@
+#include "pattern/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dlacep {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto push = [&](TokenKind kind, size_t offset, size_t len) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    t.text = std::string(source.substr(offset, len));
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, i, j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      // Fractional part — but not the ".." range operator.
+      if (j + 1 < n && source[j] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[j + 1]))) {
+        ++j;
+        while (j < n &&
+               std::isdigit(static_cast<unsigned char>(source[j]))) {
+          ++j;
+        }
+      }
+      if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (source[k] == '+' || source[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(source[k]))) {
+          ++k;
+          while (k < n &&
+                 std::isdigit(static_cast<unsigned char>(source[k]))) {
+            ++k;
+          }
+          j = k;
+        }
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.offset = i;
+      t.text = std::string(source.substr(i, j - i));
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, i, 1); ++i; break;
+      case ')': push(TokenKind::kRParen, i, 1); ++i; break;
+      case '{': push(TokenKind::kLBrace, i, 1); ++i; break;
+      case '}': push(TokenKind::kRBrace, i, 1); ++i; break;
+      case ',': push(TokenKind::kComma, i, 1); ++i; break;
+      case '*': push(TokenKind::kStar, i, 1); ++i; break;
+      case '+': push(TokenKind::kPlus, i, 1); ++i; break;
+      case '-': push(TokenKind::kMinus, i, 1); ++i; break;
+      case '.':
+        if (i + 1 < n && source[i + 1] == '.') {
+          push(TokenKind::kDotDot, i, 2);
+          i += 2;
+        } else {
+          push(TokenKind::kDot, i, 1);
+          ++i;
+        }
+        break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLe, i, 2);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, i, 1);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGe, i, 2);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, i, 1);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kEq, i, 2);
+          i += 2;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("stray '=' at offset %zu (use '==')", i));
+        }
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNe, i, 2);
+          i += 2;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("stray '!' at offset %zu (use '!=')", i));
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dlacep

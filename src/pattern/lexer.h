@@ -1,0 +1,51 @@
+// Tokenizer for the PQL pattern query language (see parser.h).
+
+#ifndef DLACEP_PATTERN_LEXER_H_
+#define DLACEP_PATTERN_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlacep {
+
+enum class TokenKind {
+  kIdent,    // type / variable / keyword candidates
+  kNumber,   // double literal
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kComma,    // ,
+  kDot,      // .
+  kDotDot,   // ..
+  kStar,     // *
+  kPlus,     // +
+  kMinus,    // -
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kEq,       // ==
+  kNe,       // !=
+  kEnd,      // end of input
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier spelling (original case)
+  double number = 0.0; // value for kNumber
+  size_t offset = 0;   // byte offset in the source, for error messages
+};
+
+/// Tokenizes `source`. Identifiers are [A-Za-z_][A-Za-z0-9_]*; numbers
+/// are non-negative double literals (sign is a separate kMinus token).
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_PATTERN_LEXER_H_

@@ -1,0 +1,362 @@
+#include "pattern/parser.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "pattern/builder.h"
+#include "pattern/lexer.h"
+
+namespace dlacep {
+
+namespace {
+
+constexpr size_t kDefaultCountWindow = 100;
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::shared_ptr<const Schema> schema)
+      : tokens_(std::move(tokens)), builder_(std::move(schema)) {}
+
+  StatusOr<Pattern> Parse() {
+    if (IsKeyword("PATTERN")) Advance();
+    auto root = ParseNode();
+    if (!root.ok()) return root.status();
+    if (IsKeyword("WHERE")) {
+      Advance();
+      auto condition = ParseOrExpr();
+      if (!condition.ok()) return condition.status();
+      builder_.Where(std::move(condition).value());
+    }
+    WindowSpec window = WindowSpec::Count(kDefaultCountWindow);
+    if (IsKeyword("WITHIN")) {
+      Advance();
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected window size after WITHIN");
+      }
+      const double size = Peek().number;
+      Advance();
+      if (IsKeyword("TIME")) {
+        Advance();
+        window = WindowSpec::Time(size);
+      } else {
+        if (IsKeyword("EVENTS")) Advance();
+        if (size < 1.0 || size != static_cast<double>(
+                                      static_cast<size_t>(size))) {
+          return Error("count window size must be a positive integer");
+        }
+        window = WindowSpec::Count(static_cast<size_t>(size));
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after query");
+    }
+    return builder_.Build(std::move(root).value(), window);
+  }
+
+ private:
+  using Node = PatternBuilder::Node;
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool IsKeyword(std::string_view word) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, word);
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: %s", Peek().offset,
+                  message.c_str()));
+  }
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrFormat("expected %s, found %s", TokenKindName(kind),
+                             TokenKindName(Peek().kind)));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  StatusOr<Node> ParseNode() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected pattern operator or event type");
+    }
+    const std::string head = Peek().text;
+    if (EqualsIgnoreCase(head, "SEQ") || EqualsIgnoreCase(head, "CONJ") ||
+        EqualsIgnoreCase(head, "DISJ")) {
+      Advance();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::vector<Node> children;
+      while (true) {
+        auto child = ParseNode();
+        if (!child.ok()) return child.status();
+        children.push_back(std::move(child).value());
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      if (EqualsIgnoreCase(head, "SEQ")) {
+        return builder_.SeqOf(std::move(children));
+      }
+      if (EqualsIgnoreCase(head, "CONJ")) {
+        return builder_.ConjOf(std::move(children));
+      }
+      return builder_.DisjOf(std::move(children));
+    }
+    if (EqualsIgnoreCase(head, "KC")) {
+      Advance();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      auto child = ParseNode();
+      if (!child.ok()) return child.status();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      size_t min_reps = 1;
+      size_t max_reps = 3;
+      if (Peek().kind == TokenKind::kLBrace) {
+        Advance();
+        if (Peek().kind != TokenKind::kNumber) {
+          return Error("expected min repetition count");
+        }
+        min_reps = static_cast<size_t>(Peek().number);
+        Advance();
+        DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kDotDot));
+        if (Peek().kind != TokenKind::kNumber) {
+          return Error("expected max repetition count");
+        }
+        max_reps = static_cast<size_t>(Peek().number);
+        Advance();
+        DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+        if (min_reps < 1 || max_reps < min_reps) {
+          return Error("invalid KC repetition bounds");
+        }
+      }
+      return builder_.Kleene(std::move(child).value(), min_reps, max_reps);
+    }
+    if (EqualsIgnoreCase(head, "ANY")) {
+      // ANY(T1, T2, ...) varName — a multi-type position.
+      Advance();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      std::vector<std::string> names;
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("expected event type inside ANY(...)");
+        }
+        if (!builder_.schema().TypeIdOf(Peek().text).ok()) {
+          return Error("unknown event type '" + Peek().text + "'");
+        }
+        names.push_back(Peek().text);
+        Advance();
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected variable name after ANY(...)");
+      }
+      const std::string var_name = Peek().text;
+      if (builder_.FindVar(var_name).ok()) {
+        return Error("duplicate variable name '" + var_name + "'");
+      }
+      Advance();
+      return builder_.PrimAnyOf(names, var_name);
+    }
+    if (EqualsIgnoreCase(head, "NEG")) {
+      Advance();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      auto child = ParseNode();
+      if (!child.ok()) return child.status();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return builder_.Neg(std::move(child).value());
+    }
+    // Primitive: TypeName varName.
+    auto type = builder_.schema().TypeIdOf(head);
+    if (!type.ok()) {
+      return Error("unknown event type '" + head + "'");
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected variable name after event type '" + head + "'");
+    }
+    const std::string var_name = Peek().text;
+    if (builder_.FindVar(var_name).ok()) {
+      return Error("duplicate variable name '" + var_name + "'");
+    }
+    Advance();
+    return builder_.Prim(head, var_name);
+  }
+
+  StatusOr<std::unique_ptr<Condition>> ParseOrExpr() {
+    std::vector<std::unique_ptr<Condition>> parts;
+    auto first = ParseAndExpr();
+    if (!first.ok()) return first.status();
+    parts.push_back(std::move(first).value());
+    while (IsKeyword("OR")) {
+      Advance();
+      auto next = ParseAndExpr();
+      if (!next.ok()) return next.status();
+      parts.push_back(std::move(next).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return std::unique_ptr<Condition>(
+        std::make_unique<OrCondition>(std::move(parts)));
+  }
+
+  StatusOr<std::unique_ptr<Condition>> ParseAndExpr() {
+    std::vector<std::unique_ptr<Condition>> parts;
+    auto first = ParsePrimary();
+    if (!first.ok()) return first.status();
+    parts.push_back(std::move(first).value());
+    while (IsKeyword("AND")) {
+      Advance();
+      auto next = ParsePrimary();
+      if (!next.ok()) return next.status();
+      parts.push_back(std::move(next).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return std::unique_ptr<Condition>(
+        std::make_unique<AndCondition>(std::move(parts)));
+  }
+
+  StatusOr<std::unique_ptr<Condition>> ParsePrimary() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      auto inner = ParseOrExpr();
+      if (!inner.ok()) return inner.status();
+      DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  static CmpOp CmpFromToken(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kLt: return CmpOp::kLt;
+      case TokenKind::kLe: return CmpOp::kLe;
+      case TokenKind::kGt: return CmpOp::kGt;
+      case TokenKind::kGe: return CmpOp::kGe;
+      case TokenKind::kEq: return CmpOp::kEq;
+      default: return CmpOp::kNe;
+    }
+  }
+
+  static bool IsCmpToken(TokenKind kind) {
+    return kind == TokenKind::kLt || kind == TokenKind::kLe ||
+           kind == TokenKind::kGt || kind == TokenKind::kGe ||
+           kind == TokenKind::kEq || kind == TokenKind::kNe;
+  }
+
+  StatusOr<std::unique_ptr<Condition>> ParseComparison() {
+    auto first = ParseTerm();
+    if (!first.ok()) return first.status();
+    if (!IsCmpToken(Peek().kind)) {
+      return Error("expected comparison operator");
+    }
+    std::vector<std::unique_ptr<Condition>> chain;
+    Term prev = std::move(first).value();
+    while (IsCmpToken(Peek().kind)) {
+      const CmpOp op = CmpFromToken(Peek().kind);
+      Advance();
+      auto next = ParseTerm();
+      if (!next.ok()) return next.status();
+      chain.push_back(
+          std::make_unique<CompareCondition>(prev, op, next.value()));
+      prev = std::move(next).value();
+    }
+    if (chain.size() == 1) return std::move(chain[0]);
+    return std::unique_ptr<Condition>(
+        std::make_unique<AndCondition>(std::move(chain)));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    double sign = 1.0;
+    if (Peek().kind == TokenKind::kMinus) {
+      sign = -1.0;
+      Advance();
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      const double number = sign * Peek().number;
+      Advance();
+      if (Peek().kind == TokenKind::kStar) {
+        Advance();
+        auto ref = ParseAttrRef();
+        if (!ref.ok()) return ref.status();
+        Term t = std::move(ref).value();
+        t.coeff = number;
+        return ApplyOffset(std::move(t));
+      }
+      return Term::Const(number);
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      if (sign < 0) {
+        return Error("negated attribute references are not supported; "
+                     "use a -1 coefficient instead");
+      }
+      auto ref = ParseAttrRef();
+      if (!ref.ok()) return ref.status();
+      return ApplyOffset(std::move(ref).value());
+    }
+    return Error("expected a numeric constant or var.attr reference");
+  }
+
+  StatusOr<Term> ApplyOffset(Term term) {
+    if (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
+      const double sign = Peek().kind == TokenKind::kPlus ? 1.0 : -1.0;
+      Advance();
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected numeric offset");
+      }
+      term.constant = sign * Peek().number;
+      Advance();
+    }
+    return term;
+  }
+
+  StatusOr<Term> ParseAttrRef() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected variable name");
+    }
+    const std::string var_name = Peek().text;
+    Advance();
+    DLACEP_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected attribute name");
+    }
+    const std::string attr_name = Peek().text;
+    Advance();
+    auto attr = builder_.schema().AttrIndexOf(attr_name);
+    if (!attr.ok()) {
+      return Error("unknown attribute '" + attr_name + "'");
+    }
+    auto var = builder_.FindVar(var_name);
+    if (!var.ok()) {
+      return Error("unknown variable '" + var_name + "'");
+    }
+    return Term::Attr(var.value(), attr.value());
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  PatternBuilder builder_;
+};
+
+}  // namespace
+
+StatusOr<Pattern> ParsePattern(std::string_view source,
+                               std::shared_ptr<const Schema> schema) {
+  auto tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), std::move(schema));
+  return parser.Parse();
+}
+
+}  // namespace dlacep

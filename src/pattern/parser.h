@@ -1,0 +1,46 @@
+// PQL: a small textual pattern query language, modeled after the event
+// specification syntax used in the paper (§2.1):
+//
+//   PATTERN SEQ(GOOG a, AAPL b, MSFT c, INTC d, AMZN e)
+//   WHERE 0.55 * a.vol < b.vol AND b.vol < 1.45 * c.vol AND
+//         3 * e.vol < d.vol
+//   WITHIN 150 EVENTS
+//
+// Grammar (case-insensitive keywords):
+//
+//   query   := [PATTERN] node [WHERE orExpr] [WITHIN number (EVENTS|TIME)]
+//   node    := SEQ '(' nodeList ')' | CONJ '(' nodeList ')'
+//            | DISJ '(' nodeList ')'
+//            | KC '(' node ')' [ '{' int '..' int '}' ]
+//            | NEG '(' node ')'
+//            | IDENT IDENT                        // TypeName varName
+//   orExpr  := andExpr (OR andExpr)*
+//   andExpr := primary (AND primary)*
+//   primary := '(' orExpr ')' | comparison
+//   comparison := term (cmpOp term)+              // chains: a < b < c
+//   term    := [number '*'] IDENT '.' IDENT [('+'|'-') number]
+//            | ['-'] number
+//   cmpOp   := '<' | '<=' | '>' | '>=' | '==' | '!='
+//
+// The default window when WITHIN is omitted is a count window of 100.
+// Chained comparisons expand into conjunctions of adjacent pairs, exactly
+// matching the "0.55·a.vol < b.vol < 1.45·c.vol" notation of the paper.
+
+#ifndef DLACEP_PATTERN_PARSER_H_
+#define DLACEP_PATTERN_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "pattern/pattern.h"
+
+namespace dlacep {
+
+/// Parses a PQL query against `schema`. All event types and attributes
+/// referenced by the query must already exist in the schema.
+StatusOr<Pattern> ParsePattern(std::string_view source,
+                               std::shared_ptr<const Schema> schema);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_PATTERN_PARSER_H_

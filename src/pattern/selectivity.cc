@@ -1,0 +1,109 @@
+#include "pattern/selectivity.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dlacep {
+
+namespace {
+
+// Conditions whose variable set is exactly `vars` (as a sorted list).
+std::vector<const Condition*> ConditionsOver(
+    const LinearPlan& plan, std::vector<VarId> vars) {
+  std::sort(vars.begin(), vars.end());
+  std::vector<const Condition*> out;
+  for (const Condition* condition : plan.pos_conditions) {
+    std::vector<VarId> cvars = condition->Vars();
+    std::sort(cvars.begin(), cvars.end());
+    if (cvars == vars) out.push_back(condition);
+  }
+  return out;
+}
+
+}  // namespace
+
+PlanStatistics EstimatePlanStatistics(const LinearPlan& plan,
+                                      std::span<const Event> sample,
+                                      uint64_t seed, size_t num_samples) {
+  const size_t n = plan.num_positions();
+  PlanStatistics stats;
+  stats.rates.assign(n, 0.0);
+  stats.pair_sel.assign(n, std::vector<double>(n, 1.0));
+  if (sample.empty()) return stats;
+
+  Rng rng(seed);
+
+  // Candidate events per plan position.
+  std::vector<std::vector<const Event*>> candidates(n);
+  for (const Event& e : sample) {
+    if (e.is_blank()) continue;
+    for (size_t p = 0; p < n; ++p) {
+      if (plan.positions[p].Matches(e.type)) {
+        candidates[p].push_back(&e);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    stats.rates[i] = static_cast<double>(candidates[i].size()) /
+                     static_cast<double>(sample.size());
+  }
+
+  const size_t num_vars = plan.pattern->num_vars();
+
+  // Unary selectivities (diagonal).
+  for (size_t i = 0; i < n; ++i) {
+    const auto conditions = ConditionsOver(plan, {plan.positions[i].var});
+    if (conditions.empty() || candidates[i].empty()) continue;
+    size_t hit = 0;
+    for (size_t s = 0; s < num_samples; ++s) {
+      Binding binding(num_vars);
+      binding.Bind(plan.positions[i].var,
+                   candidates[i][rng.Index(candidates[i].size())]);
+      bool all = true;
+      for (const Condition* condition : conditions) {
+        if (!condition->Eval(binding)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) ++hit;
+    }
+    stats.pair_sel[i][i] =
+        static_cast<double>(hit) / static_cast<double>(num_samples);
+  }
+
+  // Pairwise selectivities.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const auto conditions = ConditionsOver(
+          plan, {plan.positions[i].var, plan.positions[j].var});
+      if (conditions.empty() || candidates[i].empty() ||
+          candidates[j].empty()) {
+        continue;
+      }
+      size_t hit = 0;
+      for (size_t s = 0; s < num_samples; ++s) {
+        Binding binding(num_vars);
+        binding.Bind(plan.positions[i].var,
+                     candidates[i][rng.Index(candidates[i].size())]);
+        binding.Bind(plan.positions[j].var,
+                     candidates[j][rng.Index(candidates[j].size())]);
+        bool all = true;
+        for (const Condition* condition : conditions) {
+          if (!condition->Eval(binding)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) ++hit;
+      }
+      stats.pair_sel[i][j] = stats.pair_sel[j][i] =
+          static_cast<double>(hit) / static_cast<double>(num_samples);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,40 @@
+// Sampling-based estimation of arrival rates and predicate selectivities
+// (the R and SEL vectors of the paper's §3.2 complexity model, also the
+// inputs of the ZStream cost model in the tree engine).
+
+#ifndef DLACEP_PATTERN_SELECTIVITY_H_
+#define DLACEP_PATTERN_SELECTIVITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pattern/plan.h"
+
+namespace dlacep {
+
+/// Estimated workload statistics for one linear plan.
+struct PlanStatistics {
+  /// rates[i]: expected events per stream event matching position i's type
+  /// (the r_i of §3.2).
+  std::vector<double> rates;
+  /// pair_sel[i][j] for i < j: estimated probability that a random
+  /// (type-correct) event pair for positions i and j satisfies every
+  /// condition whose variables are exactly {var_i, var_j}. Unconstrained
+  /// pairs have selectivity 1. Symmetric entries mirror; diagonal holds
+  /// the unary selectivity of position i.
+  std::vector<std::vector<double>> pair_sel;
+};
+
+/// Estimates statistics by sampling `num_samples` random event
+/// (pairs/singletons) per entry from `sample`. Deterministic given seed.
+/// Positions whose type is absent from the sample get rate 0 and
+/// selectivity 1.
+PlanStatistics EstimatePlanStatistics(const LinearPlan& plan,
+                                      std::span<const Event> sample,
+                                      uint64_t seed,
+                                      size_t num_samples = 2000);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_PATTERN_SELECTIVITY_H_

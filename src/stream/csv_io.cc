@@ -1,0 +1,81 @@
+#include "stream/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dlacep {
+
+Status WriteCsv(const EventStream& stream, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "id,type,timestamp";
+  for (size_t i = 0; i < stream.schema().num_attrs(); ++i) {
+    out << ',' << stream.schema().AttrName(i);
+  }
+  out << '\n';
+  for (const Event& e : stream) {
+    out << e.id << ',' << stream.schema().TypeName(e.type) << ','
+        << e.timestamp;
+    for (size_t i = 0; i < stream.schema().num_attrs(); ++i) {
+      out << ',';
+      if (!e.is_blank()) out << e.attr(i);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<EventStream> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file: " + path);
+  }
+  const std::vector<std::string> header = Split(line, ',');
+  if (header.size() < 3 || header[0] != "id" || header[1] != "type" ||
+      header[2] != "timestamp") {
+    return Status::InvalidArgument("bad CSV header in " + path);
+  }
+  auto schema = std::make_shared<Schema>();
+  const size_t num_attrs = header.size() - 3;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    schema->RegisterAttr(header[3 + i]);
+  }
+
+  // First pass: register all type names so ids are stable, then append.
+  EventStream stream(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu cells, expected %zu in %s", line_no,
+                    cells.size(), header.size(), path.c_str()));
+    }
+    const double ts = std::strtod(cells[2].c_str(), nullptr);
+    if (cells[1] == "<blank>") {
+      stream.AppendBlank(ts);
+      continue;
+    }
+    const TypeId type = schema->RegisterType(cells[1]);
+    std::vector<double> attrs(num_attrs);
+    for (size_t i = 0; i < num_attrs; ++i) {
+      attrs[i] = std::strtod(cells[3 + i].c_str(), nullptr);
+    }
+    stream.Append(type, ts, std::move(attrs));
+  }
+  return stream;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,26 @@
+// CSV persistence for event streams.
+//
+// Format: header line "id,type,timestamp,<attr names...>" followed by one
+// row per event; blank events serialize their type as "<blank>" and empty
+// attribute cells.
+
+#ifndef DLACEP_STREAM_CSV_IO_H_
+#define DLACEP_STREAM_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/stream.h"
+
+namespace dlacep {
+
+/// Writes `stream` to `path`. Overwrites an existing file.
+Status WriteCsv(const EventStream& stream, const std::string& path);
+
+/// Reads a stream from `path`. Types and attributes are registered in a
+/// fresh schema in column order.
+StatusOr<EventStream> ReadCsv(const std::string& path);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_STREAM_CSV_IO_H_

@@ -1,0 +1,48 @@
+#include "stream/generator.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dlacep {
+
+std::shared_ptr<Schema> MakeSyntheticSchema(size_t num_types,
+                                            size_t num_attrs) {
+  auto schema = std::make_shared<Schema>();
+  for (size_t i = 0; i < num_types; ++i) {
+    if (i < 26) {
+      schema->RegisterType(std::string(1, static_cast<char>('A' + i)));
+    } else {
+      schema->RegisterType(StrFormat("T%zu", i));
+    }
+  }
+  for (size_t i = 0; i < num_attrs; ++i) {
+    schema->RegisterAttr(i == 0 ? "vol" : StrFormat("a%zu", i));
+  }
+  return schema;
+}
+
+EventStream GenerateSynthetic(const SyntheticConfig& config,
+                              std::shared_ptr<const Schema> schema) {
+  DLACEP_CHECK_GE(schema->num_types(), config.num_types);
+  DLACEP_CHECK_EQ(schema->num_attrs(), config.num_attrs);
+  Rng rng(config.seed);
+  EventStream stream(std::move(schema));
+  for (size_t i = 0; i < config.num_events; ++i) {
+    const TypeId type = static_cast<TypeId>(
+        rng.UniformInt(0, static_cast<int64_t>(config.num_types) - 1));
+    std::vector<double> attrs(config.num_attrs);
+    for (auto& a : attrs) {
+      a = rng.Normal(config.attr_mean, config.attr_stddev);
+    }
+    stream.Append(type, static_cast<double>(i) * config.time_step,
+                  std::move(attrs));
+  }
+  return stream;
+}
+
+EventStream GenerateSynthetic(const SyntheticConfig& config) {
+  return GenerateSynthetic(
+      config, MakeSyntheticSchema(config.num_types, config.num_attrs));
+}
+
+}  // namespace dlacep

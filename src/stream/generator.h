@@ -1,0 +1,43 @@
+// Synthetic dataset generator (paper §5.1 "synthetic datasets": event
+// types sampled uniformly from 15 possibilities, numeric attribute drawn
+// from a standard normal distribution).
+
+#ifndef DLACEP_STREAM_GENERATOR_H_
+#define DLACEP_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stream/stream.h"
+
+namespace dlacep {
+
+/// Configuration of the synthetic generator.
+struct SyntheticConfig {
+  size_t num_events = 10000;
+  size_t num_types = 15;       ///< uniformly sampled event types
+  size_t num_attrs = 1;        ///< attributes per event
+  double attr_mean = 0.0;      ///< attribute distribution N(mean, stddev)
+  double attr_stddev = 1.0;
+  double time_step = 1.0;      ///< constant sampling rate (paper §4)
+  uint64_t seed = 1;
+};
+
+/// Builds a schema with types named "A", "B", ... (or "T<i>" past 26) and
+/// attributes named "vol", "a1", "a2", ...
+std::shared_ptr<Schema> MakeSyntheticSchema(size_t num_types,
+                                            size_t num_attrs);
+
+/// Generates a synthetic stream over the given schema. The schema must
+/// have at least `config.num_types` types and exactly
+/// `config.num_attrs` attributes.
+EventStream GenerateSynthetic(const SyntheticConfig& config,
+                              std::shared_ptr<const Schema> schema);
+
+/// Convenience overload that builds the schema internally.
+EventStream GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_STREAM_GENERATOR_H_

@@ -1,0 +1,55 @@
+#include "stream/schema.h"
+
+namespace dlacep {
+
+namespace {
+const std::string kBlankName = "<blank>";
+}  // namespace
+
+TypeId Schema::RegisterType(const std::string& name) {
+  auto it = type_ids_.find(name);
+  if (it != type_ids_.end()) return it->second;
+  const TypeId id = static_cast<TypeId>(type_names_.size());
+  type_names_.push_back(name);
+  type_ids_.emplace(name, id);
+  return id;
+}
+
+size_t Schema::RegisterAttr(const std::string& name) {
+  auto it = attr_indexes_.find(name);
+  if (it != attr_indexes_.end()) return it->second;
+  const size_t index = attr_names_.size();
+  attr_names_.push_back(name);
+  attr_indexes_.emplace(name, index);
+  return index;
+}
+
+StatusOr<TypeId> Schema::TypeIdOf(const std::string& name) const {
+  auto it = type_ids_.find(name);
+  if (it == type_ids_.end()) {
+    return Status::NotFound("unknown event type: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<size_t> Schema::AttrIndexOf(const std::string& name) const {
+  auto it = attr_indexes_.find(name);
+  if (it == attr_indexes_.end()) {
+    return Status::NotFound("unknown attribute: " + name);
+  }
+  return it->second;
+}
+
+const std::string& Schema::TypeName(TypeId id) const {
+  if (id == kBlankType) return kBlankName;
+  DLACEP_CHECK_GE(id, 0);
+  DLACEP_CHECK_LT(static_cast<size_t>(id), type_names_.size());
+  return type_names_[static_cast<size_t>(id)];
+}
+
+const std::string& Schema::AttrName(size_t index) const {
+  DLACEP_CHECK_LT(index, attr_names_.size());
+  return attr_names_[index];
+}
+
+}  // namespace dlacep

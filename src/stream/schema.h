@@ -1,0 +1,52 @@
+// Stream schema: the dictionary of event-type names and attribute names.
+
+#ifndef DLACEP_STREAM_SCHEMA_H_
+#define DLACEP_STREAM_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace dlacep {
+
+/// Maps symbolic event-type names and attribute names to dense ids.
+///
+/// A schema is created once per stream source and shared (by
+/// std::shared_ptr) between the stream, the pattern compiler, and the
+/// featurizer, so that "GOOG" or "vol" resolve to the same ids everywhere.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers (or looks up) an event type by name; returns its id.
+  TypeId RegisterType(const std::string& name);
+
+  /// Registers (or looks up) an attribute by name; returns its index.
+  size_t RegisterAttr(const std::string& name);
+
+  /// Returns the id of a registered type, or kNotFound.
+  StatusOr<TypeId> TypeIdOf(const std::string& name) const;
+
+  /// Returns the index of a registered attribute, or kNotFound.
+  StatusOr<size_t> AttrIndexOf(const std::string& name) const;
+
+  /// Name lookup; blank type renders as "<blank>".
+  const std::string& TypeName(TypeId id) const;
+  const std::string& AttrName(size_t index) const;
+
+  size_t num_types() const { return type_names_.size(); }
+  size_t num_attrs() const { return attr_names_.size(); }
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<std::string> attr_names_;
+  std::unordered_map<std::string, TypeId> type_ids_;
+  std::unordered_map<std::string, size_t> attr_indexes_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_STREAM_SCHEMA_H_

@@ -1,0 +1,57 @@
+#include "stream/stocksim.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dlacep {
+
+std::shared_ptr<Schema> MakeStockSchema(size_t num_symbols) {
+  auto schema = std::make_shared<Schema>();
+  for (size_t i = 0; i < num_symbols; ++i) {
+    schema->RegisterType(StrFormat("S%zu", i));
+  }
+  schema->RegisterAttr("vol");
+  return schema;
+}
+
+EventStream GenerateStockStream(const StockSimConfig& config,
+                                std::shared_ptr<const Schema> schema) {
+  DLACEP_CHECK_GE(schema->num_types(), config.num_symbols);
+  DLACEP_CHECK_GE(schema->num_attrs(), 1u);
+  Rng rng(config.seed);
+
+  // Per-symbol state: base log-volume and current log-volume.
+  std::vector<double> base_log(config.num_symbols);
+  std::vector<double> cur_log(config.num_symbols);
+  for (size_t s = 0; s < config.num_symbols; ++s) {
+    base_log[s] = rng.Normal(config.base_volume_mean,
+                             config.base_volume_stddev);
+    cur_log[s] = base_log[s];
+  }
+
+  EventStream stream(std::move(schema));
+  for (size_t i = 0; i < config.num_events; ++i) {
+    const size_t s = static_cast<size_t>(rng.Zipf(
+        static_cast<int64_t>(config.num_symbols), config.zipf_exponent));
+    // Geometric random walk with mean reversion towards the base level.
+    double innovation = rng.Normal(0.0, config.walk_stddev);
+    if (rng.Bernoulli(config.shock_prob)) {
+      innovation += rng.Normal(0.0, config.shock_stddev);
+    }
+    cur_log[s] += config.mean_reversion * (base_log[s] - cur_log[s]) +
+                  innovation;
+    const double volume = std::exp(cur_log[s]);
+    stream.Append(static_cast<TypeId>(s),
+                  static_cast<double>(i) * config.time_step, {volume});
+  }
+  return stream;
+}
+
+EventStream GenerateStockStream(const StockSimConfig& config) {
+  return GenerateStockStream(config, MakeStockSchema(config.num_symbols));
+}
+
+}  // namespace dlacep

@@ -1,0 +1,64 @@
+#include "stream/stream.h"
+
+#include <cmath>
+
+namespace dlacep {
+
+EventId EventStream::Append(TypeId type, double timestamp,
+                            std::vector<double> attrs) {
+  const EventId id = next_id_++;
+  events_.emplace_back(id, type, timestamp, std::move(attrs));
+  return id;
+}
+
+EventId EventStream::AppendBlank(double timestamp) {
+  const EventId id = next_id_++;
+  events_.emplace_back(id, kBlankType, timestamp, std::vector<double>{});
+  return id;
+}
+
+std::span<const Event> EventStream::View(size_t first, size_t count) const {
+  DLACEP_CHECK_LE(first + count, events_.size());
+  return std::span<const Event>(events_.data() + first, count);
+}
+
+AttrStats EventStream::ComputeAttrStats(size_t attr_index) const {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.is_blank()) continue;
+    const double v = e.attr(attr_index);
+    sum += v;
+    sum_sq += v * v;
+    ++n;
+  }
+  AttrStats stats;
+  if (n == 0) return stats;
+  stats.mean = sum / static_cast<double>(n);
+  const double var =
+      sum_sq / static_cast<double>(n) - stats.mean * stats.mean;
+  stats.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+  return stats;
+}
+
+std::vector<size_t> EventStream::TypeHistogram() const {
+  std::vector<size_t> hist(schema_->num_types(), 0);
+  for (const Event& e : events_) {
+    if (e.is_blank()) continue;
+    DLACEP_CHECK_LT(static_cast<size_t>(e.type), hist.size());
+    ++hist[static_cast<size_t>(e.type)];
+  }
+  return hist;
+}
+
+EventStream EventStream::Slice(size_t first, size_t count) const {
+  DLACEP_CHECK_LE(first + count, events_.size());
+  EventStream out(schema_);
+  out.events_.assign(events_.begin() + static_cast<ptrdiff_t>(first),
+                     events_.begin() + static_cast<ptrdiff_t>(first + count));
+  out.next_id_ = out.events_.empty() ? 0 : out.events_.back().id + 1;
+  return out;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,76 @@
+// EventStream: an ordered, finite batch of primitive events plus its
+// schema. Streams in the paper are conceptually infinite; for evaluation
+// (and as in the paper's experiments) we operate on finite prefixes.
+
+#ifndef DLACEP_STREAM_STREAM_H_
+#define DLACEP_STREAM_STREAM_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stream/event.h"
+#include "stream/schema.h"
+
+namespace dlacep {
+
+/// Mean / standard deviation summary of one attribute, used by the
+/// featurizer to standardize numeric inputs (paper §5.1 standardizes the
+/// stock volume attribute).
+struct AttrStats {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+/// An in-memory event stream. Events are stored in arrival order and get
+/// their unique increasing ids assigned by Append (or AssignIds for
+/// streams built externally).
+class EventStream {
+ public:
+  explicit EventStream(std::shared_ptr<const Schema> schema)
+      : schema_(std::move(schema)) {
+    DLACEP_CHECK(schema_ != nullptr);
+  }
+
+  /// Appends an event, assigning the next arrival id. Returns that id.
+  EventId Append(TypeId type, double timestamp, std::vector<double> attrs);
+
+  /// Appends a blank (padding) event with the given timestamp.
+  EventId AppendBlank(double timestamp);
+
+  const Schema& schema() const { return *schema_; }
+  std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& operator[](size_t i) const {
+    DLACEP_CHECK_LT(i, events_.size());
+    return events_[i];
+  }
+  const std::vector<Event>& events() const { return events_; }
+
+  std::vector<Event>::const_iterator begin() const { return events_.begin(); }
+  std::vector<Event>::const_iterator end() const { return events_.end(); }
+
+  /// Read-only view over a contiguous index range [first, first + count).
+  std::span<const Event> View(size_t first, size_t count) const;
+
+  /// Computes mean/stddev of one attribute over non-blank events.
+  AttrStats ComputeAttrStats(size_t attr_index) const;
+
+  /// Counts events per type id; index = type id. Blank events excluded.
+  std::vector<size_t> TypeHistogram() const;
+
+  /// Returns a new stream containing a copy of the events in [first,
+  /// first + count), preserving ids and timestamps.
+  EventStream Slice(size_t first, size_t count) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<Event> events_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_STREAM_STREAM_H_

@@ -1,0 +1,72 @@
+#include "stream/window.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace dlacep {
+
+bool FitsWindow(const std::vector<const Event*>& events,
+                const WindowSpec& window) {
+  if (events.empty()) return true;
+  if (window.kind == WindowKind::kCount) {
+    EventId lo = events[0]->id;
+    EventId hi = events[0]->id;
+    for (const Event* e : events) {
+      lo = std::min(lo, e->id);
+      hi = std::max(hi, e->id);
+    }
+    return hi - lo <= static_cast<EventId>(window.count_size()) - 1;
+  }
+  double lo = events[0]->timestamp;
+  double hi = events[0]->timestamp;
+  for (const Event* e : events) {
+    lo = std::min(lo, e->timestamp);
+    hi = std::max(hi, e->timestamp);
+  }
+  return hi - lo <= window.size;
+}
+
+bool FitsWindowIncremental(const Event& earliest, const Event& next,
+                           const WindowSpec& window) {
+  if (window.kind == WindowKind::kCount) {
+    DLACEP_CHECK_GE(next.id, earliest.id);
+    return next.id - earliest.id <=
+           static_cast<EventId>(window.count_size()) - 1;
+  }
+  return next.timestamp - earliest.timestamp <= window.size;
+}
+
+std::vector<WindowRange> CountWindows(size_t stream_size, size_t window_size,
+                                      size_t step) {
+  DLACEP_CHECK_GT(window_size, 0u);
+  DLACEP_CHECK_GT(step, 0u);
+  std::vector<WindowRange> out;
+  if (stream_size == 0) return out;
+  for (size_t begin = 0;; begin += step) {
+    const size_t end = std::min(begin + window_size, stream_size);
+    out.push_back(WindowRange{begin, end});
+    if (end == stream_size) break;
+  }
+  return out;
+}
+
+std::vector<WindowRange> TimeWindows(const EventStream& stream, double span) {
+  std::vector<WindowRange> out;
+  const size_t n = stream.size();
+  size_t prev_end = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t end = i + 1;
+    while (end < n &&
+           stream[end].timestamp - stream[i].timestamp <= span) {
+      ++end;
+    }
+    if (end > prev_end) {
+      out.push_back(WindowRange{i, end});
+      prev_end = end;
+    }
+  }
+  return out;
+}
+
+}  // namespace dlacep

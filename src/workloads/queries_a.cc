@@ -1,0 +1,276 @@
+#include "workloads/queries_a.h"
+
+#include "common/string_util.h"
+#include "pattern/builder.h"
+
+namespace dlacep {
+namespace workloads {
+
+std::vector<TypeId> TopK(size_t k) { return RankRange(0, k); }
+
+std::vector<TypeId> RankRange(size_t lo, size_t hi) {
+  DLACEP_CHECK_LT(lo, hi);
+  std::vector<TypeId> types;
+  types.reserve(hi - lo);
+  for (size_t r = lo; r < hi; ++r) {
+    types.push_back(static_cast<TypeId>(r));
+  }
+  return types;
+}
+
+namespace {
+
+std::string V(size_t i) { return StrFormat("s%zu", i); }
+
+// Adds α·V(i).vol < V(target).vol < β·V(i).vol.
+void Band(PatternBuilder* b, size_t i, size_t target, double alpha,
+          double beta) {
+  b->Where(MakeBandCondition(b->Var(V(target)), 0, b->Var(V(i)), 0, alpha,
+                             beta));
+}
+
+}  // namespace
+
+Pattern QA1(std::shared_ptr<const Schema> schema, size_t j, size_t k,
+            double alpha, double beta, size_t p_size, size_t window) {
+  DLACEP_CHECK_GE(j, 2u);
+  DLACEP_CHECK_LE(p_size, j - 1);
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= j; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(k), V(i)));
+  }
+  auto root = b.SeqOf(std::move(children));
+  for (size_t i = 1; i <= p_size; ++i) {
+    Band(&b, i, j, alpha, beta);
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA2(std::shared_ptr<const Schema> schema, size_t k, size_t window) {
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= 5; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(k), V(i)));
+  }
+  return b.BuildOrDie(b.SeqOf(std::move(children)),
+                      WindowSpec::Count(window));
+}
+
+Pattern QA3(std::shared_ptr<const Schema> schema, size_t j, size_t k,
+            size_t r, size_t p_size, size_t l, size_t m, double alpha,
+            double beta, double gamma, size_t window) {
+  DLACEP_CHECK_GE(j, 2u);
+  DLACEP_CHECK_GE(r, 1u);
+  DLACEP_CHECK_LE(r, j);
+  DLACEP_CHECK_LE(p_size, r - 1);
+  DLACEP_CHECK_GE(l, 1u);
+  DLACEP_CHECK_LE(l, j);
+  DLACEP_CHECK_GE(m, 1u);
+  DLACEP_CHECK_LE(m, j);
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= j; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(k), V(i)));
+  }
+  auto root = b.SeqOf(std::move(children));
+  for (size_t i = 1; i <= p_size; ++i) {
+    Band(&b, i, r, alpha, beta);
+  }
+  b.Where(std::make_unique<CompareCondition>(
+      Term::Attr(b.Var(V(l)), 0, gamma), CmpOp::kLt,
+      Term::Attr(b.Var(V(m)), 0)));
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA4(std::shared_ptr<const Schema> schema, size_t j, size_t k,
+            size_t p_size, size_t l, size_t m, double alpha, double beta,
+            double gamma, double delta, size_t window) {
+  DLACEP_CHECK_GE(j, 2u);
+  DLACEP_CHECK_LE(p_size, j - 1);
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= j; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(k), V(i)));
+  }
+  auto root = b.SeqOf(std::move(children));
+  for (size_t i = 1; i <= p_size; ++i) {
+    Band(&b, i, j, alpha, beta);
+  }
+  b.Where(MakeBandCondition(b.Var(V(m)), 0, b.Var(V(l)), 0, gamma, delta));
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA5(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            size_t band, double alpha, double beta, size_t window,
+            size_t max_reps) {
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= 5; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(base), V(i)));
+  }
+  for (size_t l = 1; l <= j; ++l) {
+    children.push_back(b.Kleene(
+        b.PrimAnyOfIds(RankRange(base + (l - 1) * band, base + l * band),
+                       StrFormat("kc%zu", l)),
+        1, max_reps));
+  }
+  auto root = b.SeqOf(std::move(children));
+  for (size_t i = 1; i <= 4; ++i) {
+    Band(&b, i, 5, alpha, beta);
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA6(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            double alpha, double beta, size_t window, size_t max_reps) {
+  DLACEP_CHECK_GE(j, 2u);
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= j; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(base), V(i)));
+  }
+  auto root = b.Kleene(b.SeqOf(std::move(children)), 1, max_reps);
+  for (size_t i = 1; i < j; ++i) {
+    Band(&b, i, j, alpha, beta);
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+namespace {
+
+// Shared body of QA7/QA8: SEQ(S_1..S_4, <negated part>, S_5).
+Pattern NegTemplate(std::shared_ptr<const Schema> schema, size_t j,
+                    size_t base, size_t band, double alpha, double beta,
+                    size_t window, bool nested_seq) {
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 1; i <= 4; ++i) {
+    children.push_back(b.PrimAnyOfIds(TopK(base), V(i)));
+  }
+  if (nested_seq) {
+    std::vector<PatternBuilder::Node> neg_children;
+    for (size_t l = 1; l <= j; ++l) {
+      neg_children.push_back(b.PrimAnyOfIds(
+          RankRange(base + (l - 1) * band, base + l * band),
+          StrFormat("n%zu", l)));
+    }
+    children.push_back(b.Neg(b.SeqOf(std::move(neg_children))));
+  } else {
+    for (size_t l = 1; l <= j; ++l) {
+      children.push_back(b.Neg(b.PrimAnyOfIds(
+          RankRange(base + (l - 1) * band, base + l * band),
+          StrFormat("n%zu", l))));
+    }
+  }
+  children.push_back(b.PrimAnyOfIds(TopK(base), V(5)));
+  auto root = b.SeqOf(std::move(children));
+  for (size_t i = 1; i <= 4; ++i) {
+    Band(&b, i, 5, alpha, beta);
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+}  // namespace
+
+Pattern QA7(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            size_t band, double alpha, double beta, size_t window) {
+  return NegTemplate(std::move(schema), j, base, band, alpha, beta, window,
+                     /*nested_seq=*/false);
+}
+
+Pattern QA8(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            size_t band, double alpha, double beta, size_t window) {
+  return NegTemplate(std::move(schema), j, base, band, alpha, beta, window,
+                     /*nested_seq=*/true);
+}
+
+Pattern QA9(std::shared_ptr<const Schema> schema, size_t j, size_t k1,
+            size_t k2, double alpha, double beta, double gamma,
+            double delta, size_t window) {
+  DLACEP_CHECK_GE(j, 2u);
+  DLACEP_CHECK_LT(k1, k2);
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> seq1;
+  std::vector<PatternBuilder::Node> seq2;
+  for (size_t i = 1; i <= j; ++i) {
+    seq1.push_back(b.PrimAnyOfIds(TopK(k1), V(i)));
+    seq2.push_back(b.PrimAnyOfIds(RankRange(k1, k2),
+                                  StrFormat("t%zu", i)));
+  }
+  auto root = b.Disj(b.SeqOf(std::move(seq1)), b.SeqOf(std::move(seq2)));
+  for (size_t i = 1; i < j; ++i) {
+    Band(&b, i, j, alpha, beta);
+    b.Where(MakeBandCondition(b.Var(StrFormat("t%zu", j)), 0,
+                              b.Var(StrFormat("t%zu", i)), 0, gamma,
+                              delta));
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA10(std::shared_ptr<const Schema> schema, size_t j, size_t band,
+             double alpha1, double alpha2, size_t window) {
+  DLACEP_CHECK_GE(j, 2u);
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> branches;
+  for (size_t l = 1; l <= j; ++l) {
+    std::vector<PatternBuilder::Node> seq;
+    for (size_t m = 1; m <= 4; ++m) {
+      seq.push_back(b.PrimAnyOfIds(RankRange((l - 1) * band, l * band),
+                                   StrFormat("b%zum%zu", l, m)));
+    }
+    branches.push_back(b.SeqOf(std::move(seq)));
+  }
+  auto root = b.DisjOf(std::move(branches));
+  for (size_t l = 1; l <= j; ++l) {
+    // Per-branch widening bands (the paper's α^r_1, α^r_2).
+    const double lo = alpha1 / (1.0 + 0.1 * static_cast<double>(l - 1));
+    const double hi = alpha2 * (1.0 + 0.1 * static_cast<double>(l - 1));
+    for (size_t p = 1; p <= 3; ++p) {
+      b.Where(MakeBandCondition(b.Var(StrFormat("b%zum4", l)), 0,
+                                b.Var(StrFormat("b%zum%zu", l, p)), 0, lo,
+                                hi));
+    }
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA11(std::shared_ptr<const Schema> schema, bool conjunction,
+             size_t band, double alpha, double beta, size_t window) {
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t t = 1; t <= 5; ++t) {
+    children.push_back(b.PrimAnyOfIds(
+        RankRange((t - 1) * band, t * band), V(t)));
+  }
+  auto root = conjunction ? b.ConjOf(std::move(children))
+                          : b.SeqOf(std::move(children));
+  for (size_t i = 1; i <= 4; ++i) {
+    Band(&b, i, 5, alpha, beta);
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QA12(std::shared_ptr<const Schema> schema, size_t band,
+             double alpha, double beta, double gamma, double delta,
+             size_t window) {
+  PatternBuilder b(std::move(schema));
+  std::vector<PatternBuilder::Node> seq1;
+  std::vector<PatternBuilder::Node> seq2;
+  for (size_t t = 1; t <= 5; ++t) {
+    seq1.push_back(b.PrimAnyOfIds(RankRange((t - 1) * band, t * band),
+                                  V(t)));
+    seq2.push_back(b.PrimAnyOfIds(RankRange((t - 1) * band, t * band),
+                                  StrFormat("t%zu", t)));
+  }
+  auto root = b.Disj(b.SeqOf(std::move(seq1)), b.SeqOf(std::move(seq2)));
+  for (size_t i = 1; i <= 4; ++i) {
+    Band(&b, i, 5, alpha, beta);
+    b.Where(MakeBandCondition(b.Var("t5"), 0, b.Var(StrFormat("t%zu", i)),
+                              0, gamma, delta));
+  }
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+}  // namespace workloads
+}  // namespace dlacep

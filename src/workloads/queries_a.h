@@ -1,0 +1,106 @@
+// The real-world (stock) query templates of Table 1, as C++ factories.
+//
+// Table 1 binds positions to T_k — "the set of the top k most prevalent
+// stock identifiers". The stock simulator assigns type ids in prevalence
+// rank order (see stream/stocksim.h), so T_k is the id range [0, k) and
+// T_a/T_b is the range [b, a). Every factory takes the rank parameters
+// explicitly; bench recipes scale the paper's ranks (100, 200, 40·t...)
+// down proportionally to the simulated symbol universe and record the
+// originals in comments/EXPERIMENTS.md.
+//
+// Unless a factory documents otherwise, the conditions are the band
+// predicates of the templates: α·S_i.vol < S_target.vol < β·S_i.vol.
+
+#ifndef DLACEP_WORKLOADS_QUERIES_A_H_
+#define DLACEP_WORKLOADS_QUERIES_A_H_
+
+#include <memory>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace dlacep {
+namespace workloads {
+
+/// Type ids of the top-k most prevalent symbols: [0, k).
+std::vector<TypeId> TopK(size_t k);
+
+/// Type ids of prevalence ranks [lo, hi) — the template notation
+/// T_hi / T_lo.
+std::vector<TypeId> RankRange(size_t lo, size_t hi);
+
+/// Q^A_1: SEQ(S_1..S_j), all S_t ∈ T_k, band conditions from the first
+/// `p_size` positions to S_j. More k ⇒ more partial matches; larger
+/// β−α or smaller p_size ⇒ more full matches.
+Pattern QA1(std::shared_ptr<const Schema> schema, size_t j, size_t k,
+            double alpha, double beta, size_t p_size, size_t window);
+
+/// Q^A_2: SEQ(S_1..S_5), all S_t ∈ T_k, no value conditions — almost
+/// every partial match completes to a full match.
+Pattern QA2(std::shared_ptr<const Schema> schema, size_t k, size_t window);
+
+/// Q^A_3: SEQ(S_1..S_j) in T_k; band conditions from the first `p_size`
+/// positions to S_r; plus one one-sided condition γ·S_l.vol < S_m.vol.
+Pattern QA3(std::shared_ptr<const Schema> schema, size_t j, size_t k,
+            size_t r, size_t p_size, size_t l, size_t m, double alpha,
+            double beta, double gamma, size_t window);
+
+/// Q^A_4: SEQ(S_1..S_j) in T_k; band conditions to S_j over the first
+/// `p_size` positions plus a second band γ..δ between S_l and S_m.
+Pattern QA4(std::shared_ptr<const Schema> schema, size_t j, size_t k,
+            size_t p_size, size_t l, size_t m, double alpha, double beta,
+            double gamma, double delta, size_t window);
+
+/// Q^A_5: SEQ(S_1..S_5, KC(S'_1)...KC(S'_j)); the five positives are in
+/// T_base, the l-th Kleene position accepts ranks
+/// [base + (l-1)·band, base + l·band); band conditions from the
+/// positives to S_5. `max_reps` bounds KC enumeration.
+Pattern QA5(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            size_t band, double alpha, double beta, size_t window,
+            size_t max_reps = 3);
+
+/// Q^A_6: KC(SEQ(S_1..S_j)) with all positions in T_base and band
+/// conditions from the first j-1 positions to S_j.
+Pattern QA6(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            double alpha, double beta, size_t window, size_t max_reps = 3);
+
+/// Q^A_7: SEQ(S_1..S_4, NEG(S'_1)...NEG(S'_j), S_5) — j negated
+/// primitives between the 4th and 5th positives; positives in T_base,
+/// the l-th negated position accepting ranks
+/// [base + (l-1)·band, base + l·band); band conditions to S_5.
+Pattern QA7(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            size_t band, double alpha, double beta, size_t window);
+
+/// Q^A_8: SEQ(S_1..S_4, NEG(SEQ(S'_1..S'_j)), S_5) — one negated
+/// sub-sequence of length j.
+Pattern QA8(std::shared_ptr<const Schema> schema, size_t j, size_t base,
+            size_t band, double alpha, double beta, size_t window);
+
+/// Q^A_9: DISJ(SEQ_1(S_1..S_j), SEQ_2(S'_1..S'_j)) — SEQ_1 in T_k1,
+/// SEQ_2 in T_k2/T_k1; band conditions within each branch.
+Pattern QA9(std::shared_ptr<const Schema> schema, size_t j, size_t k1,
+            size_t k2, double alpha, double beta, double gamma,
+            double delta, size_t window);
+
+/// Q^A_10: DISJ of j sequences of length 4; branch l accepts ranks
+/// [(l-1)·band, l·band); per-branch band conditions to the branch's
+/// 4th position with widening (α_1, α_2) per branch.
+Pattern QA10(std::shared_ptr<const Schema> schema, size_t j, size_t band,
+             double alpha1, double alpha2, size_t window);
+
+/// Q^A_11: CONJ or SEQ of five positions with disjoint rank bands of
+/// width `band` (position t accepts ranks [(t-1)·band, t·band)); band
+/// conditions from the first four positions to S_5.
+Pattern QA11(std::shared_ptr<const Schema> schema, bool conjunction,
+             size_t band, double alpha, double beta, size_t window);
+
+/// Q^A_12: DISJ of two Q^A_11-style sequences over the same rank bands
+/// with different band widths (α..β and γ..δ).
+Pattern QA12(std::shared_ptr<const Schema> schema, size_t band,
+             double alpha, double beta, double gamma, double delta,
+             size_t window);
+
+}  // namespace workloads
+}  // namespace dlacep
+
+#endif  // DLACEP_WORKLOADS_QUERIES_A_H_

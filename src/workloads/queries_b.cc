@@ -1,0 +1,60 @@
+#include "workloads/queries_b.h"
+
+#include "pattern/builder.h"
+
+namespace dlacep {
+namespace workloads {
+
+Pattern QB1(std::shared_ptr<const Schema> schema, size_t window,
+            double kLo, double kHi) {
+  PatternBuilder b(std::move(schema));
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"), b.Prim("C", "c"),
+                    b.Prim("D", "d"), b.Prim("E", "e"), b.Prim("F", "f"));
+  // Note: the synthetic attribute is N(0,1)-distributed, so the paper's
+  // multiplicative bands are applied to the shifted value via
+  // coefficient bands on vol directly, exactly as written in Table 2.
+  b.WhereBand("f", "c", "vol", kLo, kHi);
+  b.WhereBand("f", "d", "vol", kLo, kHi);
+  b.WhereBand("e", "a", "vol", kLo, kHi);
+  b.WhereBand("e", "d", "vol", kLo, kHi);
+  b.WhereCmp(0.4, "c", "vol", CmpOp::kLt, 1.0, "f");
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QB2(std::shared_ptr<const Schema> schema, size_t window,
+            double kLo, double kHi) {
+  PatternBuilder b(std::move(schema));
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"), b.Prim("C", "c"),
+                    b.Prim("D", "d"), b.Prim("E", "e"));
+  b.WhereBand("d", "a", "vol", kLo, kHi);
+  b.WhereBand("d", "bb", "vol", kLo, kHi);
+  b.WhereBand("e", "bb", "vol", kLo, kHi);
+  b.WhereBand("e", "c", "vol", kLo, kHi);
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QB3(std::shared_ptr<const Schema> schema, size_t window,
+            double kLo, double kHi) {
+  PatternBuilder b(std::move(schema));
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"), b.Prim("C", "c"),
+                    b.Prim("D", "d"));
+  b.WhereBand("d", "a", "vol", kLo, kHi);
+  b.WhereBand("d", "bb", "vol", kLo, kHi);
+  b.WhereBand("d", "c", "vol", kLo, kHi);
+  return b.BuildOrDie(std::move(root), WindowSpec::Count(window));
+}
+
+Pattern QBOfLength(std::shared_ptr<const Schema> schema, size_t length,
+                   size_t window, double lo, double hi) {
+  switch (length) {
+    case 4: return QB3(std::move(schema), window, lo, hi);
+    case 5: return QB2(std::move(schema), window, lo, hi);
+    case 6: return QB1(std::move(schema), window, lo, hi);
+    default:
+      DLACEP_CHECK_MSG(false, "QBOfLength supports lengths 4..6");
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace workloads
+}  // namespace dlacep

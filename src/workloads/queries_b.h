@@ -1,0 +1,37 @@
+// The synthetic query templates of Table 2 plus the Fig 13 length sweep.
+// The synthetic schema names its 15 types A..O and carries one "vol"
+// attribute sampled from N(0, 1).
+
+#ifndef DLACEP_WORKLOADS_QUERIES_B_H_
+#define DLACEP_WORKLOADS_QUERIES_B_H_
+
+#include <memory>
+
+#include "pattern/pattern.h"
+
+namespace dlacep {
+namespace workloads {
+
+/// Q^B_1: SEQ(A,B,C,D,E,F) WHERE 0.85·X.vol < F.vol < 1.15·X.vol for
+/// X ∈ {C,D}; 0.85·X.vol < E.vol < 1.15·X.vol for X ∈ {A,D};
+/// 0.4·C.vol < F.vol. Largest amount of partial matches, few completed.
+Pattern QB1(std::shared_ptr<const Schema> schema, size_t window,
+            double lo = 0.85, double hi = 1.15);
+
+/// Q^B_2: SEQ(A,B,C,D,E) WHERE bands D vs {A,B} and E vs {B,C}.
+Pattern QB2(std::shared_ptr<const Schema> schema, size_t window,
+            double lo = 0.85, double hi = 1.15);
+
+/// Q^B_3: SEQ(A,B,C,D) WHERE bands D vs {A,B,C}.
+Pattern QB3(std::shared_ptr<const Schema> schema, size_t window,
+            double lo = 0.85, double hi = 1.15);
+
+/// The Fig 13 family: SEQ of `length` ∈ {4,5,6} positions with the
+/// Table 2 style band conditions (QB3 / QB2 / QB1 respectively).
+Pattern QBOfLength(std::shared_ptr<const Schema> schema, size_t length,
+                   size_t window, double lo = 0.85, double hi = 1.15);
+
+}  // namespace workloads
+}  // namespace dlacep
+
+#endif  // DLACEP_WORKLOADS_QUERIES_B_H_

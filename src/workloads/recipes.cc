@@ -1,0 +1,48 @@
+#include "workloads/recipes.h"
+
+namespace dlacep {
+namespace workloads {
+
+StockSimConfig StockConfig(size_t num_events, uint64_t seed) {
+  StockSimConfig config;
+  config.num_events = num_events;
+  config.num_symbols = kNumSymbols;
+  config.seed = seed;
+  return config;
+}
+
+EventStream StockTrainStream() {
+  return GenerateStockStream(StockConfig(kTrainEvents, 1001));
+}
+
+EventStream StockTestStream() {
+  return GenerateStockStream(StockConfig(kTestEvents, 2002));
+}
+
+EventStream SyntheticStream(size_t num_events, uint64_t seed) {
+  SyntheticConfig config;
+  config.num_events = num_events;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+DlacepConfig BenchConfig() {
+  DlacepConfig config;
+  config.network.hidden_dim = 12;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 30;
+  config.event_threshold = 0.35;
+  return config;
+}
+
+DlacepConfig FastBenchConfig() {
+  DlacepConfig config;
+  config.network.hidden_dim = 10;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 20;
+  config.event_threshold = 0.35;
+  return config;
+}
+
+}  // namespace workloads
+}  // namespace dlacep

@@ -1,0 +1,49 @@
+// Scaled dataset recipes shared by benches and examples.
+//
+// The paper's experiments use a 689M-event NASDAQ dataset, windows of
+// W = 150, and 2500+ symbols; this reproduction scales everything so the
+// whole study runs on one CPU core (paper originals recorded in
+// EXPERIMENTS.md). Symbol ranks scale 10:1 (T_100 → T_10).
+
+#ifndef DLACEP_WORKLOADS_RECIPES_H_
+#define DLACEP_WORKLOADS_RECIPES_H_
+
+#include "dlacep/config.h"
+#include "stream/generator.h"
+#include "stream/stocksim.h"
+
+namespace dlacep {
+namespace workloads {
+
+/// Symbol universe of the scaled stock simulation (paper: 2500+).
+inline constexpr size_t kNumSymbols = 64;
+
+/// Default scaled pattern window (paper: W = 150).
+inline constexpr size_t kDefaultWindow = 30;
+
+/// Training / evaluation stream lengths (paper: 20K-40K samples of 300
+/// events each).
+inline constexpr size_t kTrainEvents = 6000;
+inline constexpr size_t kTestEvents = 4000;
+
+/// The standard stock streams (same generator configuration, disjoint
+/// seeds for train and test).
+StockSimConfig StockConfig(size_t num_events, uint64_t seed);
+EventStream StockTrainStream();
+EventStream StockTestStream();
+
+/// Synthetic streams for the Table 2 / Fig 13 experiments. A fresh
+/// dataset per (window, pattern length) pair, as in the paper.
+EventStream SyntheticStream(size_t num_events, uint64_t seed);
+
+/// The shared scaled DLACEP configuration used by benches: hidden 12,
+/// 1 BiLSTM layer (paper: 75 / 3), with the tuned training schedule.
+DlacepConfig BenchConfig();
+
+/// A faster configuration for the heaviest sweeps.
+DlacepConfig FastBenchConfig();
+
+}  // namespace workloads
+}  // namespace dlacep
+
+#endif  // DLACEP_WORKLOADS_RECIPES_H_

@@ -1,0 +1,97 @@
+#include "workloads/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dlacep {
+namespace workloads {
+
+ExperimentRow RunDlacepExperiment(const std::string& label,
+                                  const Pattern& pattern,
+                                  const EventStream& train,
+                                  const EventStream& test, FilterKind kind,
+                                  const DlacepConfig& config) {
+  ExperimentRow row;
+  row.label = label;
+  row.filter = FilterKindName(kind);
+
+  BuiltDlacep built = BuildDlacep(pattern, train, kind, config);
+  row.train_seconds = built.train_seconds;
+  row.entity_f1 = built.test_metrics.f1();
+  row.train_epochs = built.train_result.epochs_run;
+
+  const ComparisonResult comparison =
+      built.pipeline->CompareWithEcep(test);
+  row.throughput_gain = comparison.throughput_gain();
+  row.recall = comparison.quality.recall;
+  row.precision = comparison.quality.precision;
+  row.f1 = comparison.quality.f1;
+  row.fn_pct = comparison.quality.false_negative_pct;
+  row.filtering_ratio = comparison.dlacep.filtering_ratio();
+  row.ecep_partial_matches = comparison.ecep_stats.partial_matches;
+  row.acep_partial_matches = comparison.dlacep.cep_stats.partial_matches;
+  row.exact_matches = comparison.exact_matches.size();
+  row.emitted_matches = comparison.dlacep.matches.size();
+  return row;
+}
+
+ExperimentRow RunEngineExperiment(const std::string& label,
+                                  const Pattern& pattern,
+                                  const EventStream& test,
+                                  EngineKind engine) {
+  ExperimentRow row;
+  row.label = label;
+  row.filter = EngineKindName(engine);
+
+  const std::span<const Event> span(test.events().data(), test.size());
+
+  auto baseline = CreateEngine(EngineKind::kNfa, pattern);
+  DLACEP_CHECK_MSG(baseline.ok(), baseline.status().ToString());
+  MatchSet exact;
+  DLACEP_CHECK(baseline.value()->Evaluate(span, &exact).ok());
+  const double baseline_seconds = baseline.value()->stats().elapsed_seconds;
+  row.ecep_partial_matches = baseline.value()->stats().partial_matches;
+  row.exact_matches = exact.size();
+
+  auto candidate = CreateEngine(engine, pattern);
+  DLACEP_CHECK_MSG(candidate.ok(), candidate.status().ToString());
+  MatchSet matches;
+  DLACEP_CHECK(candidate.value()->Evaluate(span, &matches).ok());
+  row.acep_partial_matches = candidate.value()->stats().partial_matches;
+  row.emitted_matches = matches.size();
+
+  const MatchSetMetrics quality = CompareMatchSets(exact, matches);
+  row.recall = quality.recall;
+  row.precision = quality.precision;
+  row.f1 = quality.f1;
+  row.fn_pct = quality.false_negative_pct;
+  row.throughput_gain =
+      baseline_seconds /
+      std::max(candidate.value()->stats().elapsed_seconds, 1e-9);
+  return row;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf(
+      "%-34s %-15s %10s %7s %7s %7s %9s %12s %12s %8s %8s\n",
+      "experiment", "filter/engine", "tp-gain", "recall", "prec", "FN%",
+      "filt%", "PM(ecep)", "PM(acep)", "matches", "trainF1");
+}
+
+void PrintRow(const ExperimentRow& row) {
+  std::printf(
+      "%-34s %-15s %10.2f %7.3f %7.3f %7.2f %8.1f%% %12llu %12llu "
+      "%8zu %8.3f\n",
+      row.label.c_str(), row.filter.c_str(), row.throughput_gain,
+      row.recall, row.precision, row.fn_pct, row.filtering_ratio * 100.0,
+      static_cast<unsigned long long>(row.ecep_partial_matches),
+      static_cast<unsigned long long>(row.acep_partial_matches),
+      row.emitted_matches, row.entity_f1);
+  std::fflush(stdout);
+}
+
+void PrintFooter() { std::printf("\n"); }
+
+}  // namespace workloads
+}  // namespace dlacep

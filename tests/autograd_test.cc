@@ -1,0 +1,365 @@
+// Finite-difference verification of every autograd op, the LSTM/BiLSTM
+// layers, the CRF losses, and the Tape's gradient accumulation contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/crf.h"
+#include "nn/grad_check.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace dlacep {
+namespace {
+
+// Weights the op output with a fixed pseudo-random matrix before
+// reducing, so gradient errors cannot cancel across entries.
+Var WeightedSum(Tape* tape, Var x) {
+  Matrix weights(x.value().rows(), x.value().cols());
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    for (size_t j = 0; j < weights.cols(); ++j) {
+      weights(i, j) =
+          std::sin(static_cast<double>(3 * i + 5 * j) + 0.7) + 1.5;
+    }
+  }
+  return ops::SumAll(ops::Mul(x, tape->Input(std::move(weights))));
+}
+
+// Runs the generic check for a forward function of two parameters.
+void CheckBinary(
+    Parameter* a, Parameter* b,
+    const std::function<Var(Tape*, Var, Var)>& op) {
+  auto forward = [&](Tape* tape) {
+    Var va = tape->Param(a);
+    Var vb = tape->Param(b);
+    return WeightedSum(tape, op(tape, va, vb));
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result = CheckGradients(
+      {a, b}, loss_fn, loss_and_backward, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+void CheckUnary(Parameter* a, const std::function<Var(Tape*, Var)>& op) {
+  auto forward = [&](Tape* tape) {
+    return WeightedSum(tape, op(tape, tape->Param(a)));
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result =
+      CheckGradients({a}, loss_fn, loss_and_backward, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+Parameter MakeParam(const std::string& name, size_t rows, size_t cols,
+                    uint64_t seed) {
+  Rng rng(seed);
+  return Parameter(name, Matrix::Randn(rows, cols, 0.8, &rng));
+}
+
+TEST(OpGradients, MatMul) {
+  Parameter a = MakeParam("a", 3, 4, 1);
+  Parameter b = MakeParam("b", 4, 2, 2);
+  CheckBinary(&a, &b, [](Tape*, Var x, Var y) { return ops::MatMul(x, y); });
+}
+
+TEST(OpGradients, AddSubMul) {
+  Parameter a = MakeParam("a", 3, 3, 3);
+  Parameter b = MakeParam("b", 3, 3, 4);
+  CheckBinary(&a, &b, [](Tape*, Var x, Var y) { return ops::Add(x, y); });
+  CheckBinary(&a, &b, [](Tape*, Var x, Var y) { return ops::Sub(x, y); });
+  CheckBinary(&a, &b, [](Tape*, Var x, Var y) { return ops::Mul(x, y); });
+}
+
+TEST(OpGradients, Scale) {
+  Parameter a = MakeParam("a", 2, 5, 5);
+  CheckUnary(&a, [](Tape*, Var x) { return ops::Scale(x, -2.5); });
+}
+
+TEST(OpGradients, Broadcasts) {
+  Parameter m = MakeParam("m", 4, 3, 6);
+  Parameter row = MakeParam("row", 1, 3, 7);
+  Parameter col = MakeParam("col", 4, 1, 8);
+  CheckBinary(&m, &row, [](Tape*, Var x, Var y) {
+    return ops::AddBroadcastRow(x, y);
+  });
+  CheckBinary(&m, &col, [](Tape*, Var x, Var y) {
+    return ops::AddBroadcastCol(x, y);
+  });
+}
+
+TEST(OpGradients, Nonlinearities) {
+  Parameter a = MakeParam("a", 3, 4, 9);
+  CheckUnary(&a, [](Tape*, Var x) { return ops::Sigmoid(x); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::Tanh(x); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::Relu(x); });
+}
+
+TEST(OpGradients, SlicesAndTranspose) {
+  Parameter a = MakeParam("a", 5, 6, 10);
+  CheckUnary(&a, [](Tape*, Var x) { return ops::SliceRows(x, 1, 3); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::SliceCols(x, 2, 3); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::Transpose(x); });
+}
+
+TEST(OpGradients, Concats) {
+  Parameter a = MakeParam("a", 2, 3, 11);
+  Parameter b = MakeParam("b", 2, 3, 12);
+  CheckBinary(&a, &b, [](Tape*, Var x, Var y) {
+    return ops::ConcatRows({x, y});
+  });
+  CheckBinary(&a, &b, [](Tape*, Var x, Var y) {
+    return ops::ConcatCols({x, y});
+  });
+}
+
+TEST(OpGradients, Reductions) {
+  Parameter a = MakeParam("a", 3, 4, 13);
+  CheckUnary(&a, [](Tape*, Var x) { return ops::SumAll(x); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::MeanAll(x); });
+  CheckUnary(&a, [](Tape*, Var x) {
+    return ops::PickSum(x, {{0, 0}, {2, 3}, {0, 0}});
+  });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::LogSumExpOverRows(x); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::LogSumExpOverCols(x); });
+  CheckUnary(&a, [](Tape*, Var x) { return ops::MaxOverRows(x); });
+}
+
+TEST(OpGradients, BceWithLogits) {
+  Parameter logits = MakeParam("z", 4, 1, 14);
+  Matrix targets(4, 1);
+  targets(0, 0) = 1.0;
+  targets(2, 0) = 1.0;
+  CheckUnary(&logits, [&targets](Tape*, Var x) {
+    return ops::BceWithLogits(x, targets);
+  });
+}
+
+TEST(OpGradients, Conv1D) {
+  Parameter x = MakeParam("x", 7, 3, 22);              // T=7, Din=3
+  Parameter w = MakeParam("w", 3 * 3, 2, 23);          // K=3, Dout=2
+  CheckBinary(&x, &w, [](Tape*, Var xv, Var wv) {
+    return ops::Conv1D(xv, wv, /*kernel=*/3, /*dilation=*/1);
+  });
+  // Dilated variant (zero padding at both ends exercised).
+  CheckBinary(&x, &w, [](Tape*, Var xv, Var wv) {
+    return ops::Conv1D(xv, wv, /*kernel=*/3, /*dilation=*/2);
+  });
+}
+
+TEST(LayerGradients, TcnBackbone) {
+  Rng rng(24);
+  const Matrix input = Matrix::Randn(6, 2, 1.0, &rng);
+  Tcn tcn("t", 2, 4, 2, 3, &rng);
+  EXPECT_EQ(tcn.receptive_field(), 7u);  // 1 + 2*(2^2-1)
+
+  auto forward = [&](Tape* tape) {
+    return WeightedSum(tape, tcn.Forward(tape, tape->Input(input)));
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result = CheckGradients(
+      tcn.Params(), loss_fn, loss_and_backward, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+TEST(LayerGradients, DenseAndLstm) {
+  Rng rng(15);
+  const Matrix input = Matrix::Randn(6, 3, 1.0, &rng);  // T=6, D=3
+  Dense dense("d", 3, 2, &rng);
+  Lstm lstm("l", 3, 4, &rng);
+
+  std::vector<Parameter*> params = dense.Params();
+  for (Parameter* p : lstm.Params()) params.push_back(p);
+
+  auto forward = [&](Tape* tape) {
+    Var x = tape->Input(input);
+    Var h = lstm.Forward(tape, x);          // 6×4
+    Var mixed = dense.Forward(tape, ops::SliceCols(h, 0, 3));
+    return WeightedSum(tape, mixed);
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result =
+      CheckGradients(params, loss_fn, loss_and_backward, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+TEST(LayerGradients, StackedBiLstmWithBce) {
+  Rng rng(16);
+  const Matrix input = Matrix::Randn(5, 2, 1.0, &rng);
+  StackedBiLstm stack("s", 2, 3, 2, &rng);
+  Dense head("h", stack.out_dim(), 1, &rng);
+  Matrix targets(5, 1);
+  targets(1, 0) = 1.0;
+  targets(4, 0) = 1.0;
+
+  std::vector<Parameter*> params = stack.Params();
+  for (Parameter* p : head.Params()) params.push_back(p);
+
+  auto forward = [&](Tape* tape) {
+    Var x = tape->Input(input);
+    Var features = stack.Forward(tape, x);
+    Var logits = head.Forward(tape, features);
+    return ops::BceWithLogits(logits, targets);
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result =
+      CheckGradients(params, loss_fn, loss_and_backward, 1e-6, 1e-4);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+TEST(CrfGradients, NllThroughEmissions) {
+  Rng rng(17);
+  LinearChainCrf crf("crf", 2, &rng);
+  Parameter emissions("e", Matrix::Randn(6, 2, 1.0, &rng));
+  const std::vector<int> labels = {0, 1, 1, 0, 1, 0};
+
+  std::vector<Parameter*> params = crf.Params();
+  params.push_back(&emissions);
+
+  auto forward = [&](Tape* tape) {
+    return crf.Nll(tape, tape->Param(&emissions), labels);
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result =
+      CheckGradients(params, loss_fn, loss_and_backward, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+TEST(CrfGradients, BiCrfNll) {
+  Rng rng(18);
+  BiCrf crf("bicrf", 2, &rng);
+  Parameter emissions_f("ef", Matrix::Randn(5, 2, 1.0, &rng));
+  Parameter emissions_b("eb", Matrix::Randn(5, 2, 1.0, &rng));
+  const std::vector<int> labels = {1, 0, 0, 1, 1};
+
+  std::vector<Parameter*> params = crf.Params();
+  params.push_back(&emissions_f);
+  params.push_back(&emissions_b);
+
+  auto forward = [&](Tape* tape) {
+    return crf.Nll(tape, tape->Param(&emissions_f),
+                   tape->Param(&emissions_b), labels);
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return forward(&tape).value()(0, 0);
+  };
+  auto loss_and_backward = [&]() {
+    Tape tape;
+    Var loss = forward(&tape);
+    tape.Backward(loss);
+  };
+  const GradCheckResult result =
+      CheckGradients(params, loss_fn, loss_and_backward, 1e-6, 1e-5);
+  EXPECT_TRUE(result.ok) << result.worst_location
+                         << " rel=" << result.worst_rel_error;
+}
+
+TEST(CrfBehaviour, NllIsNonNegativeAndViterbiFollowsStrongEmissions) {
+  Rng rng(19);
+  LinearChainCrf crf("crf", 2, &rng);
+  Matrix emissions(4, 2);
+  const std::vector<int> gold = {1, 0, 1, 1};
+  for (size_t t = 0; t < 4; ++t) {
+    emissions(t, static_cast<size_t>(gold[t])) = 10.0;  // dominate
+  }
+  Tape tape;
+  Var nll = crf.Nll(&tape, tape.Input(emissions), gold);
+  EXPECT_GE(nll.value()(0, 0), 0.0);
+  EXPECT_EQ(crf.Viterbi(emissions), gold);
+
+  const Matrix marginals = crf.Marginals(emissions);
+  for (size_t t = 0; t < marginals.rows(); ++t) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < marginals.cols(); ++j) {
+      row_sum += marginals(t, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);
+    EXPECT_GT(marginals(t, static_cast<size_t>(gold[t])), 0.9);
+  }
+}
+
+TEST(TapeContract, GradientsAccumulateAcrossTapes) {
+  Rng rng(20);
+  Parameter p("p", Matrix::Randn(2, 2, 1.0, &rng));
+  p.ZeroGrad();
+  for (int round = 0; round < 3; ++round) {
+    Tape tape;
+    Var loss = ops::SumAll(tape.Param(&p));
+    tape.Backward(loss);
+  }
+  // d(sum)/dp = 1 per entry per backward pass; accumulated 3×.
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(p.grad(i, j), 3.0);
+    }
+  }
+}
+
+TEST(TapeContract, ReusedNodeGetsSummedGradient) {
+  Rng rng(21);
+  Parameter p("p", Matrix::Randn(1, 1, 1.0, &rng));
+  p.ZeroGrad();
+  Tape tape;
+  Var x = tape.Param(&p);
+  Var y = ops::Add(x, x);  // y = 2x
+  tape.Backward(ops::SumAll(y));
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace dlacep

@@ -1,0 +1,245 @@
+// Property tests: every production engine must emit exactly the match set
+// of the brute-force oracle, across pattern shapes, seeds, and window
+// sizes. This is the core correctness contract of the CEP substrate.
+
+#include <gtest/gtest.h>
+
+#include "cep/engine.h"
+#include "cep/oracle.h"
+#include "pattern/builder.h"
+#include "stream/generator.h"
+#include "test_util.h"
+
+namespace dlacep {
+namespace {
+
+using testing_util::AscendingSeqPattern;
+using testing_util::SmallStream;
+
+std::span<const Event> SpanOf(const EventStream& stream) {
+  return std::span<const Event>(stream.events().data(), stream.size());
+}
+
+void ExpectEngineMatchesOracle(EngineKind kind, const Pattern& pattern,
+                               const EventStream& stream) {
+  const MatchSet expected = EnumerateAllMatches(pattern, SpanOf(stream));
+  auto engine = CreateEngine(kind, pattern);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  MatchSet actual;
+  ASSERT_TRUE(engine.value()->Evaluate(SpanOf(stream), &actual).ok());
+  EXPECT_EQ(expected.size(), actual.size())
+      << "engine " << EngineKindName(kind) << " vs oracle on "
+      << pattern.ToString();
+  for (const Match& m : expected) {
+    EXPECT_TRUE(actual.Contains(m))
+        << EngineKindName(kind) << " missed " << m.ToString();
+  }
+  for (const Match& m : actual) {
+    EXPECT_TRUE(expected.Contains(m))
+        << EngineKindName(kind) << " invented " << m.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sequence patterns.
+
+class SeqEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {
+};
+
+TEST_P(SeqEquivalence, NfaTreeLazyMatchOracle) {
+  const auto [len, window, seed] = GetParam();
+  const EventStream stream = SmallStream(60, seed);
+  const Pattern pattern =
+      AscendingSeqPattern(stream.schema_ptr(), len, window);
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kTree, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kLazy, pattern, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeqEquivalence,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{3}, size_t{4}),
+                       ::testing::Values(size_t{8}, size_t{15}, size_t{30}),
+                       ::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3})));
+
+// ---------------------------------------------------------------------
+// Conjunction patterns.
+
+class ConjEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(ConjEquivalence, NfaTreeLazyMatchOracle) {
+  const auto [window, seed] = GetParam();
+  const EventStream stream = SmallStream(50, seed);
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Conj(builder.Prim("A", "a"), builder.Prim("B", "b"),
+                           builder.Prim("C", "c"));
+  builder.WhereCmp(1.0, "a", "vol", CmpOp::kLt, 1.0, "c");
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(window));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kTree, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kLazy, pattern, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConjEquivalence,
+    ::testing::Combine(::testing::Values(size_t{6}, size_t{12}, size_t{25}),
+                       ::testing::Values(uint64_t{4}, uint64_t{5},
+                                         uint64_t{6})));
+
+// Conjunction with repeated types must not double-count {a1, a2} subsets.
+TEST(ConjRepeatedTypes, MatchesOracle) {
+  const EventStream stream = SmallStream(40, 11, /*num_types=*/2);
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Conj(builder.Prim("A", "x"), builder.Prim("A", "y"),
+                           builder.Prim("B", "z"));
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(8));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kTree, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kLazy, pattern, stream);
+}
+
+// ---------------------------------------------------------------------
+// Disjunction patterns.
+
+class DisjEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DisjEquivalence, NfaTreeLazyMatchOracle) {
+  const EventStream stream = SmallStream(60, GetParam());
+  PatternBuilder builder(stream.schema_ptr());
+  auto branch1 = builder.Seq(builder.Prim("A", "a1"), builder.Prim("B", "b1"));
+  auto branch2 = builder.Seq(builder.Prim("C", "c2"), builder.Prim("D", "d2"),
+                             builder.Prim("E", "e2"));
+  auto root = builder.Disj(std::move(branch1), std::move(branch2));
+  builder.WhereCmp(1.0, "a1", "vol", CmpOp::kLt, 1.0, "b1");
+  builder.WhereCmp(1.0, "c2", "vol", CmpOp::kGt, 1.0, "e2");
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(12));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kTree, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kLazy, pattern, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DisjEquivalence,
+                         ::testing::Values(uint64_t{7}, uint64_t{8},
+                                           uint64_t{9}, uint64_t{10}));
+
+// ---------------------------------------------------------------------
+// Kleene closure (NFA + oracle only; tree/lazy reject by design).
+
+class KleeneEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(KleeneEquivalence, KcPrimitiveInsideSeq) {
+  const auto [max_reps, seed] = GetParam();
+  const EventStream stream = SmallStream(40, seed);
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(builder.Prim("A", "a"),
+                          builder.Kleene(builder.Prim("B", "ks"), 1, max_reps),
+                          builder.Prim("C", "c"));
+  builder.WhereCmp(1.0, "a", "vol", CmpOp::kLt, 1.0, "ks");
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(10));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+}
+
+TEST_P(KleeneEquivalence, TopLevelKcOverSeq) {
+  const auto [max_reps, seed] = GetParam();
+  const EventStream stream = SmallStream(40, seed);
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Kleene(
+      builder.Seq(builder.Prim("A", "a"), builder.Prim("B", "b")), 1,
+      max_reps);
+  builder.WhereCmp(1.0, "a", "vol", CmpOp::kLt, 1.0, "b");
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(14));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KleeneEquivalence,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{3}),
+                       ::testing::Values(uint64_t{21}, uint64_t{22},
+                                         uint64_t{23})));
+
+// ---------------------------------------------------------------------
+// Negation (NFA + oracle only).
+
+class NegEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NegEquivalence, NegPrimitive) {
+  const EventStream stream = SmallStream(50, GetParam());
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(builder.Prim("A", "a"),
+                          builder.Neg(builder.Prim("C", "nc")),
+                          builder.Prim("B", "b"));
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(10));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+}
+
+TEST_P(NegEquivalence, NegPrimitiveWithCondition) {
+  const EventStream stream = SmallStream(50, GetParam());
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(builder.Prim("A", "a"),
+                          builder.Neg(builder.Prim("C", "nc")),
+                          builder.Prim("B", "b"));
+  // Only high-volume C events forbid the match.
+  builder.WhereCmp(1.0, "nc", "vol", CmpOp::kGt, 1.0, "a");
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(10));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+}
+
+TEST_P(NegEquivalence, NegNestedSeq) {
+  const EventStream stream = SmallStream(50, GetParam());
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(
+      builder.Prim("A", "a"),
+      builder.Neg(builder.Seq(builder.Prim("C", "nc"),
+                              builder.Prim("D", "nd"))),
+      builder.Prim("B", "b"));
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(12));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NegEquivalence,
+                         ::testing::Values(uint64_t{31}, uint64_t{32},
+                                           uint64_t{33}, uint64_t{34}));
+
+// ---------------------------------------------------------------------
+// Time-window patterns.
+
+TEST(TimeWindowEquivalence, SeqMatchesOracle) {
+  const EventStream stream = SmallStream(50, 41);
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(builder.Prim("A", "a"), builder.Prim("B", "b"));
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Time(7.5));
+  ExpectEngineMatchesOracle(EngineKind::kNfa, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kTree, pattern, stream);
+  ExpectEngineMatchesOracle(EngineKind::kLazy, pattern, stream);
+}
+
+// ---------------------------------------------------------------------
+// Engine capability boundaries.
+
+TEST(EngineCapabilities, TreeAndLazyRejectKleene) {
+  const EventStream stream = SmallStream(10, 1);
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(builder.Prim("A", "a"),
+                          builder.Kleene(builder.Prim("B", "k"), 1, 2));
+  const Pattern pattern =
+      builder.BuildOrDie(std::move(root), WindowSpec::Count(5));
+  EXPECT_FALSE(CreateEngine(EngineKind::kTree, pattern).ok());
+  EXPECT_FALSE(CreateEngine(EngineKind::kLazy, pattern).ok());
+  EXPECT_TRUE(CreateEngine(EngineKind::kNfa, pattern).ok());
+}
+
+}  // namespace
+}  // namespace dlacep

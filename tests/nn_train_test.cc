@@ -1,0 +1,346 @@
+// End-to-end learning tests for the nn substrate: optimizers minimize,
+// schedules decay, training converges on toy sequence-labeling tasks with
+// both output heads DLACEP uses (BCE window head, BI-CRF event head), and
+// parameters survive a save/load round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/crf.h"
+#include "nn/layers.h"
+#include "nn/metrics.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+
+namespace dlacep {
+namespace {
+
+TEST(Optimizers, AdamMinimizesQuadratic) {
+  Parameter p("p", Matrix(1, 3));
+  p.value(0, 0) = 4.0;
+  p.value(0, 1) = -3.0;
+  p.value(0, 2) = 2.0;
+  Adam adam({&p}, 0.1);
+  for (int step = 0; step < 300; ++step) {
+    // loss = ||p - target||^2, target = (1, 2, 3).
+    p.ZeroGrad();
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 1.0);
+    p.grad(0, 1) = 2.0 * (p.value(0, 1) - 2.0);
+    p.grad(0, 2) = 2.0 * (p.value(0, 2) - 3.0);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 1.0, 1e-2);
+  EXPECT_NEAR(p.value(0, 1), 2.0, 1e-2);
+  EXPECT_NEAR(p.value(0, 2), 3.0, 1e-2);
+}
+
+TEST(Optimizers, SgdWithMomentumMinimizesQuadratic) {
+  Parameter p("p", Matrix(1, 1));
+  p.value(0, 0) = 5.0;
+  Sgd sgd({&p}, 0.05, 0.9);
+  for (int step = 0; step < 200; ++step) {
+    p.ZeroGrad();
+    p.grad(0, 0) = 2.0 * p.value(0, 0);
+    sgd.Step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 0.0, 1e-3);
+}
+
+TEST(Optimizers, GradClipBoundsGlobalNorm) {
+  Parameter a("a", Matrix(1, 2));
+  Parameter b("b", Matrix(1, 1));
+  a.grad(0, 0) = 3.0;
+  a.grad(0, 1) = 4.0;
+  b.grad(0, 0) = 12.0;  // global norm = 13
+  const double before = ClipGradNorm({&a, &b}, 1.0);
+  EXPECT_NEAR(before, 13.0, 1e-12);
+  const double after_norm =
+      std::sqrt(a.grad(0, 0) * a.grad(0, 0) + a.grad(0, 1) * a.grad(0, 1) +
+                b.grad(0, 0) * b.grad(0, 0));
+  EXPECT_NEAR(after_norm, 1.0, 1e-9);
+}
+
+TEST(Optimizers, LrScheduleDecaysGeometrically) {
+  const LrSchedule schedule(1e-3, 1e-4, 10);
+  EXPECT_DOUBLE_EQ(schedule.At(0), 1e-3);
+  EXPECT_NEAR(schedule.At(10), 1e-4, 1e-12);
+  EXPECT_GT(schedule.At(3), schedule.At(7));
+}
+
+// ---------------------------------------------------------------------
+// Toy task 1 (window head): the window label is 1 iff any element of the
+// sequence exceeds 1.0.
+
+class WindowToyModel : public SequenceModel {
+ public:
+  explicit WindowToyModel(Rng* rng)
+      : stack_("s", 1, 10, 1, rng), head_("h", stack_.out_dim(), 1, rng) {}
+
+  Var Loss(Tape* tape, const Sample& sample) override {
+    Var logits = Logits(tape, sample.features);
+    Matrix target(1, 1);
+    target(0, 0) = static_cast<double>(sample.labels[0]);
+    return ops::BceWithLogits(logits, target);
+  }
+
+  Var Logits(Tape* tape, const Matrix& features) {
+    Var h = stack_.Forward(tape, tape->Input(features));
+    // Max-pool the hidden sequence into a window summary.
+    Var pooled = ops::MaxOverRows(h);
+    return head_.Forward(tape, pooled);
+  }
+
+  int Predict(const Matrix& features) {
+    Tape tape;
+    return Logits(&tape, features).value()(0, 0) > 0.0 ? 1 : 0;
+  }
+
+  std::vector<Parameter*> Params() override {
+    std::vector<Parameter*> params = stack_.Params();
+    for (Parameter* p : head_.Params()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  StackedBiLstm stack_;
+  Dense head_;
+};
+
+std::vector<Sample> MakeWindowToyData(size_t n, size_t t_steps,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sample> samples;
+  for (size_t k = 0; k < n; ++k) {
+    Sample s;
+    s.features = Matrix(t_steps, 1);
+    int label = 0;
+    for (size_t t = 0; t < t_steps; ++t) {
+      const double v = rng.Normal(0.0, 0.8);
+      s.features(t, 0) = v;
+      if (v > 1.0) label = 1;
+    }
+    s.labels = {label};
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Training, WindowHeadLearnsToyTask) {
+  Rng rng(31);
+  WindowToyModel model(&rng);
+  const std::vector<Sample> train = MakeWindowToyData(250, 8, 32);
+  const std::vector<Sample> test = MakeWindowToyData(60, 8, 33);
+
+  TrainConfig config;
+  config.max_epochs = 100;
+  config.batch_size = 8;
+  const TrainResult result = Train(&model, train, config);
+  EXPECT_GT(result.epochs_run, 0u);
+  EXPECT_LT(result.final_loss, result.loss_history.front());
+
+  BinaryMetrics metrics;
+  for (const Sample& s : test) {
+    metrics.Accumulate({model.Predict(s.features)}, {s.labels[0]});
+  }
+  EXPECT_GT(metrics.accuracy(), 0.85)
+      << "P=" << metrics.precision() << " R=" << metrics.recall();
+}
+
+// ---------------------------------------------------------------------
+// Toy task 2 (event head): per-step label is 1 iff the value at the NEXT
+// step is higher — solvable only with future context, which exercises
+// both the backward LSTM direction and the BI-CRF head.
+
+class EventToyModel : public SequenceModel {
+ public:
+  explicit EventToyModel(Rng* rng)
+      : stack_("s", 1, 6, 1, rng),
+        head_fwd_("hf", stack_.out_dim(), 2, rng),
+        head_bwd_("hb", stack_.out_dim(), 2, rng),
+        crf_("crf", 2, rng) {}
+
+  Var Loss(Tape* tape, const Sample& sample) override {
+    auto [emissions_f, emissions_b] = Emissions(tape, sample.features);
+    return crf_.Nll(tape, emissions_f, emissions_b, sample.labels);
+  }
+
+  std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features) {
+    Var h = stack_.Forward(tape, tape->Input(features));
+    return {head_fwd_.Forward(tape, h), head_bwd_.Forward(tape, h)};
+  }
+
+  std::vector<int> Predict(const Matrix& features) {
+    Tape tape;
+    auto [emissions_f, emissions_b] = Emissions(&tape, features);
+    return crf_.Decode(emissions_f.value(), emissions_b.value());
+  }
+
+  std::vector<Parameter*> Params() override {
+    std::vector<Parameter*> params = stack_.Params();
+    for (Parameter* p : head_fwd_.Params()) params.push_back(p);
+    for (Parameter* p : head_bwd_.Params()) params.push_back(p);
+    for (Parameter* p : crf_.Params()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  StackedBiLstm stack_;
+  Dense head_fwd_;
+  Dense head_bwd_;
+  BiCrf crf_;
+};
+
+std::vector<Sample> MakeEventToyData(size_t n, size_t t_steps,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sample> samples;
+  for (size_t k = 0; k < n; ++k) {
+    Sample s;
+    s.features = Matrix(t_steps, 1);
+    for (size_t t = 0; t < t_steps; ++t) {
+      s.features(t, 0) = rng.Normal(0.0, 1.0);
+    }
+    s.labels.resize(t_steps, 0);
+    for (size_t t = 0; t + 1 < t_steps; ++t) {
+      s.labels[t] = s.features(t + 1, 0) > s.features(t, 0) ? 1 : 0;
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Training, EventHeadNeedsFutureContextAndLearnsIt) {
+  Rng rng(41);
+  EventToyModel model(&rng);
+  const std::vector<Sample> train = MakeEventToyData(250, 7, 42);
+  const std::vector<Sample> test = MakeEventToyData(40, 7, 43);
+
+  TrainConfig config;
+  config.max_epochs = 60;
+  config.batch_size = 8;
+  const TrainResult result = Train(&model, train, config);
+  EXPECT_LT(result.final_loss, result.loss_history.front());
+
+  BinaryMetrics metrics;
+  for (const Sample& s : test) {
+    metrics.Accumulate(model.Predict(s.features), s.labels);
+  }
+  EXPECT_GT(metrics.f1(), 0.8) << "P=" << metrics.precision()
+                               << " R=" << metrics.recall();
+}
+
+// The same future-context task, solved by the TCN backbone (centered
+// dilated convolutions see both directions, like the BiLSTM).
+class TcnToyModel : public SequenceModel {
+ public:
+  explicit TcnToyModel(Rng* rng)
+      : backbone_("t", 1, 8, 2, 3, rng),
+        head_fwd_("hf", backbone_.out_dim(), 2, rng),
+        head_bwd_("hb", backbone_.out_dim(), 2, rng),
+        crf_("crf", 2, rng) {}
+
+  Var Loss(Tape* tape, const Sample& sample) override {
+    Var h = backbone_.Forward(tape, tape->Input(sample.features));
+    return crf_.Nll(tape, head_fwd_.Forward(tape, h),
+                    head_bwd_.Forward(tape, h), sample.labels);
+  }
+
+  std::vector<int> Predict(const Matrix& features) {
+    Tape tape;
+    Var h = backbone_.Forward(&tape, tape.Input(features));
+    Var emissions_f = head_fwd_.Forward(&tape, h);
+    Var emissions_b = head_bwd_.Forward(&tape, h);
+    return crf_.Decode(emissions_f.value(), emissions_b.value());
+  }
+
+  std::vector<Parameter*> Params() override {
+    std::vector<Parameter*> params = backbone_.Params();
+    for (Parameter* p : head_fwd_.Params()) params.push_back(p);
+    for (Parameter* p : head_bwd_.Params()) params.push_back(p);
+    for (Parameter* p : crf_.Params()) params.push_back(p);
+    return params;
+  }
+
+ private:
+  Tcn backbone_;
+  Dense head_fwd_;
+  Dense head_bwd_;
+  BiCrf crf_;
+};
+
+TEST(Training, TcnBackboneAlsoLearnsTheFutureContextTask) {
+  Rng rng(45);
+  TcnToyModel model(&rng);
+  const std::vector<Sample> train = MakeEventToyData(250, 7, 46);
+  const std::vector<Sample> test = MakeEventToyData(40, 7, 47);
+
+  TrainConfig config;
+  config.max_epochs = 60;
+  config.batch_size = 8;
+  const TrainResult result = Train(&model, train, config);
+  EXPECT_LT(result.final_loss, result.loss_history.front());
+
+  BinaryMetrics metrics;
+  for (const Sample& s : test) {
+    metrics.Accumulate(model.Predict(s.features), s.labels);
+  }
+  EXPECT_GT(metrics.f1(), 0.75) << "P=" << metrics.precision()
+                                << " R=" << metrics.recall();
+}
+
+TEST(Training, ConvergenceRuleStopsEarly) {
+  Rng rng(51);
+  WindowToyModel model(&rng);
+  // A single constant sample converges almost immediately.
+  std::vector<Sample> samples;
+  Sample s;
+  s.features = Matrix(4, 1, 0.5);
+  s.labels = {0};
+  samples.push_back(std::move(s));
+
+  TrainConfig config;
+  config.max_epochs = 200;
+  config.batch_size = 1;
+  const TrainResult result = Train(&model, samples, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.epochs_run, 200u);
+}
+
+TEST(Serialization, RoundTripRestoresExactValues) {
+  Rng rng(61);
+  StackedBiLstm stack("s", 2, 3, 2, &rng);
+  Dense head("h", stack.out_dim(), 1, &rng);
+  std::vector<Parameter*> params = stack.Params();
+  for (Parameter* p : head.Params()) params.push_back(p);
+
+  const std::string path = ::testing::TempDir() + "/dlnn_roundtrip.bin";
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  // Capture, perturb, reload, compare.
+  std::vector<Matrix> originals;
+  for (Parameter* p : params) originals.push_back(p->value);
+  for (Parameter* p : params) p->value.Fill(123.0);
+  ASSERT_TRUE(LoadParameters(params, path).ok());
+  for (size_t k = 0; k < params.size(); ++k) {
+    EXPECT_EQ(params[k]->value.MaxAbsDiff(originals[k]), 0.0)
+        << params[k]->name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, ShapeMismatchIsRejected) {
+  Rng rng(62);
+  Dense a("same", 2, 3, &rng);
+  const std::string path = ::testing::TempDir() + "/dlnn_mismatch.bin";
+  ASSERT_TRUE(SaveParameters(a.Params(), path).ok());
+
+  Dense b("same", 3, 3, &rng);  // different input dim, same names
+  EXPECT_FALSE(LoadParameters(b.Params(), path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dlacep

@@ -1,0 +1,266 @@
+// Golden-case semantics tests: hand-constructed streams with known match
+// sets, pinning down skip-till-any-match behaviour, window boundaries,
+// and the paper's own introductory examples.
+
+#include <gtest/gtest.h>
+
+#include "cep/engine.h"
+#include "cep/oracle.h"
+#include "pattern/builder.h"
+#include "stream/generator.h"
+
+namespace dlacep {
+namespace {
+
+std::shared_ptr<Schema> TestSchema() { return MakeSyntheticSchema(5, 1); }
+
+MatchSet Evaluate(const Pattern& pattern, const EventStream& stream) {
+  auto engine = CreateEngine(EngineKind::kNfa, pattern);
+  EXPECT_TRUE(engine.ok());
+  MatchSet out;
+  EXPECT_TRUE(engine.value()
+                  ->Evaluate({stream.events().data(), stream.size()}, &out)
+                  .ok());
+  return out;
+}
+
+// The paper's Fig 1(b)/Fig 2 stream: one true match (A1, B1, C1) among
+// decoys that build partial matches which never complete.
+TEST(PaperExamples, Figure2SingleMatchAmongDiscardedPrefixes) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  // Stream: A1 A2 B1 B2 C1 where only C1's value exceeds A1/B1's.
+  stream.Append(0, 0, {1.0});   // A1  (id 0)
+  stream.Append(0, 1, {9.0});   // A2  (id 1) — too large for any C
+  stream.Append(1, 2, {2.0});   // B1  (id 2)
+  stream.Append(1, 3, {8.5});   // B2  (id 3) — too large
+  stream.Append(2, 4, {3.0});   // C1  (id 4)
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"), b.Prim("C", "c"));
+  b.WhereCmp(1.0, "a", "vol", CmpOp::kLt, 1.0, "c");
+  b.WhereCmp(1.0, "bb", "vol", CmpOp::kLt, 1.0, "c");
+  const Pattern pattern =
+      b.BuildOrDie(std::move(root), WindowSpec::Count(5));
+
+  auto engine = CreateEngine(EngineKind::kNfa, pattern);
+  MatchSet out;
+  ASSERT_TRUE(engine.value()
+                  ->Evaluate({stream.events().data(), stream.size()}, &out)
+                  .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Match({0, 2, 4})));
+  // The discarded prefixes (A2, B2 combinations) were still created and
+  // counted — the waste the paper motivates DLACEP with.
+  EXPECT_GT(engine.value()->stats().partial_matches, 3u);
+}
+
+TEST(SkipTillAnyMatch, EverySubsetCombinationIsEmitted) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A (id 0)
+  stream.Append(0, 1, {0.0});  // A (id 1)
+  stream.Append(1, 2, {0.0});  // B (id 2)
+  stream.Append(1, 3, {0.0});  // B (id 3)
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"));
+  const Pattern pattern =
+      b.BuildOrDie(std::move(root), WindowSpec::Count(4));
+  const MatchSet out = Evaluate(pattern, stream);
+  // Skip-till-any-match: all 2×2 ordered combinations.
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out.Contains(Match({0, 2})));
+  EXPECT_TRUE(out.Contains(Match({0, 3})));
+  EXPECT_TRUE(out.Contains(Match({1, 2})));
+  EXPECT_TRUE(out.Contains(Match({1, 3})));
+}
+
+TEST(SkipTillAnyMatch, InterveningEventsAreSkipped) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A
+  stream.Append(2, 1, {0.0});  // C — irrelevant, must be skipped
+  stream.Append(2, 2, {0.0});  // C
+  stream.Append(1, 3, {0.0});  // B
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"));
+  const Pattern pattern =
+      b.BuildOrDie(std::move(root), WindowSpec::Count(5));
+  const MatchSet out = Evaluate(pattern, stream);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Match({0, 3})));
+}
+
+TEST(CountWindowBoundary, SpanExactlyWMinusOneIsInWMIsOut) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});                          // A at id 0
+  for (int i = 0; i < 8; ++i) stream.Append(2, i + 1, {0.0});  // filler C
+  stream.Append(1, 9, {0.0});                          // B at id 9
+
+  PatternBuilder b10(schema);
+  auto root10 = b10.Seq(b10.Prim("A", "a"), b10.Prim("B", "bb"));
+  // Span = 9 = W - 1 for W = 10: inside.
+  EXPECT_EQ(Evaluate(b10.BuildOrDie(std::move(root10),
+                                    WindowSpec::Count(10)),
+                     stream)
+                .size(),
+            1u);
+  PatternBuilder b9(schema);
+  auto root9 = b9.Seq(b9.Prim("A", "a"), b9.Prim("B", "bb"));
+  // Span = 9 > W - 1 for W = 9: outside.
+  EXPECT_TRUE(Evaluate(b9.BuildOrDie(std::move(root9),
+                                     WindowSpec::Count(9)),
+                       stream)
+                  .empty());
+}
+
+TEST(SequenceOrder, OutOfOrderEventsNeverMatch) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(1, 0, {0.0});  // B first
+  stream.Append(0, 1, {0.0});  // A second
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"));
+  EXPECT_TRUE(
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(5)), stream)
+          .empty());
+}
+
+TEST(Conjunction, AnyOrderMatchesOnce) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(1, 0, {0.0});  // B before A
+  stream.Append(0, 1, {0.0});  // A
+
+  PatternBuilder b(schema);
+  auto root = b.Conj(b.Prim("A", "a"), b.Prim("B", "bb"));
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(5)), stream);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Match({0, 1})));
+}
+
+TEST(KleeneClosure, EmitsEveryPrefixRunAboveMin) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A
+  stream.Append(1, 1, {0.0});  // B1
+  stream.Append(1, 2, {0.0});  // B2
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.Prim("A", "a"), b.Kleene(b.Prim("B", "k"), 1, 3));
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(5)), stream);
+  // {A,B1}, {A,B2}, {A,B1,B2}.
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out.Contains(Match({0, 1, 2})));
+}
+
+TEST(GroupKleene, RepetitionsMustBeDisjointAndOrdered) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A1
+  stream.Append(1, 1, {0.0});  // B1
+  stream.Append(0, 2, {0.0});  // A2
+  stream.Append(1, 3, {0.0});  // B2
+
+  PatternBuilder b(schema);
+  auto root = b.Kleene(b.Seq(b.Prim("A", "a"), b.Prim("B", "bb")), 1, 2);
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(6)), stream);
+  // Single repetitions: (A1,B1), (A1,B3?)... pairs with A before B:
+  // (0,1), (0,3), (2,3) — and the double repetition (0,1,2,3).
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out.Contains(Match({0, 1, 2, 3})));
+}
+
+TEST(Negation, VetoAppliesOnlyStrictlyBetween) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(2, 0, {0.0});  // C before A: harmless
+  stream.Append(0, 1, {0.0});  // A
+  stream.Append(1, 2, {0.0});  // B
+  stream.Append(2, 3, {0.0});  // C after B: harmless
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.Prim("A", "a"), b.Neg(b.Prim("C", "nc")),
+                    b.Prim("B", "bb"));
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(6)), stream);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.Contains(Match({1, 2})));
+}
+
+// Evaluates the nested-NEG pattern SEQ(A, NEG(SEQ(C, D)), B).
+MatchSet ForVeto(std::shared_ptr<Schema> schema,
+                 const EventStream& stream) {
+  PatternBuilder b(std::move(schema));
+  auto root = b.Seq(
+      b.Prim("A", "a"),
+      b.Neg(b.Seq(b.Prim("C", "nc"), b.Prim("D", "nd"))),
+      b.Prim("B", "bb"));
+  return Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(6)),
+                  stream);
+}
+
+TEST(Negation, NestedSeqVetoRequiresTheWholeSubsequence) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A
+  stream.Append(2, 1, {0.0});  // C — only half of NEG(SEQ(C, D))
+  stream.Append(1, 2, {0.0});  // B
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(
+      b.Prim("A", "a"),
+      b.Neg(b.Seq(b.Prim("C", "nc"), b.Prim("D", "nd"))),
+      b.Prim("B", "bb"));
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(6)), stream);
+  EXPECT_EQ(out.size(), 1u);  // C alone does not veto
+
+  // Now complete the negated subsequence inside the interval.
+  EventStream vetoed(schema);
+  vetoed.Append(0, 0, {0.0});  // A
+  vetoed.Append(2, 1, {0.0});  // C
+  vetoed.Append(3, 2, {0.0});  // D
+  vetoed.Append(1, 3, {0.0});  // B
+  EXPECT_TRUE(ForVeto(schema, vetoed).empty());
+}
+
+TEST(Disjunction, UnionWithoutDoubleCounting) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A
+  stream.Append(1, 1, {0.0});  // B
+
+  PatternBuilder b(schema);
+  // Both branches match the same (A, B) pair — the union must contain
+  // the subset once.
+  auto root = b.Disj(b.Seq(b.Prim("A", "a1"), b.Prim("B", "b1")),
+                     b.Seq(b.Prim("A", "a2"), b.Prim("B", "b2")));
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(5)), stream);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(MultiTypePositions, AnyOfMatchesEachMemberOnce) {
+  auto schema = TestSchema();
+  EventStream stream(schema);
+  stream.Append(0, 0, {0.0});  // A
+  stream.Append(1, 1, {0.0});  // B
+  stream.Append(3, 2, {0.0});  // D
+
+  PatternBuilder b(schema);
+  auto root = b.Seq(b.PrimAnyOf({"A", "B"}, "x"), b.Prim("D", "y"));
+  const MatchSet out =
+      Evaluate(b.BuildOrDie(std::move(root), WindowSpec::Count(5)), stream);
+  EXPECT_EQ(out.size(), 2u);  // (A,D) and (B,D)
+}
+
+}  // namespace
+}  // namespace dlacep

@@ -1,0 +1,140 @@
+// Unit tests for the workload kit: every Table 1 / Table 2 template
+// instantiates, validates, compiles, and behaves per its design intent.
+
+#include <gtest/gtest.h>
+
+#include "cep/engine.h"
+#include "workloads/queries_a.h"
+#include "workloads/queries_b.h"
+#include "workloads/recipes.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+const EventStream& Stock() {
+  static const EventStream stream =
+      GenerateStockStream(StockConfig(1500, 51));
+  return stream;
+}
+
+std::span<const Event> SpanOf(const EventStream& s) {
+  return {s.events().data(), s.size()};
+}
+
+size_t CountMatches(const Pattern& pattern, const EventStream& stream) {
+  auto engine = CreateEngine(EngineKind::kNfa, pattern);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  MatchSet out;
+  EXPECT_TRUE(engine.value()->Evaluate(SpanOf(stream), &out).ok());
+  return out.size();
+}
+
+TEST(RankHelpers, TopKAndRanges) {
+  EXPECT_EQ(TopK(3), (std::vector<TypeId>{0, 1, 2}));
+  EXPECT_EQ(RankRange(2, 5), (std::vector<TypeId>{2, 3, 4}));
+}
+
+TEST(TableOneTemplates, AllInstantiateAndValidate) {
+  auto s = Stock().schema_ptr();
+  const size_t w = 14;
+  const std::vector<Pattern> patterns = {
+      QA1(s, 4, 7, 0.9, 1.1, 3, w),
+      QA2(s, 6, w),
+      QA3(s, 5, 10, 3, 2, 1, 4, 0.9, 1.1, 1.5, w),
+      QA4(s, 4, 10, 3, 1, 3, 0.9, 1.1, 0.8, 1.25, w),
+      QA5(s, 2, 10, 2, 0.8, 1.25, w, 2),
+      QA6(s, 3, 10, 0.8, 1.25, w, 2),
+      QA7(s, 2, 10, 2, 0.8, 1.25, w),
+      QA8(s, 2, 10, 2, 0.8, 1.25, w),
+      QA9(s, 3, 10, 20, 0.9, 1.1, 0.85, 1.2, w),
+      QA10(s, 3, 8, 0.85, 1.2, w),
+      QA11(s, false, 8, 0.5, 2.0, w),
+      QA11(s, true, 8, 0.5, 2.0, w),
+      QA12(s, 8, 0.5, 2.0, 0.4, 2.5, w),
+  };
+  for (const Pattern& pattern : patterns) {
+    EXPECT_TRUE(pattern.Validate().ok()) << pattern.ToString();
+    EXPECT_TRUE(CompilePlans(pattern).ok()) << pattern.ToString();
+  }
+}
+
+TEST(TableOneTemplates, QA1GrowsPartialMatchesWithK) {
+  auto s = Stock().schema_ptr();
+  auto count_pm = [&](size_t k) {
+    auto engine =
+        CreateEngine(EngineKind::kNfa, QA1(s, 4, k, 0.9, 1.1, 3, 14));
+    MatchSet out;
+    EXPECT_TRUE(engine.value()->Evaluate(SpanOf(Stock()), &out).ok());
+    return engine.value()->stats().partial_matches;
+  };
+  EXPECT_LT(count_pm(4), count_pm(16));
+  EXPECT_LT(count_pm(16), count_pm(40));
+}
+
+TEST(TableOneTemplates, QA1WiderBandsYieldMoreFullMatches) {
+  auto s = Stock().schema_ptr();
+  const size_t narrow =
+      CountMatches(QA1(s, 4, 10, 0.97, 1.03, 3, 14), Stock());
+  const size_t wide =
+      CountMatches(QA1(s, 4, 10, 0.7, 1.4, 3, 14), Stock());
+  EXPECT_LT(narrow, wide);
+}
+
+TEST(TableOneTemplates, QA2CompletesMostPartials) {
+  auto s = Stock().schema_ptr();
+  auto engine = CreateEngine(EngineKind::kNfa, QA2(s, 6, 14));
+  MatchSet out;
+  ASSERT_TRUE(engine.value()->Evaluate(SpanOf(Stock()), &out).ok());
+  const double ratio =
+      static_cast<double>(out.size()) /
+      static_cast<double>(engine.value()->stats().partial_matches);
+  EXPECT_GT(ratio, 0.2);  // "almost all completed" at this scale
+}
+
+TEST(TableOneTemplates, QA7MoreNegOperatorsFewerMatches) {
+  auto s = Stock().schema_ptr();
+  const size_t one = CountMatches(QA7(s, 1, 10, 2, 0.8, 1.25, 14), Stock());
+  const size_t two = CountMatches(QA7(s, 2, 10, 2, 0.8, 1.25, 14), Stock());
+  EXPECT_LE(two, one);  // each extra NEG can only remove matches
+}
+
+TEST(TableOneTemplates, QA9UnionsItsBranches) {
+  auto s = Stock().schema_ptr();
+  const Pattern disj = QA9(s, 3, 10, 20, 0.9, 1.1, 0.85, 1.2, 14);
+  auto plans = CompilePlans(disj);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans.value().size(), 2u);
+}
+
+TEST(TableTwoTemplates, InstantiateAndScaleWithLength) {
+  const EventStream synth = SyntheticStream(1500, 52);
+  auto s = synth.schema_ptr();
+  for (size_t len : {4, 5, 6}) {
+    const Pattern pattern = QBOfLength(s, len, 30);
+    EXPECT_TRUE(pattern.Validate().ok());
+    auto plans = CompilePlans(pattern);
+    ASSERT_TRUE(plans.ok());
+    EXPECT_EQ(plans.value()[0].num_positions(), len);
+  }
+}
+
+TEST(TableTwoTemplates, WiderBandsMeanMoreMatches) {
+  const EventStream synth = SyntheticStream(3000, 53);
+  auto s = synth.schema_ptr();
+  const size_t tight = CountMatches(QB3(s, 60, 0.85, 1.15), synth);
+  const size_t wide = CountMatches(QB3(s, 60, 0.3, 3.0), synth);
+  EXPECT_LE(tight, wide);
+}
+
+TEST(Recipes, StreamsAreReproducibleAndSized) {
+  const EventStream a = StockTrainStream();
+  const EventStream b = StockTrainStream();
+  ASSERT_EQ(a.size(), kTrainEvents);
+  EXPECT_EQ(a[100].type, b[100].type);
+  EXPECT_EQ(StockTestStream().size(), kTestEvents);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep

@@ -1,0 +1,250 @@
+// dlacep — command-line front end to the library.
+//
+// Subcommands:
+//   generate  --kind stock|synthetic --events N [--seed S] --out F.csv
+//       Synthesize a dataset and write it as CSV.
+//   run       --query Q --data F.csv [--engine nfa|tree|lazy]
+//       Evaluate a PQL query exactly and print matches + statistics.
+//   compare   --query Q --train F.csv --test G.csv
+//             [--filter event|window] [--hidden N] [--layers N]
+//             [--epochs N] [--save model.bin | --load model.bin]
+//       Train (or load) a DLACEP filter on the training stream and
+//       compare DLACEP against exact CEP on the test stream.
+//
+// Notes: --load restores network weights only; the featurizer is refit
+// from --train, so pass the same training stream used with --save.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "cep/engine.h"
+#include "dlacep/event_filter.h"
+#include "dlacep/pipeline.h"
+#include "dlacep/window_filter.h"
+#include "nn/serialize.h"
+#include "pattern/parser.h"
+#include "stream/csv_io.h"
+#include "stream/generator.h"
+#include "stream/stocksim.h"
+
+namespace dlacep {
+namespace {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    ok_ = argc % 2 == 0;
+    if (!ok_) std::fprintf(stderr, "flags must come in --name value pairs\n");
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& name, long fallback) const {
+    return Has(name) ? std::strtol(Get(name).c_str(), nullptr, 10)
+                     : fallback;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    return Has(name) ? std::strtod(Get(name).c_str(), nullptr) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dlacep generate --kind stock|synthetic --events N "
+               "[--seed S] --out F.csv\n"
+               "  dlacep run --query Q --data F.csv "
+               "[--engine nfa|tree|lazy]\n"
+               "  dlacep compare --query Q --train F.csv --test G.csv\n"
+               "       [--filter event|window] [--hidden N] [--layers N]"
+               " [--epochs N]\n"
+               "       [--threshold P] [--save model.bin | --load "
+               "model.bin]\n");
+  return 2;
+}
+
+int Generate(const Args& args) {
+  const std::string kind = args.Get("kind", "synthetic");
+  const size_t events =
+      static_cast<size_t>(args.GetInt("events", 10000));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+
+  EventStream stream = [&] {
+    if (kind == "stock") {
+      StockSimConfig config;
+      config.num_events = events;
+      config.seed = seed;
+      return GenerateStockStream(config);
+    }
+    SyntheticConfig config;
+    config.num_events = events;
+    config.seed = seed;
+    return GenerateSynthetic(config);
+  }();
+  const Status status = WriteCsv(stream, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events to %s\n", stream.size(), out.c_str());
+  return 0;
+}
+
+StatusOr<EventStream> LoadStream(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("missing CSV path");
+  }
+  return ReadCsv(path);
+}
+
+int RunQuery(const Args& args) {
+  auto stream = LoadStream(args.Get("data"));
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  auto pattern = ParsePattern(args.Get("query"), stream.value().schema_ptr());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  const std::string engine_name = args.Get("engine", "nfa");
+  const EngineKind kind = engine_name == "tree" ? EngineKind::kTree
+                          : engine_name == "lazy" ? EngineKind::kLazy
+                                                  : EngineKind::kNfa;
+  auto engine = CreateEngine(kind, pattern.value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  MatchSet matches;
+  const Status status = engine.value()->Evaluate(
+      {stream.value().events().data(), stream.value().size()}, &matches);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const EngineStats& stats = engine.value()->stats();
+  std::printf("pattern        : %s\n", pattern.value().ToString().c_str());
+  std::printf("engine         : %s\n", engine.value()->name().c_str());
+  std::printf("events         : %llu\n",
+              static_cast<unsigned long long>(stats.events_processed));
+  std::printf("partial matches: %llu\n",
+              static_cast<unsigned long long>(stats.partial_matches));
+  std::printf("matches        : %zu\n", matches.size());
+  std::printf("elapsed        : %.3fs (%.0f events/s)\n",
+              stats.elapsed_seconds, stats.throughput());
+  size_t shown = 0;
+  for (const Match& match : matches) {
+    if (++shown > 20) {
+      std::printf("  ... (%zu more)\n", matches.size() - 20);
+      break;
+    }
+    std::printf("  %s\n", match.ToString().c_str());
+  }
+  return 0;
+}
+
+int Compare(const Args& args) {
+  auto train = LoadStream(args.Get("train"));
+  auto test = LoadStream(args.Get("test"));
+  if (!train.ok() || !test.ok()) {
+    std::fprintf(stderr, "cannot load streams\n");
+    return 1;
+  }
+  auto pattern = ParsePattern(args.Get("query"), train.value().schema_ptr());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+
+  DlacepConfig config;
+  config.network.hidden_dim =
+      static_cast<size_t>(args.GetInt("hidden", 12));
+  config.network.num_layers =
+      static_cast<size_t>(args.GetInt("layers", 1));
+  config.train.max_epochs =
+      static_cast<size_t>(args.GetInt("epochs", 30));
+  config.event_threshold = args.GetDouble("threshold", 0.35);
+  config.window_threshold = config.event_threshold;
+  const FilterKind kind = args.Get("filter", "event") == "window"
+                              ? FilterKind::kWindowNetwork
+                              : FilterKind::kEventNetwork;
+
+  std::printf("building DLACEP (%s) on %zu training events...\n",
+              FilterKindName(kind), train.value().size());
+  BuiltDlacep built =
+      BuildDlacep(pattern.value(), train.value(), kind, config);
+  std::printf("  trained %zu epochs, held-out entity F1 %.3f\n",
+              built.train_result.epochs_run, built.test_metrics.f1());
+
+  // Optional persistence of the filter network.
+  auto* trainable = dynamic_cast<TrainableFilter*>(&built.pipeline->filter());
+  if (args.Has("load") && trainable != nullptr) {
+    const Status status =
+        LoadParameters(trainable->Params(), args.Get("load"));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("  loaded weights from %s\n", args.Get("load").c_str());
+  }
+  if (args.Has("save") && trainable != nullptr) {
+    const Status status =
+        SaveParameters(trainable->Params(), args.Get("save"));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("  saved weights to %s\n", args.Get("save").c_str());
+  }
+
+  const ComparisonResult result =
+      built.pipeline->CompareWithEcep(test.value());
+  std::printf("\nexact matches   : %zu\n", result.exact_matches.size());
+  std::printf("DLACEP matches  : %zu\n", result.dlacep.matches.size());
+  std::printf("recall          : %.3f\n", result.quality.recall);
+  std::printf("precision       : %.3f\n", result.quality.precision);
+  std::printf("filtering ratio : %.1f%%\n",
+              result.dlacep.filtering_ratio() * 100);
+  std::printf("throughput gain : %.2fx\n", result.throughput_gain());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  if (!args.ok()) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(args);
+  if (command == "run") return RunQuery(args);
+  if (command == "compare") return Compare(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dlacep
+
+int main(int argc, char** argv) { return dlacep::Main(argc, argv); }
