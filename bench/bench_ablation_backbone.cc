@@ -24,12 +24,12 @@ class Borrowed : public StreamFilter {
   explicit Borrowed(StreamFilter* inner) : inner_(inner) {}
   std::string name() const override { return inner_->name(); }
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override {
+                        WindowRange range) const override {
     return inner_->Mark(stream, range);
   }
 
  private:
-  StreamFilter* inner_;
+  const StreamFilter* inner_;
 };
 
 int Run() {

@@ -29,12 +29,12 @@ class BorrowedFilter : public StreamFilter {
   explicit BorrowedFilter(StreamFilter* inner) : inner_(inner) {}
   std::string name() const override { return inner_->name(); }
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override {
+                        WindowRange range) const override {
     return inner_->Mark(stream, range);
   }
 
  private:
-  StreamFilter* inner_;
+  const StreamFilter* inner_;
 };
 
 struct Snapshot {

@@ -1,0 +1,116 @@
+// Parallel filtration sweep: filtration-stage wall clock vs
+// config.num_threads on the Figure-8 stock workload.
+//
+// Every assembler window is an independent inference, so the filtration
+// stage should scale with the worker count while producing the exact
+// mark sequence of the sequential run (deterministic window-order
+// merge). This bench trains each filter once, then re-evaluates the
+// same test stream under num_threads in {1, 2, 4, 8} and reports the
+// filtration wall clock, the speedup over the sequential run, and an
+// equality check of the merged mark vector against the 1-thread
+// baseline. Speedups flatten once the worker count passes the
+// machine's core count.
+
+#include <cstdio>
+#include <thread>
+
+#include "workloads/queries_a.h"
+#include "workloads/recipes.h"
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+namespace {
+
+/// Non-owning view so one trained filter can serve several pipelines.
+class BorrowedFilter : public StreamFilter {
+ public:
+  explicit BorrowedFilter(const StreamFilter* inner) : inner_(inner) {}
+  std::string name() const override { return inner_->name(); }
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) const override {
+    return inner_->Mark(stream, range);
+  }
+
+ private:
+  const StreamFilter* inner_;
+};
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+constexpr int kRepetitions = 3;
+
+void SweepThreads(const std::string& label, const Pattern& pattern,
+                  const BuiltDlacep& built, const DlacepConfig& base,
+                  const EventStream& test) {
+  double baseline_seconds = 0.0;
+  PipelineResult reference;
+  for (const size_t threads : kThreadSweep) {
+    DlacepConfig config = base;
+    config.num_threads = threads;
+    DlacepPipeline pipeline(
+        pattern, std::make_unique<BorrowedFilter>(&built.pipeline->filter()),
+        config);
+    // Best-of-N filtration wall clock; the mark vector is checked on
+    // every repetition.
+    double best_seconds = 0.0;
+    bool identical = true;
+    PipelineResult result;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      result = pipeline.Evaluate(test);
+      if (rep == 0 || result.filter_seconds < best_seconds) {
+        best_seconds = result.filter_seconds;
+      }
+      if (threads == 1 && rep == 0) reference = result;
+      identical = identical && result.marked_ids == reference.marked_ids &&
+                  result.marked_events == reference.marked_events &&
+                  result.matches.size() == reference.matches.size();
+    }
+    if (threads == 1) baseline_seconds = best_seconds;
+    std::printf("%-28s threads=%zu  filter=%8.4fs  speedup=%5.2fx  "
+                "filt=%5.1f%%  matches=%zu  identical=%s\n",
+                label.c_str(), threads, best_seconds,
+                baseline_seconds / std::max(best_seconds, 1e-9),
+                result.filtering_ratio() * 100.0, result.matches.size(),
+                identical ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+}
+
+int Run() {
+  const EventStream train = GenerateStockStream(StockConfig(6000, 1001));
+  const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
+  auto s = train.schema_ptr();
+  const size_t w = 20;
+
+  DlacepConfig config = BenchConfig();
+  config.event_threshold = 0.35;
+
+  std::printf("=== Parallel filtration sweep (hardware threads: %u) ===\n",
+              std::thread::hardware_concurrency());
+
+  {
+    const Pattern pattern = QA1(s, 4, 4, 0.9, 1.1, 3, w);
+    BuiltDlacep built =
+        BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
+    SweepThreads("QA1(j=4,k=4) event-net", pattern, built, config, test);
+  }
+  {
+    const Pattern pattern = QA3(s, 5, 12, 3, 2, 1, 4, 0.9, 1.1, 1.5, w);
+    BuiltDlacep built =
+        BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
+    SweepThreads("QA3(j=5,k=12) event-net", pattern, built, config, test);
+  }
+  {
+    const Pattern pattern = QA3(s, 5, 12, 3, 2, 1, 4, 0.9, 1.1, 1.5, w);
+    BuiltDlacep built =
+        BuildDlacep(pattern, train, FilterKind::kWindowNetwork, config);
+    SweepThreads("QA3(j=5,k=12) window-net", pattern, built, config, test);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace dlacep
+
+int main() { return dlacep::workloads::Run(); }

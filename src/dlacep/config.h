@@ -40,6 +40,15 @@ struct DlacepConfig {
   /// Stream advance per evaluation step. 0 = the paper default W.
   size_t step_size = 0;
 
+  /// Worker threads for the filtration stage. Every assembler window is
+  /// an independent inference, so the pipeline shards windows across a
+  /// fixed-size thread pool and merges the per-window marks back in
+  /// window order — the marked-event sequence, MatchSet, and
+  /// filtering_ratio() are byte-identical to the sequential run
+  /// (tests/determinism_test.cc). 1 = the exact legacy sequential path
+  /// (default); 0 = hardware concurrency.
+  size_t num_threads = 1;
+
   NetworkConfig network;
   TrainConfig train = DefaultDlacepTrainConfig();
 

@@ -16,8 +16,8 @@ EventNetworkFilter::EventNetworkFilter(const Featurizer* featurizer,
   DLACEP_CHECK(featurizer_ != nullptr);
 }
 
-std::pair<Var, Var> EventNetworkFilter::Emissions(Tape* tape,
-                                                  const Matrix& features) {
+std::pair<Var, Var> EventNetworkFilter::Emissions(
+    Tape* tape, const Matrix& features) const {
   Var h = stack_.Forward(tape, tape->Input(features));
   return {head_fwd_.Forward(tape, h), head_bwd_.Forward(tape, h)};
 }
@@ -35,7 +35,8 @@ std::vector<Parameter*> EventNetworkFilter::Params() {
   return params;
 }
 
-std::vector<int> EventNetworkFilter::MarkFeatures(const Matrix& features) {
+std::vector<int> EventNetworkFilter::MarkFeatures(
+    const Matrix& features) const {
   Tape tape;
   auto [emissions_f, emissions_b] = Emissions(&tape, features);
   const Matrix marginals =
@@ -48,7 +49,7 @@ std::vector<int> EventNetworkFilter::MarkFeatures(const Matrix& features) {
 }
 
 std::vector<int> EventNetworkFilter::Mark(const EventStream& stream,
-                                          WindowRange range) {
+                                          WindowRange range) const {
   return MarkFeatures(
       featurizer_->Encode(stream.View(range.begin, range.size())));
 }
@@ -58,7 +59,8 @@ TrainResult EventNetworkFilter::Fit(const std::vector<Sample>& samples,
   return Train(this, samples, config);
 }
 
-BinaryMetrics EventNetworkFilter::Score(const std::vector<Sample>& samples) {
+BinaryMetrics EventNetworkFilter::Score(
+    const std::vector<Sample>& samples) const {
   BinaryMetrics metrics;
   for (const Sample& sample : samples) {
     metrics.Accumulate(MarkFeatures(sample.features), sample.labels);

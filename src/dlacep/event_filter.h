@@ -25,20 +25,20 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
   std::string name() const override { return "event-network"; }
 
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override;
-  std::vector<int> MarkFeatures(const Matrix& features) override;
+                        WindowRange range) const override;
+  std::vector<int> MarkFeatures(const Matrix& features) const override;
 
   TrainResult Fit(const std::vector<Sample>& samples,
                   const TrainConfig& config) override;
 
-  BinaryMetrics Score(const std::vector<Sample>& samples) override;
+  BinaryMetrics Score(const std::vector<Sample>& samples) const override;
 
   // SequenceModel:
   Var Loss(Tape* tape, const Sample& sample) override;
   std::vector<Parameter*> Params() override;
 
  private:
-  std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features);
+  std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features) const;
 
   const Featurizer* featurizer_;  ///< not owned
   double event_threshold_;

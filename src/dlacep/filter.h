@@ -23,8 +23,15 @@ class StreamFilter {
   virtual std::string name() const = 0;
 
   /// Per-event 0/1 marks for stream[range] (1 = relay).
+  ///
+  /// Mark() is const and must be re-entrant: when the pipeline runs
+  /// with num_threads > 1 it invokes Mark() concurrently from worker
+  /// threads, one assembler window per task. Implementations may only
+  /// read shared state (model parameters, featurizer statistics) and
+  /// must keep any scratch (tapes, rngs) local to the call, or
+  /// serialize access internally.
   virtual std::vector<int> Mark(const EventStream& stream,
-                                WindowRange range) = 0;
+                                WindowRange range) const = 0;
 };
 
 /// A filter backed by a trainable network.
@@ -36,15 +43,16 @@ class TrainableFilter : public StreamFilter {
                           const TrainConfig& config) = 0;
 
   /// Marks from pre-encoded features (used during evaluation so that the
-  /// featurization cost is attributed to the filter).
-  virtual std::vector<int> MarkFeatures(const Matrix& features) = 0;
+  /// featurization cost is attributed to the filter). Const/re-entrant
+  /// under the same contract as Mark().
+  virtual std::vector<int> MarkFeatures(const Matrix& features) const = 0;
 
   virtual std::vector<Parameter*> Params() = 0;
 
   /// Evaluates filter quality on pre-encoded samples: the paper's
   /// entity-level P/R/F1 (§4.3) — entities are events for the event
   /// network and windows for the window network.
-  virtual BinaryMetrics Score(const std::vector<Sample>& samples) = 0;
+  virtual BinaryMetrics Score(const std::vector<Sample>& samples) const = 0;
 };
 
 }  // namespace dlacep

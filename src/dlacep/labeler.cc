@@ -41,8 +41,11 @@ LabeledSample SampleLabeler::Label(const EventStream& stream,
   const std::span<const Event> span =
       stream.View(range.begin, range.size());
   MatchSet matches;
-  const Status status = engine_->Evaluate(span, &matches);
-  DLACEP_CHECK_MSG(status.ok(), status.ToString());
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    const Status status = engine_->Evaluate(span, &matches);
+    DLACEP_CHECK_MSG(status.ok(), status.ToString());
+  }
   sample.num_matches = matches.size();
   sample.window_label = matches.empty() ? 0 : 1;
 

@@ -16,6 +16,7 @@
 #define DLACEP_DLACEP_LABELER_H_
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -40,11 +41,14 @@ class SampleLabeler {
   explicit SampleLabeler(const Pattern& pattern);
 
   /// Labels the events of stream[range] (exact CEP + negation awareness).
+  /// Re-entrant: concurrent calls are serialized on the internal engine
+  /// (OracleFilter::Mark runs under the pipeline's thread pool).
   LabeledSample Label(const EventStream& stream, WindowRange range) const;
 
  private:
   Pattern pattern_;
   std::set<TypeId> negated_types_;
+  mutable std::mutex engine_mu_;  ///< guards engine_ (stateful stats)
   mutable std::unique_ptr<CepEngine> engine_;
 };
 

@@ -17,8 +17,11 @@ class OracleFilter : public StreamFilter {
 
   std::string name() const override { return "oracle"; }
 
+  // Re-entrancy: SampleLabeler::Label serializes access to its internal
+  // CEP engine, so concurrent Mark() calls from the parallel filtration
+  // stage are safe (though the oracle itself won't scale with threads).
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override {
+                        WindowRange range) const override {
     return labeler_.Label(stream, range).event_labels;
   }
 
@@ -32,7 +35,8 @@ class PassThroughFilter : public StreamFilter {
  public:
   std::string name() const override { return "pass-through"; }
 
-  std::vector<int> Mark(const EventStream&, WindowRange range) override {
+  std::vector<int> Mark(const EventStream&,
+                        WindowRange range) const override {
     return std::vector<int>(range.size(), 1);
   }
 };

@@ -31,19 +31,49 @@ DlacepPipeline::DlacepPipeline(const Pattern& pattern,
   DLACEP_CHECK(pattern_.window().kind == WindowKind::kCount);
 }
 
+ThreadPool* DlacepPipeline::FiltrationPool() {
+  const size_t workers = ResolveNumThreads(config_.num_threads);
+  if (workers <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(workers);
+  return pool_.get();
+}
+
 PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
   PipelineResult result;
   result.total_events = stream.size();
 
-  // Filtration: mark events window by window.
+  // Filtration: every assembler window is an independent inference
+  // (filters are const/re-entrant, each Mark call builds its own tape),
+  // so windows fan out over the pool into per-window mark buffers.
+  // filter_seconds stays wall clock: it brackets the whole fan-out.
   Stopwatch filter_watch;
+  const std::vector<WindowRange> windows =
+      assembler_.Windows(stream.size());
+  std::vector<std::vector<int>> window_marks(windows.size());
+  const StreamFilter& filter = *filter_;
+  ParallelFor(FiltrationPool(), windows.size(), [&](size_t i) {
+    window_marks[i] = filter.Mark(stream, windows[i]);
+  });
+
+  // Deterministic merge in window order: the concatenated mark sequence
+  // is identical to what the sequential loop produced, regardless of
+  // which worker finished first. Deduplicated marked events are counted
+  // here, over stream positions, so that blanks the extractor later
+  // drops still count as relayed (the paper's Ψ measures filtration,
+  // not extraction).
   std::vector<const Event*> marked;
-  for (const WindowRange& range : assembler_.Windows(stream.size())) {
-    const std::vector<int> marks = filter_->Mark(stream, range);
-    DLACEP_CHECK_EQ(marks.size(), range.size());
+  std::vector<uint8_t> seen(stream.size(), 0);
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const std::vector<int>& marks = window_marks[i];
+    DLACEP_CHECK_EQ(marks.size(), windows[i].size());
     for (size_t t = 0; t < marks.size(); ++t) {
-      if (marks[t] != 0) {
-        marked.push_back(&stream[range.begin + t]);
+      if (marks[t] == 0) continue;
+      const size_t pos = windows[i].begin + t;
+      marked.push_back(&stream[pos]);
+      result.marked_ids.push_back(stream[pos].id);
+      if (!seen[pos]) {
+        seen[pos] = 1;
+        ++result.marked_events;
       }
     }
   }
@@ -57,7 +87,6 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
   DLACEP_CHECK_MSG(status.ok(), status.ToString());
   result.cep_seconds = cep_watch.ElapsedSeconds();
   result.cep_stats = extractor_.stats();
-  result.marked_events = result.cep_stats.events_processed;
   return result;
 }
 

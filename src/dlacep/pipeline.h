@@ -14,7 +14,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "dlacep/assembler.h"
 #include "dlacep/config.h"
 #include "dlacep/extractor.h"
@@ -27,8 +29,19 @@ namespace dlacep {
 struct PipelineResult {
   MatchSet matches;
   size_t total_events = 0;
-  size_t marked_events = 0;   ///< after deduplication
-  double filter_seconds = 0.0;
+  /// Deduplicated marked events, counted by the pipeline over the
+  /// merged marks (overlapping assembler windows mark some events
+  /// twice; each is counted once). Blank/padding events count too —
+  /// the filter relayed them even though the extractor later drops
+  /// them — so filtering_ratio() reflects what the filter kept, not
+  /// what the engine processed.
+  size_t marked_events = 0;
+  /// Ids of marked events in deterministic merge order (window by
+  /// window, duplicates from overlapping windows included). This is the
+  /// pipeline's mark vector: byte-identical across num_threads
+  /// settings, which the determinism tests assert.
+  std::vector<EventId> marked_ids;
+  double filter_seconds = 0.0;  ///< wall clock, whatever num_threads is
   double cep_seconds = 0.0;
   EngineStats cep_stats;
 
@@ -71,7 +84,10 @@ class DlacepPipeline {
                  std::unique_ptr<StreamFilter> filter,
                  const DlacepConfig& config);
 
-  /// Runs filtration + extraction over `stream`.
+  /// Runs filtration + extraction over `stream`. With
+  /// config.num_threads != 1 the filtration stage fans window inference
+  /// out over a fixed-size thread pool; the result is byte-identical to
+  /// the sequential run (deterministic window-order merge).
   PipelineResult Evaluate(const EventStream& stream);
 
   /// Runs Evaluate() plus a baseline ECEP engine over the same stream.
@@ -82,11 +98,16 @@ class DlacepPipeline {
   const InputAssembler& assembler() const { return assembler_; }
 
  private:
+  /// The pool used for parallel filtration, created lazily on the first
+  /// Evaluate() that wants more than one worker and reused afterwards.
+  ThreadPool* FiltrationPool();
+
   Pattern pattern_;
   DlacepConfig config_;
   InputAssembler assembler_;
   std::unique_ptr<StreamFilter> filter_;
   CepExtractor extractor_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// A fully built DLACEP instance: featurizer + trained filter + pipeline

@@ -4,16 +4,20 @@ namespace dlacep {
 
 RandomSheddingFilter::RandomSheddingFilter(double keep_probability,
                                            uint64_t seed)
-    : keep_probability_(keep_probability), rng_(seed) {
+    : keep_probability_(keep_probability), seed_(seed) {
   DLACEP_CHECK_GE(keep_probability_, 0.0);
   DLACEP_CHECK_LE(keep_probability_, 1.0);
 }
 
 std::vector<int> RandomSheddingFilter::Mark(const EventStream&,
-                                            WindowRange range) {
+                                            WindowRange range) const {
+  // Fresh per-window generator (splitmix-style mix of the window start
+  // into the seed) — see the header for why Mark must be stateless.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                   (static_cast<uint64_t>(range.begin) + 1)));
   std::vector<int> marks(range.size());
   for (int& m : marks) {
-    m = rng_.Bernoulli(keep_probability_) ? 1 : 0;
+    m = rng.Bernoulli(keep_probability_) ? 1 : 0;
   }
   return marks;
 }
@@ -28,7 +32,7 @@ TypeSheddingFilter::TypeSheddingFilter(const Pattern& pattern) {
 }
 
 std::vector<int> TypeSheddingFilter::Mark(const EventStream& stream,
-                                          WindowRange range) {
+                                          WindowRange range) const {
   std::vector<int> marks(range.size(), 0);
   for (size_t t = 0; t < range.size(); ++t) {
     const Event& e = stream[range.begin + t];

@@ -20,7 +20,10 @@
 namespace dlacep {
 
 /// Uniform random shedding: every event is relayed with probability
-/// `keep_probability`, regardless of content.
+/// `keep_probability`, regardless of content. The marks of a window are
+/// a pure function of (seed, range.begin), so Mark() is re-entrant and
+/// its output does not depend on window evaluation order — required by
+/// the parallel filtration stage and handy for reproducibility.
 class RandomSheddingFilter : public StreamFilter {
  public:
   RandomSheddingFilter(double keep_probability, uint64_t seed);
@@ -28,11 +31,11 @@ class RandomSheddingFilter : public StreamFilter {
   std::string name() const override { return "random-shedding"; }
 
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override;
+                        WindowRange range) const override;
 
  private:
   double keep_probability_;
-  Rng rng_;
+  uint64_t seed_;
 };
 
 /// Type-aware shedding: events whose type the pattern references are
@@ -47,7 +50,7 @@ class TypeSheddingFilter : public StreamFilter {
   std::string name() const override { return "type-shedding"; }
 
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override;
+                        WindowRange range) const override;
 
  private:
   std::vector<bool> relevant_;  ///< indexed by type id

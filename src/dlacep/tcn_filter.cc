@@ -17,8 +17,8 @@ TcnEventFilter::TcnEventFilter(const Featurizer* featurizer,
   DLACEP_CHECK(featurizer_ != nullptr);
 }
 
-std::pair<Var, Var> TcnEventFilter::Emissions(Tape* tape,
-                                              const Matrix& features) {
+std::pair<Var, Var> TcnEventFilter::Emissions(
+    Tape* tape, const Matrix& features) const {
   Var h = backbone_.Forward(tape, tape->Input(features));
   return {head_fwd_.Forward(tape, h), head_bwd_.Forward(tape, h)};
 }
@@ -36,7 +36,8 @@ std::vector<Parameter*> TcnEventFilter::Params() {
   return params;
 }
 
-std::vector<int> TcnEventFilter::MarkFeatures(const Matrix& features) {
+std::vector<int> TcnEventFilter::MarkFeatures(
+    const Matrix& features) const {
   Tape tape;
   auto [emissions_f, emissions_b] = Emissions(&tape, features);
   const Matrix marginals =
@@ -49,7 +50,7 @@ std::vector<int> TcnEventFilter::MarkFeatures(const Matrix& features) {
 }
 
 std::vector<int> TcnEventFilter::Mark(const EventStream& stream,
-                                      WindowRange range) {
+                                      WindowRange range) const {
   return MarkFeatures(
       featurizer_->Encode(stream.View(range.begin, range.size())));
 }
@@ -59,7 +60,8 @@ TrainResult TcnEventFilter::Fit(const std::vector<Sample>& samples,
   return Train(this, samples, config);
 }
 
-BinaryMetrics TcnEventFilter::Score(const std::vector<Sample>& samples) {
+BinaryMetrics TcnEventFilter::Score(
+    const std::vector<Sample>& samples) const {
   BinaryMetrics metrics;
   for (const Sample& sample : samples) {
     metrics.Accumulate(MarkFeatures(sample.features), sample.labels);

@@ -18,7 +18,8 @@ WindowNetworkFilter::WindowNetworkFilter(const Featurizer* featurizer,
   DLACEP_CHECK(featurizer_ != nullptr);
 }
 
-Var WindowNetworkFilter::Logit(Tape* tape, const Matrix& features) {
+Var WindowNetworkFilter::Logit(Tape* tape,
+                               const Matrix& features) const {
   Var h = stack_.Forward(tape, tape->Input(features));
   Var pooled = ops::MaxOverRows(h);
   return head_.Forward(tape, pooled);
@@ -37,20 +38,21 @@ std::vector<Parameter*> WindowNetworkFilter::Params() {
   return params;
 }
 
-double WindowNetworkFilter::WindowProbability(const Matrix& features) {
+double WindowNetworkFilter::WindowProbability(
+    const Matrix& features) const {
   Tape tape;
   const double logit = Logit(&tape, features).value()(0, 0);
   return 1.0 / (1.0 + std::exp(-logit));
 }
 
-std::vector<int> WindowNetworkFilter::MarkFeatures(const Matrix& features) {
-  const int mark =
-      WindowProbability(features) >= window_threshold_ ? 1 : 0;
+std::vector<int> WindowNetworkFilter::MarkFeatures(
+    const Matrix& features) const {
+  const int mark = IsApplicable(WindowProbability(features)) ? 1 : 0;
   return std::vector<int>(features.rows(), mark);
 }
 
 std::vector<int> WindowNetworkFilter::Mark(const EventStream& stream,
-                                           WindowRange range) {
+                                           WindowRange range) const {
   return MarkFeatures(
       featurizer_->Encode(stream.View(range.begin, range.size())));
 }
@@ -61,11 +63,11 @@ TrainResult WindowNetworkFilter::Fit(const std::vector<Sample>& samples,
 }
 
 BinaryMetrics WindowNetworkFilter::Score(
-    const std::vector<Sample>& samples) {
+    const std::vector<Sample>& samples) const {
   BinaryMetrics metrics;
   for (const Sample& sample : samples) {
     const int predicted =
-        WindowProbability(sample.features) >= window_threshold_ ? 1 : 0;
+        IsApplicable(WindowProbability(sample.features)) ? 1 : 0;
     metrics.Accumulate({predicted}, {sample.labels[0]});
   }
   return metrics;

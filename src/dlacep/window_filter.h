@@ -24,23 +24,30 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
   std::string name() const override { return "window-network"; }
 
   std::vector<int> Mark(const EventStream& stream,
-                        WindowRange range) override;
-  std::vector<int> MarkFeatures(const Matrix& features) override;
+                        WindowRange range) const override;
+  std::vector<int> MarkFeatures(const Matrix& features) const override;
 
   TrainResult Fit(const std::vector<Sample>& samples,
                   const TrainConfig& config) override;
 
-  BinaryMetrics Score(const std::vector<Sample>& samples) override;
+  BinaryMetrics Score(const std::vector<Sample>& samples) const override;
 
   // SequenceModel:
   Var Loss(Tape* tape, const Sample& sample) override;
   std::vector<Parameter*> Params() override;
 
   /// Raw sigmoid probability that the window is applicable.
-  double WindowProbability(const Matrix& features);
+  double WindowProbability(const Matrix& features) const;
+
+  /// The single decision predicate shared by inference-time marking and
+  /// training-time scoring, so a threshold/hysteresis change can never
+  /// silently diverge between the two.
+  bool IsApplicable(double probability) const {
+    return probability >= window_threshold_;
+  }
 
  private:
-  Var Logit(Tape* tape, const Matrix& features);
+  Var Logit(Tape* tape, const Matrix& features) const;
 
   const Featurizer* featurizer_;  ///< not owned
   double window_threshold_;

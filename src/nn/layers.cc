@@ -17,7 +17,7 @@ Dense::Dense(std::string name, size_t in_dim, size_t out_dim, Rng* rng)
     : w_(name + ".W", Matrix::Xavier(in_dim, out_dim, rng)),
       b_(name + ".b", Matrix::Zeros(1, out_dim)) {}
 
-Var Dense::Forward(Tape* tape, Var x) {
+Var Dense::Forward(Tape* tape, Var x) const {
   Var w = tape->Param(&w_);
   Var b = tape->Param(&b_);
   return AddBroadcastRow(MatMul(x, w), b);
@@ -35,7 +35,7 @@ Lstm::Lstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng)
   }
 }
 
-Var Lstm::Forward(Tape* tape, Var x_seq, bool reverse) {
+Var Lstm::Forward(Tape* tape, Var x_seq, bool reverse) const {
   const size_t t_steps = x_seq.value().rows();
   DLACEP_CHECK_GT(t_steps, 0u);
   const size_t h = hidden_dim_;
@@ -71,7 +71,7 @@ BiLstm::BiLstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng)
     : fwd_(name + ".fwd", in_dim, hidden_dim, rng),
       bwd_(name + ".bwd", in_dim, hidden_dim, rng) {}
 
-Var BiLstm::Forward(Tape* tape, Var x_seq) {
+Var BiLstm::Forward(Tape* tape, Var x_seq) const {
   Var forward = fwd_.Forward(tape, x_seq, /*reverse=*/false);
   Var backward = bwd_.Forward(tape, x_seq, /*reverse=*/true);
   return ConcatCols({forward, backward});
@@ -95,9 +95,9 @@ StackedBiLstm::StackedBiLstm(std::string name, size_t in_dim,
   }
 }
 
-Var StackedBiLstm::Forward(Tape* tape, Var x_seq) {
+Var StackedBiLstm::Forward(Tape* tape, Var x_seq) const {
   Var out = x_seq;
-  for (auto& layer : layers_) {
+  for (const auto& layer : layers_) {
     out = layer->Forward(tape, out);
   }
   return out;
@@ -131,7 +131,7 @@ Tcn::Tcn(std::string name, size_t in_dim, size_t hidden_dim,
   }
 }
 
-Var Tcn::Forward(Tape* tape, Var x_seq) {
+Var Tcn::Forward(Tape* tape, Var x_seq) const {
   Var out = x_seq;
   size_t dilation = 1;
   for (size_t layer = 0; layer < weights_.size(); ++layer) {

@@ -4,6 +4,12 @@
 // row per time step) and process one sequence at a time; batching is done
 // by gradient accumulation across samples (see trainer.h). This matches
 // the paper's setting, where an input sample is a window of 2·W events.
+//
+// Forward() is const and re-entrant: it only reads parameter values and
+// records nodes on the caller-owned tape, so any number of threads may
+// run forward passes concurrently (one tape per thread) as long as no
+// optimizer step mutates the parameters — the contract the parallel
+// filtration stage of DlacepPipeline relies on.
 
 #ifndef DLACEP_NN_LAYERS_H_
 #define DLACEP_NN_LAYERS_H_
@@ -31,7 +37,7 @@ class Dense : public Module {
   Dense(std::string name, size_t in_dim, size_t out_dim, Rng* rng);
 
   /// x: N×in → N×out.
-  Var Forward(Tape* tape, Var x);
+  Var Forward(Tape* tape, Var x) const;
 
   std::vector<Parameter*> Params() override { return {&w_, &b_}; }
 
@@ -52,7 +58,7 @@ class Lstm : public Module {
   /// x_seq: T×in. Returns the hidden sequence T×H. When `reverse` is
   /// true the sequence is processed right-to-left and the output rows are
   /// realigned to input order (row t is the state after seeing t..T-1).
-  Var Forward(Tape* tape, Var x_seq, bool reverse = false);
+  Var Forward(Tape* tape, Var x_seq, bool reverse = false) const;
 
   std::vector<Parameter*> Params() override { return {&wx_, &wh_, &b_}; }
 
@@ -71,7 +77,7 @@ class BiLstm : public Module {
  public:
   BiLstm(std::string name, size_t in_dim, size_t hidden_dim, Rng* rng);
 
-  Var Forward(Tape* tape, Var x_seq);
+  Var Forward(Tape* tape, Var x_seq) const;
 
   std::vector<Parameter*> Params() override;
 
@@ -89,7 +95,7 @@ class StackedBiLstm : public Module {
   StackedBiLstm(std::string name, size_t in_dim, size_t hidden_dim,
                 size_t num_layers, Rng* rng);
 
-  Var Forward(Tape* tape, Var x_seq);
+  Var Forward(Tape* tape, Var x_seq) const;
 
   std::vector<Parameter*> Params() override;
 
@@ -111,7 +117,7 @@ class Tcn : public Module {
       size_t num_layers, size_t kernel, Rng* rng);
 
   /// x_seq: T×in → T×hidden.
-  Var Forward(Tape* tape, Var x_seq);
+  Var Forward(Tape* tape, Var x_seq) const;
 
   std::vector<Parameter*> Params() override;
 

@@ -15,7 +15,7 @@ Var Tape::Input(Matrix value) {
   return Var(this, static_cast<int>(nodes_.size() - 1));
 }
 
-Var Tape::Param(Parameter* param) {
+Var Tape::Param(const Parameter* param) {
   DLACEP_CHECK(param != nullptr);
   Node node;
   node.value = param->value;

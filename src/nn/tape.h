@@ -23,11 +23,16 @@
 
 namespace dlacep {
 
-/// A model parameter: value plus gradient accumulator.
+/// A model parameter: value plus gradient accumulator. `grad` is
+/// mutable so that a const-qualified forward pass (inference) can still
+/// hand the parameter to a tape that may later run Backward(); only
+/// training — which is single-threaded — actually writes it. During
+/// inference, concurrent tapes read `value` only, which makes the whole
+/// forward path re-entrant as long as no optimizer step runs.
 struct Parameter {
   std::string name;
   Matrix value;
-  Matrix grad;
+  mutable Matrix grad;
 
   Parameter() = default;
   Parameter(std::string name_in, Matrix value_in)
@@ -67,8 +72,11 @@ class Tape {
   /// A constant leaf (no gradient flows out of the tape).
   Var Input(Matrix value);
 
-  /// A parameter leaf; Backward() adds its gradient into `param->grad`.
-  Var Param(Parameter* param);
+  /// A parameter leaf; Backward() adds its gradient into `param->grad`
+  /// (a mutable accumulator — see Parameter). Taking the parameter by
+  /// const pointer keeps layer Forward() methods const-qualified and
+  /// safe to call concurrently at inference time.
+  Var Param(const Parameter* param);
 
   /// Runs backpropagation from `loss` (must be 1×1).
   void Backward(Var loss);
@@ -86,7 +94,7 @@ class Tape {
     Matrix value;
     Matrix grad;
     std::function<void(Tape*, int)> backward;  // null for leaves
-    Parameter* param = nullptr;                // set for Param leaves
+    const Parameter* param = nullptr;          // set for Param leaves
   };
   // Deque, not vector: Var::value() hands out references into the node
   // store, and later ops keep appending nodes — references must stay

@@ -60,8 +60,11 @@ std::vector<WindowRange> CountWindows(size_t stream_size, size_t window_size,
                                       size_t step);
 
 /// Enumerates maximal time windows: for each event index i, the range of
-/// events whose timestamp lies within [ts(i), ts(i) + span]. Consecutive
-/// duplicates (ranges contained in the previous one) are dropped.
+/// events reaching to the last event whose timestamp lies within `span`
+/// of ts(i). Windows contained in the previously emitted one are
+/// dropped. Guarantee (unit-tested): every pair of events whose
+/// timestamps differ by at most `span` co-occurs in at least one emitted
+/// window, even when the stream's timestamps are out of order.
 std::vector<WindowRange> TimeWindows(const EventStream& stream, double span);
 
 }  // namespace dlacep

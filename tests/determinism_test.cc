@@ -103,6 +103,71 @@ TEST(Determinism, SavedFilterProducesIdenticalMarksAfterReload) {
   std::remove(path.c_str());
 }
 
+/// Non-owning view so one trained filter can serve several pipelines
+/// with different num_threads settings.
+class BorrowedFilter : public StreamFilter {
+ public:
+  explicit BorrowedFilter(const StreamFilter* inner) : inner_(inner) {}
+  std::string name() const override { return inner_->name(); }
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) const override {
+    return inner_->Mark(stream, range);
+  }
+
+ private:
+  const StreamFilter* inner_;
+};
+
+/// Parallel filtration must be byte-identical to the sequential path:
+/// same mark vector (merge order included), same dedup count, same
+/// filtering ratio, same matches.
+void ExpectThreadCountInvariance(FilterKind kind) {
+  const EventStream train = SmallStream(800, 206);
+  const EventStream test = SmallStream(400, 207);
+  const Pattern pattern = TestPattern(train.schema_ptr());
+
+  DlacepConfig config;
+  config.network.hidden_dim = 6;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 6;
+
+  BuiltDlacep built = BuildDlacep(pattern, train, kind, config);
+
+  auto evaluate = [&](size_t num_threads) {
+    DlacepConfig threaded = config;
+    threaded.num_threads = num_threads;
+    DlacepPipeline pipeline(
+        pattern,
+        std::make_unique<BorrowedFilter>(&built.pipeline->filter()),
+        threaded);
+    return pipeline.Evaluate(test);
+  };
+
+  const PipelineResult sequential = evaluate(1);
+  for (const size_t num_threads : {size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("num_threads=" + std::to_string(num_threads));
+    const PipelineResult parallel = evaluate(num_threads);
+    EXPECT_EQ(parallel.marked_ids, sequential.marked_ids);
+    EXPECT_EQ(parallel.marked_events, sequential.marked_events);
+    EXPECT_DOUBLE_EQ(parallel.filtering_ratio(),
+                     sequential.filtering_ratio());
+    ASSERT_EQ(parallel.matches.size(), sequential.matches.size());
+    auto it_p = parallel.matches.begin();
+    auto it_s = sequential.matches.begin();
+    for (; it_s != sequential.matches.end(); ++it_p, ++it_s) {
+      EXPECT_EQ(it_p->ids, it_s->ids);
+    }
+  }
+}
+
+TEST(Determinism, EventNetworkMarksAreThreadCountInvariant) {
+  ExpectThreadCountInvariance(FilterKind::kEventNetwork);
+}
+
+TEST(Determinism, WindowNetworkMarksAreThreadCountInvariant) {
+  ExpectThreadCountInvariance(FilterKind::kWindowNetwork);
+}
+
 TEST(Determinism, RngStreamsAreStableAcrossInstances) {
   Rng a(42);
   Rng b(42);

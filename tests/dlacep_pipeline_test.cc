@@ -194,20 +194,56 @@ TEST(Pipeline, PassThroughFilterReproducesEcepExactly) {
   EXPECT_EQ(comparison.dlacep.filtering_ratio(), 0.0);
 }
 
+// Regression: marked_events used to be copied from
+// cep_stats.events_processed, which is counted after the extractor
+// drops blanks — a stream with blank (padding) events then over-reported
+// the filtering ratio Ψ even though the filter relayed everything.
+TEST(Pipeline, FilteringRatioCountsRelayedBlanks) {
+  auto schema = MakeSyntheticSchema(3, 1);
+  EventStream stream(schema);
+  for (int i = 0; i < 40; ++i) {
+    if (i % 4 == 3) {
+      stream.AppendBlank(static_cast<double>(i));
+    } else {
+      stream.Append(static_cast<TypeId>(i % 3), static_cast<double>(i),
+                    {0.0});
+    }
+  }
+  const Pattern pattern = TypeOnlySeq(stream.schema_ptr(), 8);
+  DlacepConfig config;
+  DlacepPipeline pipeline(pattern, std::make_unique<PassThroughFilter>(),
+                          config);
+  const PipelineResult result = pipeline.Evaluate(stream);
+
+  // Pass-through relays every event, blanks included: Ψ measures
+  // filtration, not what the engine later processed.
+  EXPECT_EQ(result.marked_events, stream.size());
+  EXPECT_EQ(result.filtering_ratio(), 0.0);
+  // The extractor still drops the 10 blanks before the engine runs.
+  EXPECT_EQ(result.cep_stats.events_processed, stream.size() - 10);
+  // Overlapping assembler windows re-mark interior events: the raw mark
+  // vector is longer than the deduplicated count.
+  EXPECT_GT(result.marked_ids.size(), result.marked_events);
+}
+
 // Property: for NEG-free patterns DLACEP can never invent a match,
 // whatever the filter marks (here: adversarial random marks).
 class RandomMarkFilter : public StreamFilter {
  public:
-  explicit RandomMarkFilter(uint64_t seed) : rng_(seed) {}
+  explicit RandomMarkFilter(uint64_t seed) : seed_(seed) {}
   std::string name() const override { return "random"; }
-  std::vector<int> Mark(const EventStream&, WindowRange range) override {
+  std::vector<int> Mark(const EventStream&,
+                        WindowRange range) const override {
+    // Per-window generator: Mark must be re-entrant (see filter.h).
+    Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                     (static_cast<uint64_t>(range.begin) + 1)));
     std::vector<int> marks(range.size());
-    for (auto& m : marks) m = rng_.Bernoulli(0.5) ? 1 : 0;
+    for (auto& m : marks) m = rng.Bernoulli(0.5) ? 1 : 0;
     return marks;
   }
 
  private:
-  Rng rng_;
+  uint64_t seed_;
 };
 
 class NoFalsePositives : public ::testing::TestWithParam<uint64_t> {};

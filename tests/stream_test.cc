@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 
+#include "common/rng.h"
 #include "stream/csv_io.h"
 #include "stream/generator.h"
 #include "stream/stocksim.h"
@@ -102,6 +104,62 @@ TEST(Windows, TimeWindowsFollowTimestamps) {
   EXPECT_EQ(windows[0].end, 2u);
   // The last event sits in its own window.
   EXPECT_EQ(windows.back().end, 5u);
+}
+
+// Coverage contract of TimeWindows: every pair of events whose
+// timestamps differ by at most `span` must co-occur in at least one
+// emitted window.
+void ExpectPairwiseCoverage(const EventStream& stream, double span) {
+  const auto windows = TimeWindows(stream, span);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    for (size_t j = i + 1; j < stream.size(); ++j) {
+      if (std::abs(stream[j].timestamp - stream[i].timestamp) > span) {
+        continue;
+      }
+      bool covered = false;
+      for (const WindowRange& w : windows) {
+        covered = covered || (w.begin <= i && j < w.end);
+      }
+      EXPECT_TRUE(covered) << "pair (" << i << "," << j
+                           << ") never co-occurs, ts "
+                           << stream[i].timestamp << " vs "
+                           << stream[j].timestamp;
+    }
+  }
+}
+
+TEST(Windows, TimeWindowsCoverAllPairsOnSortedStreams) {
+  auto schema = MakeSyntheticSchema(1, 1);
+  EventStream stream(schema);
+  Rng rng(31);
+  double ts = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    ts += rng.Uniform() * 3.0;
+    stream.Append(0, ts, {0.0});
+  }
+  ExpectPairwiseCoverage(stream, 4.0);
+}
+
+// Regression: with out-of-order timestamps (e.g. a stream loaded from
+// an external CSV) the window anchored at an event used to stop at the
+// first out-of-span straggler, so later in-span partners never
+// co-occurred with the anchor. Here the pair (0, 2) — ts 0 and 3,
+// within span 5 — was missed because ts=100 truncated event 0's window.
+TEST(Windows, TimeWindowsCoverAllPairsOnUnsortedStreams) {
+  auto schema = MakeSyntheticSchema(1, 1);
+  EventStream stream(schema);
+  for (double ts : {0.0, 100.0, 3.0}) {
+    stream.Append(0, ts, {0.0});
+  }
+  ExpectPairwiseCoverage(stream, 5.0);
+
+  // Randomized shuffled timestamps exercise the general case.
+  EventStream shuffled(schema);
+  Rng rng(32);
+  for (int i = 0; i < 50; ++i) {
+    shuffled.Append(0, rng.Uniform() * 40.0, {0.0});
+  }
+  ExpectPairwiseCoverage(shuffled, 6.0);
 }
 
 TEST(SyntheticGenerator, IsDeterministicAndRespectsConfig) {
