@@ -110,6 +110,7 @@ int Run() {
     for (size_t i = 0; i < params.size(); ++i) {
       params[i]->value = snap.values[i];
     }
+    filter.OnParamsChanged();  // repack frozen inference weights
     evaluate(&filter, "epochs", StrFormat("%zu", snap.epoch));
   }
 

@@ -5,9 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "dlacep/event_filter.h"
+#include "dlacep/featurizer.h"
 #include "nn/crf.h"
+#include "nn/infer.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
+#include "pattern/builder.h"
+#include "stream/generator.h"
 
 namespace dlacep {
 namespace {
@@ -24,6 +29,24 @@ void BM_MatMul(benchmark::State& state) {
                           static_cast<int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+// The inference-path kernel: B pre-transposed at freeze time, output
+// written into a caller-owned buffer. Same FLOP count as BM_MatMul —
+// the delta is layout (contiguous dot products) plus zero allocation.
+void BM_MatMulTransBInto(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::Randn(n, n, 1.0, &rng);
+  const Matrix b_t = Matrix::Randn(n, n, 1.0, &rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    MatMulTransBInto(a, b_t, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatMulTransBInto)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_BiLstmForwardSeqLen(benchmark::State& state) {
   const size_t t_steps = static_cast<size_t>(state.range(0));
@@ -50,6 +73,103 @@ void BM_BiLstmForwardHidden(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BiLstmForwardHidden)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Tape-free counterparts of the two benches above: frozen weights,
+// fused LSTM cell, one InferenceContext reused across iterations (the
+// steady state of pipeline filtration — allocation-free after the
+// first pass).
+void BM_BiLstmInferSeqLen(benchmark::State& state) {
+  const size_t t_steps = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  StackedBiLstm stack("s", 8, 16, 2, &rng);
+  const StackedBiLstmInfer frozen = Freeze(stack);
+  const Matrix input = Matrix::Randn(t_steps, 8, 1.0, &rng);
+  InferenceContext ctx;
+  for (auto _ : state) {
+    ctx.Reset();
+    benchmark::DoNotOptimize(frozen.Forward(&ctx, input).data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t_steps));
+}
+BENCHMARK(BM_BiLstmInferSeqLen)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BiLstmInferHidden(benchmark::State& state) {
+  const size_t hidden = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  StackedBiLstm stack("s", 8, hidden, 2, &rng);
+  const StackedBiLstmInfer frozen = Freeze(stack);
+  const Matrix input = Matrix::Randn(32, 8, 1.0, &rng);
+  InferenceContext ctx;
+  for (auto _ : state) {
+    ctx.Reset();
+    benchmark::DoNotOptimize(frozen.Forward(&ctx, input).data());
+  }
+}
+BENCHMARK(BM_BiLstmInferHidden)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// End-to-end filter forward at the paper-scale hidden size: the full
+// BiLSTM event filter (stack + emission heads + BI-CRF marginals +
+// threshold) on one 64-event window, tape path vs inference path.
+// This pair backs the headline speedup figure in EXPERIMENTS.md.
+struct FilterBenchFixture {
+  FilterBenchFixture()
+      : stream([] {
+          SyntheticConfig config;
+          config.num_events = 2000;
+          config.num_types = 5;
+          config.num_attrs = 1;
+          config.seed = 7;
+          return GenerateSynthetic(config);
+        }()),
+        pattern([&] {
+          PatternBuilder b(stream.schema_ptr());
+          auto root = b.Seq(b.Prim("A", "a"), b.Prim("B", "bb"));
+          b.WhereCmp(1.0, "a", "vol", CmpOp::kLt, 1.0, "bb");
+          return b.BuildOrDie(std::move(root), WindowSpec::Count(32));
+        }()),
+        featurizer(pattern, stream) {}
+
+  EventStream stream;
+  Pattern pattern;
+  Featurizer featurizer;
+};
+
+FilterBenchFixture& SharedFixture() {
+  static FilterBenchFixture fixture;
+  return fixture;
+}
+
+void BM_EventFilterTapeForward(benchmark::State& state) {
+  FilterBenchFixture& fx = SharedFixture();
+  NetworkConfig network;
+  network.hidden_dim = static_cast<size_t>(state.range(0));
+  network.num_layers = 2;
+  const EventNetworkFilter filter(&fx.featurizer, network, 0.5);
+  Rng rng(8);
+  const Matrix features =
+      Matrix::Randn(64, fx.featurizer.feature_dim(), 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MarkFeaturesTape(features));
+  }
+}
+BENCHMARK(BM_EventFilterTapeForward)->Arg(16)->Arg(64);
+
+void BM_EventFilterInferForward(benchmark::State& state) {
+  FilterBenchFixture& fx = SharedFixture();
+  NetworkConfig network;
+  network.hidden_dim = static_cast<size_t>(state.range(0));
+  network.num_layers = 2;
+  const EventNetworkFilter filter(&fx.featurizer, network, 0.5);
+  Rng rng(8);
+  const Matrix features =
+      Matrix::Randn(64, fx.featurizer.feature_dim(), 1.0, &rng);
+  InferenceContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MarkFeaturesWith(features, &ctx));
+  }
+}
+BENCHMARK(BM_EventFilterInferForward)->Arg(16)->Arg(64);
 
 void BM_TrainingStep(benchmark::State& state) {
   Rng rng(4);

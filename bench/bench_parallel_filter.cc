@@ -10,6 +10,12 @@
 // equality check of the merged mark vector against the 1-thread
 // baseline. Speedups flatten once the worker count passes the
 // machine's core count.
+//
+// A second sweep re-runs the same trained filters with every window
+// routed through the autograd tape forward instead of the frozen
+// inference path, reporting windows/sec for both — the before/after
+// picture of the tape-free fast path at the pipeline level, and a check
+// that both paths merge to identical marks.
 
 #include <cstdio>
 #include <thread>
@@ -34,6 +40,26 @@ class BorrowedFilter : public StreamFilter {
 
  private:
   const StreamFilter* inner_;
+};
+
+/// Tape-path view: routes every window through featurization plus the
+/// autograd tape forward — the pre-fast-path cost model. MarkWith is
+/// inherited (it drops the context and calls Mark), so the pipeline's
+/// per-worker arenas are deliberately unused on this side.
+class TapePathFilter : public StreamFilter {
+ public:
+  TapePathFilter(const TrainableFilter* inner, const Featurizer* featurizer)
+      : inner_(inner), featurizer_(featurizer) {}
+  std::string name() const override { return inner_->name() + "+tape"; }
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) const override {
+    return inner_->MarkFeaturesTape(
+        featurizer_->Encode(stream.View(range.begin, range.size())));
+  }
+
+ private:
+  const TrainableFilter* inner_;
+  const Featurizer* featurizer_;
 };
 
 constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
@@ -76,6 +102,50 @@ void SweepThreads(const std::string& label, const Pattern& pattern,
   }
 }
 
+void SweepInferencePath(const std::string& label, const Pattern& pattern,
+                        const BuiltDlacep& built, const DlacepConfig& base,
+                        const EventStream& test) {
+  const auto* trainable =
+      dynamic_cast<const TrainableFilter*>(&built.pipeline->filter());
+  if (trainable == nullptr) return;
+  const double num_windows = static_cast<double>(
+      built.pipeline->assembler().Windows(test.size()).size());
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    DlacepConfig config = base;
+    config.num_threads = threads;
+    DlacepPipeline tape_pipeline(
+        pattern,
+        std::make_unique<TapePathFilter>(trainable, built.featurizer.get()),
+        config);
+    DlacepPipeline fast_pipeline(
+        pattern, std::make_unique<BorrowedFilter>(&built.pipeline->filter()),
+        config);
+    double tape_best = 0.0;
+    double fast_best = 0.0;
+    bool identical = true;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const PipelineResult tape = tape_pipeline.Evaluate(test);
+      const PipelineResult fast = fast_pipeline.Evaluate(test);
+      if (rep == 0 || tape.filter_seconds < tape_best) {
+        tape_best = tape.filter_seconds;
+      }
+      if (rep == 0 || fast.filter_seconds < fast_best) {
+        fast_best = fast.filter_seconds;
+      }
+      identical = identical && tape.marked_ids == fast.marked_ids &&
+                  tape.marked_events == fast.marked_events;
+    }
+    std::printf("%-28s threads=%zu  tape=%9.1f w/s  infer=%9.1f w/s  "
+                "speedup=%5.2fx  identical=%s\n",
+                label.c_str(), threads,
+                num_windows / std::max(tape_best, 1e-9),
+                num_windows / std::max(fast_best, 1e-9),
+                tape_best / std::max(fast_best, 1e-9),
+                identical ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+}
+
 int Run() {
   const EventStream train = GenerateStockStream(StockConfig(6000, 1001));
   const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
@@ -93,18 +163,27 @@ int Run() {
     BuiltDlacep built =
         BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
     SweepThreads("QA1(j=4,k=4) event-net", pattern, built, config, test);
+    std::printf("--- tape vs inference fast path (windows/sec) ---\n");
+    SweepInferencePath("QA1(j=4,k=4) event-net", pattern, built, config,
+                       test);
   }
   {
     const Pattern pattern = QA3(s, 5, 12, 3, 2, 1, 4, 0.9, 1.1, 1.5, w);
     BuiltDlacep built =
         BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
     SweepThreads("QA3(j=5,k=12) event-net", pattern, built, config, test);
+    std::printf("--- tape vs inference fast path (windows/sec) ---\n");
+    SweepInferencePath("QA3(j=5,k=12) event-net", pattern, built, config,
+                       test);
   }
   {
     const Pattern pattern = QA3(s, 5, 12, 3, 2, 1, 4, 0.9, 1.1, 1.5, w);
     BuiltDlacep built =
         BuildDlacep(pattern, train, FilterKind::kWindowNetwork, config);
     SweepThreads("QA3(j=5,k=12) window-net", pattern, built, config, test);
+    std::printf("--- tape vs inference fast path (windows/sec) ---\n");
+    SweepInferencePath("QA3(j=5,k=12) window-net", pattern, built, config,
+                       test);
   }
   return 0;
 }

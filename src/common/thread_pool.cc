@@ -10,11 +10,19 @@ size_t ResolveNumThreads(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+namespace {
+// Worker slot of the calling thread; 0 for non-pool threads so that
+// per-worker scratch indexed by it is always in range.
+thread_local size_t current_worker_index = 0;
+}  // namespace
+
+size_t ThreadPool::CurrentWorkerIndex() { return current_worker_index; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   DLACEP_CHECK_GT(num_threads, 0u);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
   }
 }
 
@@ -44,7 +52,8 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  current_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -73,6 +82,18 @@ void ParallelFor(ThreadPool* pool, size_t count,
   }
   for (size_t i = 0; i < count; ++i) {
     pool->Submit([&fn, i] { fn(i); });
+  }
+  pool->Wait();
+}
+
+void ParallelForWorker(ThreadPool* pool, size_t count,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    pool->Submit([&fn, i] { fn(ThreadPool::CurrentWorkerIndex(), i); });
   }
   pool->Wait();
 }

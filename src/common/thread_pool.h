@@ -41,8 +41,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Index of the calling thread within its pool, in [0, num_threads()).
+  /// Returns 0 when the caller is not a pool worker (e.g. the main
+  /// thread running the sequential fallback), so per-worker scratch
+  /// indexed by this value is always valid.
+  static size_t CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -58,6 +64,13 @@ class ThreadPool {
 /// degenerates to a plain sequential loop with no synchronization.
 void ParallelFor(ThreadPool* pool, size_t count,
                  const std::function<void(size_t)>& fn);
+
+/// ParallelFor variant that also passes the executing worker's index so
+/// callers can maintain per-worker scratch (e.g. one InferenceContext
+/// per worker) without locking. The sequential fallback passes worker 0
+/// for every item.
+void ParallelForWorker(ThreadPool* pool, size_t count,
+                       const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace dlacep
 

@@ -14,7 +14,16 @@ EventNetworkFilter::EventNetworkFilter(const Featurizer* featurizer,
       head_bwd_("event.head_bwd", stack_.out_dim(), 2, &init_rng_),
       crf_("event.crf", 2, &init_rng_) {
   DLACEP_CHECK(featurizer_ != nullptr);
+  Refreeze();
 }
+
+void EventNetworkFilter::Refreeze() {
+  frozen_.stack = Freeze(stack_);
+  frozen_.head_fwd = Freeze(head_fwd_);
+  frozen_.head_bwd = Freeze(head_bwd_);
+}
+
+void EventNetworkFilter::OnParamsChanged() { Refreeze(); }
 
 std::pair<Var, Var> EventNetworkFilter::Emissions(
     Tape* tape, const Matrix& features) const {
@@ -35,28 +44,57 @@ std::vector<Parameter*> EventNetworkFilter::Params() {
   return params;
 }
 
-std::vector<int> EventNetworkFilter::MarkFeatures(
-    const Matrix& features) const {
-  Tape tape;
-  auto [emissions_f, emissions_b] = Emissions(&tape, features);
-  const Matrix marginals =
-      crf_.Marginals(emissions_f.value(), emissions_b.value());
-  std::vector<int> marks(features.rows());
-  for (size_t t = 0; t < features.rows(); ++t) {
+std::vector<int> EventNetworkFilter::Threshold(
+    const Matrix& marginals) const {
+  std::vector<int> marks(marginals.rows());
+  for (size_t t = 0; t < marginals.rows(); ++t) {
     marks[t] = marginals(t, 1) >= event_threshold_ ? 1 : 0;
   }
   return marks;
 }
 
+std::vector<int> EventNetworkFilter::MarkFeaturesWith(
+    const Matrix& features, InferenceContext* ctx) const {
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+  const Matrix& h = frozen_.stack.Forward(c, features);
+  Matrix& emissions_f = c->Acquire(features.rows(), 2);
+  Matrix& emissions_b = c->Acquire(features.rows(), 2);
+  frozen_.head_fwd.Forward(h, &emissions_f);
+  frozen_.head_bwd.Forward(h, &emissions_b);
+  return Threshold(crf_.Marginals(emissions_f, emissions_b));
+}
+
+std::vector<int> EventNetworkFilter::MarkFeatures(
+    const Matrix& features) const {
+  return MarkFeaturesWith(features, nullptr);
+}
+
+std::vector<int> EventNetworkFilter::MarkFeaturesTape(
+    const Matrix& features) const {
+  Tape tape;
+  auto [emissions_f, emissions_b] = Emissions(&tape, features);
+  return Threshold(crf_.Marginals(emissions_f.value(), emissions_b.value()));
+}
+
 std::vector<int> EventNetworkFilter::Mark(const EventStream& stream,
                                           WindowRange range) const {
-  return MarkFeatures(
-      featurizer_->Encode(stream.View(range.begin, range.size())));
+  return MarkWith(stream, range, nullptr);
+}
+
+std::vector<int> EventNetworkFilter::MarkWith(const EventStream& stream,
+                                              WindowRange range,
+                                              InferenceContext* ctx) const {
+  return MarkFeaturesWith(
+      featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
 }
 
 TrainResult EventNetworkFilter::Fit(const std::vector<Sample>& samples,
                                     const TrainConfig& config) {
-  return Train(this, samples, config);
+  const TrainResult result = Train(this, samples, config);
+  Refreeze();
+  return result;
 }
 
 BinaryMetrics EventNetworkFilter::Score(

@@ -14,6 +14,7 @@
 #include "dlacep/featurizer.h"
 #include "dlacep/filter.h"
 #include "nn/crf.h"
+#include "nn/infer.h"
 
 namespace dlacep {
 
@@ -26,7 +27,13 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
 
   std::vector<int> Mark(const EventStream& stream,
                         WindowRange range) const override;
+  std::vector<int> MarkWith(const EventStream& stream, WindowRange range,
+                            InferenceContext* ctx) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
+  std::vector<int> MarkFeaturesWith(const Matrix& features,
+                                    InferenceContext* ctx) const override;
+  std::vector<int> MarkFeaturesTape(const Matrix& features) const override;
+  void OnParamsChanged() override;
 
   TrainResult Fit(const std::vector<Sample>& samples,
                   const TrainConfig& config) override;
@@ -39,6 +46,8 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
 
  private:
   std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features) const;
+  std::vector<int> Threshold(const Matrix& marginals) const;
+  void Refreeze();
 
   const Featurizer* featurizer_;  ///< not owned
   double event_threshold_;
@@ -47,6 +56,14 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
   Dense head_fwd_;
   Dense head_bwd_;
   BiCrf crf_;
+  /// Forward-only weights repacked at freeze time (constructor, end of
+  /// Fit, OnParamsChanged). Read-only during Mark — shared across the
+  /// pipeline's worker threads.
+  struct FrozenModel {
+    StackedBiLstmInfer stack;
+    DenseInfer head_fwd;
+    DenseInfer head_bwd;
+  } frozen_;
 };
 
 }  // namespace dlacep

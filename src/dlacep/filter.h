@@ -16,6 +16,8 @@
 
 namespace dlacep {
 
+class InferenceContext;
+
 class StreamFilter {
  public:
   virtual ~StreamFilter() = default;
@@ -32,6 +34,18 @@ class StreamFilter {
   /// serialize access internally.
   virtual std::vector<int> Mark(const EventStream& stream,
                                 WindowRange range) const = 0;
+
+  /// Mark() with a caller-provided reusable scratch arena. The pipeline
+  /// threads one InferenceContext per worker through here so that
+  /// network filters run allocation-free after the first window; `ctx`
+  /// must not be shared across concurrent calls. Filters without a
+  /// network (oracle, pass-through, shedding) ignore it.
+  virtual std::vector<int> MarkWith(const EventStream& stream,
+                                    WindowRange range,
+                                    InferenceContext* ctx) const {
+    (void)ctx;
+    return Mark(stream, range);
+  }
 };
 
 /// A filter backed by a trainable network.
@@ -46,6 +60,26 @@ class TrainableFilter : public StreamFilter {
   /// featurization cost is attributed to the filter). Const/re-entrant
   /// under the same contract as Mark().
   virtual std::vector<int> MarkFeatures(const Matrix& features) const = 0;
+
+  /// MarkFeatures() with a caller-provided scratch arena (nullptr = use
+  /// a call-local one). Same re-entrancy contract; a given `ctx` must
+  /// not be shared across concurrent calls.
+  virtual std::vector<int> MarkFeaturesWith(const Matrix& features,
+                                            InferenceContext* ctx) const {
+    (void)ctx;
+    return MarkFeatures(features);
+  }
+
+  /// Golden-reference marks via the autograd tape forward (the training
+  /// machinery). Slow — kept so equivalence tests and before/after
+  /// benchmarks can pin the fast path against it; must produce the same
+  /// thresholded marks as MarkFeatures().
+  virtual std::vector<int> MarkFeaturesTape(const Matrix& features) const = 0;
+
+  /// Must be called after mutating parameter values out-of-band
+  /// (LoadParameters, snapshot restore) so the filter can repack its
+  /// frozen inference weights; Fit() refreezes on its own.
+  virtual void OnParamsChanged() {}
 
   virtual std::vector<Parameter*> Params() = 0;
 

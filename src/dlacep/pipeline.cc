@@ -42,17 +42,26 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
   PipelineResult result;
   result.total_events = stream.size();
 
-  // Filtration: every assembler window is an independent inference
-  // (filters are const/re-entrant, each Mark call builds its own tape),
-  // so windows fan out over the pool into per-window mark buffers.
+  // Filtration: every assembler window is an independent forward-only
+  // inference (filters are const/re-entrant), so windows fan out over
+  // the pool into per-window mark buffers. Each worker gets its own
+  // InferenceContext scratch arena, so the network filters reuse their
+  // activation buffers across windows instead of reallocating (or,
+  // before the fast path existed, building a whole autograd tape).
   // filter_seconds stays wall clock: it brackets the whole fan-out.
   Stopwatch filter_watch;
   const std::vector<WindowRange> windows =
       assembler_.Windows(stream.size());
   std::vector<std::vector<int>> window_marks(windows.size());
   const StreamFilter& filter = *filter_;
-  ParallelFor(FiltrationPool(), windows.size(), [&](size_t i) {
-    window_marks[i] = filter.Mark(stream, windows[i]);
+  ThreadPool* pool = FiltrationPool();
+  const size_t workers = pool != nullptr ? pool->num_threads() : 1;
+  while (contexts_.size() < workers) {
+    contexts_.push_back(std::make_unique<InferenceContext>());
+  }
+  ParallelForWorker(pool, windows.size(), [&](size_t worker, size_t i) {
+    window_marks[i] =
+        filter.MarkWith(stream, windows[i], contexts_[worker].get());
   });
 
   // Deterministic merge in window order: the concatenated mark sequence

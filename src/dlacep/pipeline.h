@@ -22,6 +22,7 @@
 #include "dlacep/extractor.h"
 #include "dlacep/featurizer.h"
 #include "dlacep/filter.h"
+#include "nn/infer.h"
 
 namespace dlacep {
 
@@ -108,6 +109,11 @@ class DlacepPipeline {
   std::unique_ptr<StreamFilter> filter_;
   CepExtractor extractor_;
   std::unique_ptr<ThreadPool> pool_;
+  /// One inference scratch arena per filtration worker (slot 0 doubles
+  /// as the sequential path's arena), created lazily alongside the pool
+  /// and reused across windows and across Evaluate() calls — after the
+  /// first window each Mark runs allocation-free.
+  std::vector<std::unique_ptr<InferenceContext>> contexts_;
 };
 
 /// A fully built DLACEP instance: featurizer + trained filter + pipeline

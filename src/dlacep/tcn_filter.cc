@@ -15,7 +15,16 @@ TcnEventFilter::TcnEventFilter(const Featurizer* featurizer,
       head_bwd_("tcn.head_bwd", backbone_.out_dim(), 2, &init_rng_),
       crf_("tcn.crf", 2, &init_rng_) {
   DLACEP_CHECK(featurizer_ != nullptr);
+  Refreeze();
 }
+
+void TcnEventFilter::Refreeze() {
+  frozen_.backbone = Freeze(backbone_);
+  frozen_.head_fwd = Freeze(head_fwd_);
+  frozen_.head_bwd = Freeze(head_bwd_);
+}
+
+void TcnEventFilter::OnParamsChanged() { Refreeze(); }
 
 std::pair<Var, Var> TcnEventFilter::Emissions(
     Tape* tape, const Matrix& features) const {
@@ -36,28 +45,56 @@ std::vector<Parameter*> TcnEventFilter::Params() {
   return params;
 }
 
-std::vector<int> TcnEventFilter::MarkFeatures(
-    const Matrix& features) const {
-  Tape tape;
-  auto [emissions_f, emissions_b] = Emissions(&tape, features);
-  const Matrix marginals =
-      crf_.Marginals(emissions_f.value(), emissions_b.value());
-  std::vector<int> marks(features.rows());
-  for (size_t t = 0; t < features.rows(); ++t) {
+std::vector<int> TcnEventFilter::Threshold(const Matrix& marginals) const {
+  std::vector<int> marks(marginals.rows());
+  for (size_t t = 0; t < marginals.rows(); ++t) {
     marks[t] = marginals(t, 1) >= event_threshold_ ? 1 : 0;
   }
   return marks;
 }
 
+std::vector<int> TcnEventFilter::MarkFeaturesWith(
+    const Matrix& features, InferenceContext* ctx) const {
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+  const Matrix& h = frozen_.backbone.Forward(c, features);
+  Matrix& emissions_f = c->Acquire(features.rows(), 2);
+  Matrix& emissions_b = c->Acquire(features.rows(), 2);
+  frozen_.head_fwd.Forward(h, &emissions_f);
+  frozen_.head_bwd.Forward(h, &emissions_b);
+  return Threshold(crf_.Marginals(emissions_f, emissions_b));
+}
+
+std::vector<int> TcnEventFilter::MarkFeatures(
+    const Matrix& features) const {
+  return MarkFeaturesWith(features, nullptr);
+}
+
+std::vector<int> TcnEventFilter::MarkFeaturesTape(
+    const Matrix& features) const {
+  Tape tape;
+  auto [emissions_f, emissions_b] = Emissions(&tape, features);
+  return Threshold(crf_.Marginals(emissions_f.value(), emissions_b.value()));
+}
+
 std::vector<int> TcnEventFilter::Mark(const EventStream& stream,
                                       WindowRange range) const {
-  return MarkFeatures(
-      featurizer_->Encode(stream.View(range.begin, range.size())));
+  return MarkWith(stream, range, nullptr);
+}
+
+std::vector<int> TcnEventFilter::MarkWith(const EventStream& stream,
+                                          WindowRange range,
+                                          InferenceContext* ctx) const {
+  return MarkFeaturesWith(
+      featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
 }
 
 TrainResult TcnEventFilter::Fit(const std::vector<Sample>& samples,
                                 const TrainConfig& config) {
-  return Train(this, samples, config);
+  const TrainResult result = Train(this, samples, config);
+  Refreeze();
+  return result;
 }
 
 BinaryMetrics TcnEventFilter::Score(

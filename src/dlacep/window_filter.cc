@@ -1,5 +1,6 @@
 #include "dlacep/window_filter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/ops.h"
@@ -16,7 +17,15 @@ WindowNetworkFilter::WindowNetworkFilter(const Featurizer* featurizer,
              network.num_layers, &init_rng_),
       head_("window.head", stack_.out_dim(), 1, &init_rng_) {
   DLACEP_CHECK(featurizer_ != nullptr);
+  Refreeze();
 }
+
+void WindowNetworkFilter::Refreeze() {
+  frozen_.stack = Freeze(stack_);
+  frozen_.head = Freeze(head_);
+}
+
+void WindowNetworkFilter::OnParamsChanged() { Refreeze(); }
 
 Var WindowNetworkFilter::Logit(Tape* tape,
                                const Matrix& features) const {
@@ -38,28 +47,71 @@ std::vector<Parameter*> WindowNetworkFilter::Params() {
   return params;
 }
 
+double WindowNetworkFilter::ProbabilityWith(const Matrix& features,
+                                            InferenceContext* ctx) const {
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+  const Matrix& h = frozen_.stack.Forward(c, features);
+  // Column-wise max pooling over the hidden sequence, then the 1-unit
+  // head: logit = pooled·W + b.
+  Matrix& pooled = c->Acquire(1, h.cols());
+  for (size_t j = 0; j < h.cols(); ++j) {
+    double best = h(0, j);
+    for (size_t i = 1; i < h.rows(); ++i) best = std::max(best, h(i, j));
+    pooled(0, j) = best;
+  }
+  Matrix& logit = c->Acquire(1, 1);
+  frozen_.head.Forward(pooled, &logit);
+  return 1.0 / (1.0 + std::exp(-logit(0, 0)));
+}
+
 double WindowNetworkFilter::WindowProbability(
+    const Matrix& features) const {
+  return ProbabilityWith(features, nullptr);
+}
+
+double WindowNetworkFilter::WindowProbabilityTape(
     const Matrix& features) const {
   Tape tape;
   const double logit = Logit(&tape, features).value()(0, 0);
   return 1.0 / (1.0 + std::exp(-logit));
 }
 
+std::vector<int> WindowNetworkFilter::MarkFeaturesWith(
+    const Matrix& features, InferenceContext* ctx) const {
+  const int mark = IsApplicable(ProbabilityWith(features, ctx)) ? 1 : 0;
+  return std::vector<int>(features.rows(), mark);
+}
+
 std::vector<int> WindowNetworkFilter::MarkFeatures(
     const Matrix& features) const {
-  const int mark = IsApplicable(WindowProbability(features)) ? 1 : 0;
+  return MarkFeaturesWith(features, nullptr);
+}
+
+std::vector<int> WindowNetworkFilter::MarkFeaturesTape(
+    const Matrix& features) const {
+  const int mark = IsApplicable(WindowProbabilityTape(features)) ? 1 : 0;
   return std::vector<int>(features.rows(), mark);
 }
 
 std::vector<int> WindowNetworkFilter::Mark(const EventStream& stream,
                                            WindowRange range) const {
-  return MarkFeatures(
-      featurizer_->Encode(stream.View(range.begin, range.size())));
+  return MarkWith(stream, range, nullptr);
+}
+
+std::vector<int> WindowNetworkFilter::MarkWith(const EventStream& stream,
+                                               WindowRange range,
+                                               InferenceContext* ctx) const {
+  return MarkFeaturesWith(
+      featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
 }
 
 TrainResult WindowNetworkFilter::Fit(const std::vector<Sample>& samples,
                                      const TrainConfig& config) {
-  return Train(this, samples, config);
+  const TrainResult result = Train(this, samples, config);
+  Refreeze();
+  return result;
 }
 
 BinaryMetrics WindowNetworkFilter::Score(

@@ -11,6 +11,7 @@
 #include "dlacep/config.h"
 #include "dlacep/featurizer.h"
 #include "dlacep/filter.h"
+#include "nn/infer.h"
 #include "nn/layers.h"
 
 namespace dlacep {
@@ -25,7 +26,13 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
 
   std::vector<int> Mark(const EventStream& stream,
                         WindowRange range) const override;
+  std::vector<int> MarkWith(const EventStream& stream, WindowRange range,
+                            InferenceContext* ctx) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
+  std::vector<int> MarkFeaturesWith(const Matrix& features,
+                                    InferenceContext* ctx) const override;
+  std::vector<int> MarkFeaturesTape(const Matrix& features) const override;
+  void OnParamsChanged() override;
 
   TrainResult Fit(const std::vector<Sample>& samples,
                   const TrainConfig& config) override;
@@ -36,8 +43,11 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
   Var Loss(Tape* tape, const Sample& sample) override;
   std::vector<Parameter*> Params() override;
 
-  /// Raw sigmoid probability that the window is applicable.
+  /// Raw sigmoid probability that the window is applicable (fast path).
   double WindowProbability(const Matrix& features) const;
+  /// Same probability via the tape forward — the golden reference the
+  /// equivalence suite pins WindowProbability() against.
+  double WindowProbabilityTape(const Matrix& features) const;
 
   /// The single decision predicate shared by inference-time marking and
   /// training-time scoring, so a threshold/hysteresis change can never
@@ -48,12 +58,20 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
 
  private:
   Var Logit(Tape* tape, const Matrix& features) const;
+  double ProbabilityWith(const Matrix& features, InferenceContext* ctx) const;
+  void Refreeze();
 
   const Featurizer* featurizer_;  ///< not owned
   double window_threshold_;
   Rng init_rng_;
   StackedBiLstm stack_;
   Dense head_;
+  /// Forward-only weights repacked at freeze time (constructor, end of
+  /// Fit, OnParamsChanged); read-only during Mark.
+  struct FrozenModel {
+    StackedBiLstmInfer stack;
+    DenseInfer head;
+  } frozen_;
 };
 
 }  // namespace dlacep

@@ -1,0 +1,434 @@
+#include "nn/infer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(DLACEP_HAVE_MVEC) && defined(__x86_64__)
+#define DLACEP_VECTOR_CELL 1
+#include <immintrin.h>
+// glibc's AVX2 vector exp (libmvec, <= 4 ulp): five transcendentals per
+// hidden unit per step make the scalar cell update as expensive as the
+// GEMMs, so the fused cell processes four lanes per exp call where the
+// CPU allows. Selected once at runtime; the scalar path remains the
+// portable fallback.
+extern "C" __m256d _ZGVdN4v_exp(__m256d);
+extern "C" __m512d _ZGVeN8v_exp(__m512d);
+#endif
+
+namespace dlacep {
+
+namespace {
+
+inline double SigmoidScalar(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+#ifdef DLACEP_VECTOR_CELL
+
+__attribute__((target("avx2,fma"))) inline __m256d VecSigmoid(__m256d v) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d e = _ZGVdN4v_exp(_mm256_sub_pd(_mm256_setzero_pd(), v));
+  return _mm256_div_pd(one, _mm256_add_pd(one, e));
+}
+
+// tanh(x) = 1 - 2/(exp(2x) + 1); saturates to ±1 when exp over/underflows.
+__attribute__((target("avx2,fma"))) inline __m256d VecTanh(__m256d v) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d e = _ZGVdN4v_exp(_mm256_mul_pd(two, v));
+  return _mm256_sub_pd(one, _mm256_div_pd(two, _mm256_add_pd(e, one)));
+}
+
+/// One LSTM cell update over all H lanes: reads the fused gate row
+/// g = [i|f|g|o] (1×4H pre-activations), advances c/h state in place,
+/// and writes h_t to `orow`.
+__attribute__((target("avx2,fma"))) void CellUpdateAvx2(const double* g,
+                                                        size_t h, double* cs,
+                                                        double* hs,
+                                                        double* orow) {
+  size_t j = 0;
+  for (; j + 4 <= h; j += 4) {
+    const __m256d i_gate = VecSigmoid(_mm256_loadu_pd(g + j));
+    const __m256d f_gate = VecSigmoid(_mm256_loadu_pd(g + h + j));
+    const __m256d g_gate = VecTanh(_mm256_loadu_pd(g + 2 * h + j));
+    const __m256d o_gate = VecSigmoid(_mm256_loadu_pd(g + 3 * h + j));
+    const __m256d c_t = _mm256_add_pd(
+        _mm256_mul_pd(f_gate, _mm256_loadu_pd(cs + j)),
+        _mm256_mul_pd(i_gate, g_gate));
+    const __m256d h_t = _mm256_mul_pd(o_gate, VecTanh(c_t));
+    _mm256_storeu_pd(cs + j, c_t);
+    _mm256_storeu_pd(hs + j, h_t);
+    _mm256_storeu_pd(orow + j, h_t);
+  }
+  for (; j < h; ++j) {
+    const double i_gate = SigmoidScalar(g[j]);
+    const double f_gate = SigmoidScalar(g[h + j]);
+    const double g_gate = std::tanh(g[2 * h + j]);
+    const double o_gate = SigmoidScalar(g[3 * h + j]);
+    const double c_t = f_gate * cs[j] + i_gate * g_gate;
+    const double h_t = o_gate * std::tanh(c_t);
+    cs[j] = c_t;
+    hs[j] = h_t;
+    orow[j] = h_t;
+  }
+}
+
+/// The recurrent gate update g += h_prev·Wh (1×H times H×4H) with the
+/// 1×4H destination held in registers across the whole reduction: four
+/// accumulators per 16-lane chunk, one broadcast + four FMAs per Wh
+/// row segment. The generic GEMM path reloads the C row once per
+/// k-block; at T calls per sequence that memory traffic dominates, so
+/// the recurrence gets its own kernel.
+__attribute__((target("avx2,fma"))) void RecurrentUpdateAvx2(
+    const double* hs, const double* wh, double* g, size_t h, size_t n) {
+  size_t j0 = 0;
+  for (; j0 + 16 <= n; j0 += 16) {
+    __m256d acc0 = _mm256_loadu_pd(g + j0);
+    __m256d acc1 = _mm256_loadu_pd(g + j0 + 4);
+    __m256d acc2 = _mm256_loadu_pd(g + j0 + 8);
+    __m256d acc3 = _mm256_loadu_pd(g + j0 + 12);
+    for (size_t k = 0; k < h; ++k) {
+      const __m256d a = _mm256_set1_pd(hs[k]);
+      const double* row = wh + k * n + j0;
+      acc0 = _mm256_fmadd_pd(a, _mm256_loadu_pd(row), acc0);
+      acc1 = _mm256_fmadd_pd(a, _mm256_loadu_pd(row + 4), acc1);
+      acc2 = _mm256_fmadd_pd(a, _mm256_loadu_pd(row + 8), acc2);
+      acc3 = _mm256_fmadd_pd(a, _mm256_loadu_pd(row + 12), acc3);
+    }
+    _mm256_storeu_pd(g + j0, acc0);
+    _mm256_storeu_pd(g + j0 + 4, acc1);
+    _mm256_storeu_pd(g + j0 + 8, acc2);
+    _mm256_storeu_pd(g + j0 + 12, acc3);
+  }
+  for (; j0 + 4 <= n; j0 += 4) {
+    __m256d acc = _mm256_loadu_pd(g + j0);
+    for (size_t k = 0; k < h; ++k) {
+      acc = _mm256_fmadd_pd(_mm256_set1_pd(hs[k]),
+                            _mm256_loadu_pd(wh + k * n + j0), acc);
+    }
+    _mm256_storeu_pd(g + j0, acc);
+  }
+  for (; j0 < n; ++j0) {
+    double sum = g[j0];
+    for (size_t k = 0; k < h; ++k) sum += hs[k] * wh[k * n + j0];
+    g[j0] = sum;
+  }
+}
+
+// 512-bit twins of the two kernels above: same per-element operation
+// order (the k reduction stays serial), twice the lanes and half the
+// exp calls. Worth a separate clone pair because libmvec's zmm exp is
+// a distinct symbol and can't be reached from the ymm code path.
+__attribute__((target("avx512f"))) inline __m512d VecSigmoid512(__m512d v) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d e = _ZGVeN8v_exp(_mm512_sub_pd(_mm512_setzero_pd(), v));
+  return _mm512_div_pd(one, _mm512_add_pd(one, e));
+}
+
+__attribute__((target("avx512f"))) inline __m512d VecTanh512(__m512d v) {
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d two = _mm512_set1_pd(2.0);
+  const __m512d e = _ZGVeN8v_exp(_mm512_mul_pd(two, v));
+  return _mm512_sub_pd(one, _mm512_div_pd(two, _mm512_add_pd(e, one)));
+}
+
+__attribute__((target("avx512f"))) void CellUpdateAvx512(const double* g,
+                                                         size_t h, double* cs,
+                                                         double* hs,
+                                                         double* orow) {
+  size_t j = 0;
+  for (; j + 8 <= h; j += 8) {
+    const __m512d i_gate = VecSigmoid512(_mm512_loadu_pd(g + j));
+    const __m512d f_gate = VecSigmoid512(_mm512_loadu_pd(g + h + j));
+    const __m512d g_gate = VecTanh512(_mm512_loadu_pd(g + 2 * h + j));
+    const __m512d o_gate = VecSigmoid512(_mm512_loadu_pd(g + 3 * h + j));
+    const __m512d c_t = _mm512_add_pd(
+        _mm512_mul_pd(f_gate, _mm512_loadu_pd(cs + j)),
+        _mm512_mul_pd(i_gate, g_gate));
+    const __m512d h_t = _mm512_mul_pd(o_gate, VecTanh512(c_t));
+    _mm512_storeu_pd(cs + j, c_t);
+    _mm512_storeu_pd(hs + j, h_t);
+    _mm512_storeu_pd(orow + j, h_t);
+  }
+  for (; j < h; ++j) {
+    const double i_gate = SigmoidScalar(g[j]);
+    const double f_gate = SigmoidScalar(g[h + j]);
+    const double g_gate = std::tanh(g[2 * h + j]);
+    const double o_gate = SigmoidScalar(g[3 * h + j]);
+    const double c_t = f_gate * cs[j] + i_gate * g_gate;
+    const double h_t = o_gate * std::tanh(c_t);
+    cs[j] = c_t;
+    hs[j] = h_t;
+    orow[j] = h_t;
+  }
+}
+
+__attribute__((target("avx512f"))) void RecurrentUpdateAvx512(
+    const double* hs, const double* wh, double* g, size_t h, size_t n) {
+  size_t j0 = 0;
+  for (; j0 + 32 <= n; j0 += 32) {
+    __m512d acc0 = _mm512_loadu_pd(g + j0);
+    __m512d acc1 = _mm512_loadu_pd(g + j0 + 8);
+    __m512d acc2 = _mm512_loadu_pd(g + j0 + 16);
+    __m512d acc3 = _mm512_loadu_pd(g + j0 + 24);
+    for (size_t k = 0; k < h; ++k) {
+      const __m512d a = _mm512_set1_pd(hs[k]);
+      const double* row = wh + k * n + j0;
+      acc0 = _mm512_fmadd_pd(a, _mm512_loadu_pd(row), acc0);
+      acc1 = _mm512_fmadd_pd(a, _mm512_loadu_pd(row + 8), acc1);
+      acc2 = _mm512_fmadd_pd(a, _mm512_loadu_pd(row + 16), acc2);
+      acc3 = _mm512_fmadd_pd(a, _mm512_loadu_pd(row + 24), acc3);
+    }
+    _mm512_storeu_pd(g + j0, acc0);
+    _mm512_storeu_pd(g + j0 + 8, acc1);
+    _mm512_storeu_pd(g + j0 + 16, acc2);
+    _mm512_storeu_pd(g + j0 + 24, acc3);
+  }
+  for (; j0 + 8 <= n; j0 += 8) {
+    __m512d acc = _mm512_loadu_pd(g + j0);
+    for (size_t k = 0; k < h; ++k) {
+      acc = _mm512_fmadd_pd(_mm512_set1_pd(hs[k]),
+                            _mm512_loadu_pd(wh + k * n + j0), acc);
+    }
+    _mm512_storeu_pd(g + j0, acc);
+  }
+  for (; j0 < n; ++j0) {
+    double sum = g[j0];
+    for (size_t k = 0; k < h; ++k) sum += hs[k] * wh[k * n + j0];
+    g[j0] = sum;
+  }
+}
+
+bool CpuHasAvx2Fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+bool CpuHasAvx512() {
+  static const bool ok = __builtin_cpu_supports("avx512f") && CpuHasAvx2Fma();
+  return ok;
+}
+
+#endif  // DLACEP_VECTOR_CELL
+
+void CellUpdateScalar(const double* g, size_t h, double* cs, double* hs,
+                      double* orow) {
+  for (size_t j = 0; j < h; ++j) {
+    const double i_gate = SigmoidScalar(g[j]);
+    const double f_gate = SigmoidScalar(g[h + j]);
+    const double g_gate = std::tanh(g[2 * h + j]);
+    const double o_gate = SigmoidScalar(g[3 * h + j]);
+    const double c_t = f_gate * cs[j] + i_gate * g_gate;
+    const double h_t = o_gate * std::tanh(c_t);
+    cs[j] = c_t;
+    hs[j] = h_t;
+    orow[j] = h_t;
+  }
+}
+
+using CellUpdateFn = void (*)(const double*, size_t, double*, double*,
+                              double*);
+
+CellUpdateFn PickCellUpdate() {
+#ifdef DLACEP_VECTOR_CELL
+  if (CpuHasAvx512()) return CellUpdateAvx512;
+  if (CpuHasAvx2Fma()) return CellUpdateAvx2;
+#endif
+  return CellUpdateScalar;
+}
+
+#ifdef DLACEP_VECTOR_CELL
+using RecurrentFn = void (*)(const double*, const double*, double*, size_t,
+                             size_t);
+
+RecurrentFn PickRecurrentUpdate() {
+  if (CpuHasAvx512()) return RecurrentUpdateAvx512;
+  if (CpuHasAvx2Fma()) return RecurrentUpdateAvx2;
+  return nullptr;  // fall back to the shared GEMM kernel
+}
+#endif
+
+Matrix Transposed(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      out(j, i) = m(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix& InferenceContext::Acquire(size_t rows, size_t cols) {
+  if (next_ == pool_.size()) pool_.emplace_back();
+  Matrix& m = pool_[next_++];
+  m.Resize(rows, cols);
+  return m;
+}
+
+void DenseInfer::Forward(const Matrix& x, Matrix* out) const {
+  MatMulTransBInto(x, wt, out, /*accumulate=*/false);
+  const size_t n = out->cols();
+  const double* bias = b.data();
+  for (size_t i = 0; i < out->rows(); ++i) {
+    double* row = out->data() + i * n;
+    for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void LstmInfer::ForwardInto(InferenceContext* ctx, const Matrix& x,
+                            bool reverse, Matrix* out, size_t col) const {
+  const size_t t_steps = x.rows();
+  DLACEP_CHECK_GT(t_steps, 0u);
+  DLACEP_CHECK_EQ(x.cols(), in_dim);
+  DLACEP_CHECK_EQ(out->rows(), t_steps);
+  DLACEP_CHECK_LE(col + hidden, out->cols());
+  const size_t h = hidden;
+
+  // Input projection for the whole sequence in one blocked GEMM — the
+  // recurrence only depends on it row by row, so there is no reason to
+  // pay matrix-vector arithmetic intensity T times.
+  Matrix& xproj = ctx->Acquire(t_steps, 4 * h);
+  MatMulInto(x, wx, &xproj, /*accumulate=*/false);
+
+  Matrix& gates = ctx->Acquire(1, 4 * h);
+  Matrix& h_state = ctx->Acquire(1, h);
+  Matrix& c_state = ctx->Acquire(1, h);
+  h_state.Fill(0.0);
+  c_state.Fill(0.0);
+
+  double* g = gates.data();
+  double* hs = h_state.data();
+  double* cs = c_state.data();
+  const double* bias = b.data();
+  const size_t out_stride = out->cols();
+  const CellUpdateFn cell_update = PickCellUpdate();
+#ifdef DLACEP_VECTOR_CELL
+  const RecurrentFn recurrent_update = PickRecurrentUpdate();
+#endif
+
+  for (size_t step = 0; step < t_steps; ++step) {
+    const size_t t = reverse ? t_steps - 1 - step : step;
+    // One fused pass fills all four gates: g = x_t·Wx (precomputed) +
+    // h·Wh + b. The recurrent term is a 1×H · H×4H product accumulated
+    // in place — an axpy over Wh rows, vectorized across the 4H gate
+    // lanes, with a register-resident destination where the CPU allows.
+    const double* xrow = xproj.data() + t * 4 * h;
+    for (size_t gi = 0; gi < 4 * h; ++gi) g[gi] = xrow[gi] + bias[gi];
+#ifdef DLACEP_VECTOR_CELL
+    if (recurrent_update != nullptr) {
+      recurrent_update(hs, wh.data(), g, h, 4 * h);
+    } else {
+      MatMulInto(h_state, wh, &gates, /*accumulate=*/true);
+    }
+#else
+    MatMulInto(h_state, wh, &gates, /*accumulate=*/true);
+#endif
+    cell_update(g, h, cs, hs, out->data() + t * out_stride + col);
+  }
+}
+
+void BiLstmInfer::Forward(InferenceContext* ctx, const Matrix& x,
+                          Matrix* out) const {
+  fwd.ForwardInto(ctx, x, /*reverse=*/false, out, 0);
+  bwd.ForwardInto(ctx, x, /*reverse=*/true, out, fwd.hidden);
+}
+
+const Matrix& StackedBiLstmInfer::Forward(InferenceContext* ctx,
+                                          const Matrix& x) const {
+  DLACEP_CHECK(!layers.empty());
+  const Matrix* cur = &x;
+  for (const BiLstmInfer& layer : layers) {
+    Matrix& out = ctx->Acquire(cur->rows(), 2 * layer.fwd.hidden);
+    layer.Forward(ctx, *cur, &out);
+    cur = &out;
+  }
+  return *cur;
+}
+
+const Matrix& TcnInfer::Forward(InferenceContext* ctx,
+                                const Matrix& x) const {
+  DLACEP_CHECK(!layers.empty());
+  const ptrdiff_t center = static_cast<ptrdiff_t>(kernel / 2);
+  const size_t t_steps = x.rows();
+  const Matrix* cur = &x;
+  size_t dilation = 1;
+  for (const Layer& layer : layers) {
+    const size_t d_in = cur->cols();
+    const size_t d_out = layer.b.cols();
+    DLACEP_CHECK_EQ(layer.wt.cols(), kernel * d_in);
+    Matrix& out = ctx->Acquire(t_steps, d_out);
+    const double* bias = layer.b.data();
+    for (size_t t = 0; t < t_steps; ++t) {
+      double* orow = out.data() + t * d_out;
+      for (size_t o = 0; o < d_out; ++o) orow[o] = bias[o];
+      for (size_t k = 0; k < kernel; ++k) {
+        const ptrdiff_t src =
+            static_cast<ptrdiff_t>(t) +
+            (static_cast<ptrdiff_t>(k) - center) *
+                static_cast<ptrdiff_t>(dilation);
+        if (src < 0 || src >= static_cast<ptrdiff_t>(t_steps)) continue;
+        const double* xrow =
+            cur->data() + static_cast<size_t>(src) * d_in;
+        for (size_t o = 0; o < d_out; ++o) {
+          const double* w = layer.wt.data() + o * (kernel * d_in) + k * d_in;
+          double sum = 0.0;
+          for (size_t i = 0; i < d_in; ++i) sum += xrow[i] * w[i];
+          orow[o] += sum;
+        }
+      }
+      for (size_t o = 0; o < d_out; ++o) orow[o] = std::max(0.0, orow[o]);
+    }
+    cur = &out;
+    dilation *= 2;
+  }
+  return *cur;
+}
+
+DenseInfer Freeze(const Dense& layer) {
+  DenseInfer frozen;
+  frozen.wt = Transposed(layer.weight());
+  frozen.b = layer.bias();
+  return frozen;
+}
+
+LstmInfer Freeze(const Lstm& layer) {
+  LstmInfer frozen;
+  frozen.in_dim = layer.wx().rows();
+  frozen.hidden = layer.hidden_dim();
+  frozen.wx = layer.wx();
+  frozen.wh = layer.wh();
+  frozen.b = layer.bias();
+  return frozen;
+}
+
+BiLstmInfer Freeze(const BiLstm& layer) {
+  BiLstmInfer frozen;
+  frozen.fwd = Freeze(layer.fwd());
+  frozen.bwd = Freeze(layer.bwd());
+  return frozen;
+}
+
+StackedBiLstmInfer Freeze(const StackedBiLstm& layer) {
+  StackedBiLstmInfer frozen;
+  frozen.layers.reserve(layer.num_layers());
+  for (size_t i = 0; i < layer.num_layers(); ++i) {
+    frozen.layers.push_back(Freeze(layer.layer(i)));
+  }
+  return frozen;
+}
+
+TcnInfer Freeze(const Tcn& layer) {
+  TcnInfer frozen;
+  frozen.kernel = layer.kernel();
+  frozen.layers.reserve(layer.num_layers());
+  for (size_t i = 0; i < layer.num_layers(); ++i) {
+    TcnInfer::Layer l;
+    l.wt = Transposed(layer.weight(i));
+    l.b = layer.bias(i);
+    frozen.layers.push_back(std::move(l));
+  }
+  return frozen;
+}
+
+}  // namespace dlacep

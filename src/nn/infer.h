@@ -1,0 +1,145 @@
+// Forward-only inference engine: the tape-free fast path of the nn
+// library.
+//
+// The autograd Tape (tape.h) is built for training: every op allocates a
+// node, a gradient matrix, and a backward closure. None of that is
+// needed to *run* a trained network, yet the DLACEP filtration stage
+// calls the forward pass once per assembler window — millions of times
+// per stream at production scale. This header provides the inference
+// counterpart of each layer in layers.h:
+//
+//  * Frozen cells (`DenseInfer`, `LstmInfer`, `BiLstmInfer`,
+//    `StackedBiLstmInfer`, `TcnInfer`) hold the layer's weights repacked
+//    at freeze time into the layout its forward kernel wants: Dense and
+//    TCN weights transposed so every output entry is a dot product of
+//    contiguous rows (the layout MatMulTransBInto runs on); LSTM weights
+//    kept gate-concatenated so the whole-sequence input projection is
+//    one register-tiled GEMM and one fused pass per step fills a single
+//    reused 1×4H gate row. Freeze() snapshots the current parameter
+//    values; a frozen cell does not track later parameter updates.
+//
+//  * `InferenceContext` is a reusable scratch arena. Activations and
+//    gate rows are acquired from it in a deterministic per-model order,
+//    so after the first window every buffer is already allocated at the
+//    right capacity and subsequent windows run allocation-free. One
+//    context per thread: contexts are not synchronized, the frozen
+//    weights they read are shared and immutable.
+//
+// The tape forward remains the golden reference: both paths must agree
+// to <= 1e-9 elementwise (tests/infer_equivalence_test.cc).
+
+#ifndef DLACEP_NN_INFER_H_
+#define DLACEP_NN_INFER_H_
+
+#include <deque>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace dlacep {
+
+/// Reusable per-thread scratch arena for forward-only passes. Reset()
+/// rewinds the cursor; Acquire() hands out the next buffer slot,
+/// reshaped to the requested size with its previous contents
+/// unspecified. Because a frozen model acquires buffers in the same
+/// order on every call, slot i always serves the same activation and
+/// its capacity converges after the first (largest) window.
+class InferenceContext {
+ public:
+  InferenceContext() = default;
+  InferenceContext(const InferenceContext&) = delete;
+  InferenceContext& operator=(const InferenceContext&) = delete;
+
+  /// Rewinds the arena; previously acquired references become free for
+  /// reuse (call once at the top of each forward pass).
+  void Reset() { next_ = 0; }
+
+  /// Next scratch buffer, reshaped to rows×cols. Contents unspecified —
+  /// the producer must overwrite (or Fill) every entry. References stay
+  /// valid until the slot is re-acquired after a Reset().
+  Matrix& Acquire(size_t rows, size_t cols);
+
+  size_t num_buffers() const { return pool_.size(); }
+
+ private:
+  // Deque, not vector: Acquire hands out references while later calls
+  // keep appending slots — references must survive growth (same
+  // reasoning as Tape's node store).
+  std::deque<Matrix> pool_;
+  size_t next_ = 0;
+};
+
+/// Frozen Dense: y = x·W + b with W stored transposed (out×in).
+struct DenseInfer {
+  Matrix wt;  ///< out×in
+  Matrix b;   ///< 1×out
+  /// out must be pre-shaped N×out_dim; fully overwritten.
+  void Forward(const Matrix& x, Matrix* out) const;
+};
+
+/// Frozen LSTM cell. The input projection for the whole sequence is
+/// hoisted out of the recurrence and computed as one blocked GEMM
+/// (T×in · wxtᵗ → T×4H, all four gates [i|f|g|o] side by side); the
+/// per-step work is then a single fused pass over a reused 1×4H gate
+/// row: bias + precomputed input projection + h·Wh (a 1×H·H×4H GEMM on
+/// the shared blocked kernel) followed by the elementwise cell update.
+struct LstmInfer {
+  size_t in_dim = 0;
+  size_t hidden = 0;
+  Matrix wx;  ///< in×4H  (snapshot of Lstm's Wx: the hoisted T×in·in×4H
+              ///<         projection rides the register-tiled MatMulInto)
+  Matrix wh;  ///< H×4H   (snapshot of Lstm's Wh: the recurrent update is
+              ///<         an axpy over rows, vectorized across gates)
+  Matrix b;   ///< 1×4H
+  /// Runs the recurrence over x (T×in) and writes hidden state rows
+  /// into columns [col, col+H) of `out` (T×C, C >= col+H), rows aligned
+  /// to input order (reverse=true scans right-to-left, like the tape
+  /// path). Scratch (gates, h, c) comes from `ctx`.
+  void ForwardInto(InferenceContext* ctx, const Matrix& x, bool reverse,
+                   Matrix* out, size_t col) const;
+};
+
+/// Frozen BiLSTM: forward and backward cells writing the two halves of
+/// one T×2H output slab — no concat op, no intermediate copies.
+struct BiLstmInfer {
+  LstmInfer fwd;
+  LstmInfer bwd;
+  /// out must be pre-shaped T×2H; fully overwritten.
+  void Forward(InferenceContext* ctx, const Matrix& x, Matrix* out) const;
+};
+
+/// Frozen stacked BiLSTM. Returns the last layer's T×2H activation,
+/// which lives in `ctx` until the next Reset().
+struct StackedBiLstmInfer {
+  std::vector<BiLstmInfer> layers;
+  const Matrix& Forward(InferenceContext* ctx, const Matrix& x) const;
+};
+
+/// Frozen TCN: centered dilated Conv1D + bias + ReLU per layer, with
+/// each layer's (K·D_in)×hidden weight transposed to hidden×(K·D_in) so
+/// tap k of output channel o is a contiguous row segment.
+struct TcnInfer {
+  struct Layer {
+    Matrix wt;  ///< hidden×(K·D_in)
+    Matrix b;   ///< 1×hidden
+  };
+  size_t kernel = 0;
+  std::vector<Layer> layers;
+  /// Returns the last layer's T×hidden activation (lives in `ctx`).
+  const Matrix& Forward(InferenceContext* ctx, const Matrix& x) const;
+};
+
+// Freeze-time repacking: snapshot the layer's current parameter values
+// into the transposed/fused inference layout. Call again after any
+// parameter mutation (training step, LoadParameters) that should be
+// visible to inference.
+DenseInfer Freeze(const Dense& layer);
+LstmInfer Freeze(const Lstm& layer);
+BiLstmInfer Freeze(const BiLstm& layer);
+StackedBiLstmInfer Freeze(const StackedBiLstm& layer);
+TcnInfer Freeze(const Tcn& layer);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_NN_INFER_H_

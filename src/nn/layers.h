@@ -44,6 +44,11 @@ class Dense : public Module {
   size_t in_dim() const { return w_.value.rows(); }
   size_t out_dim() const { return w_.value.cols(); }
 
+  // Current parameter values — what Freeze() repacks for the
+  // forward-only inference path (nn/infer.h).
+  const Matrix& weight() const { return w_.value; }
+  const Matrix& bias() const { return b_.value; }
+
  private:
   Parameter w_;
   Parameter b_;
@@ -64,6 +69,11 @@ class Lstm : public Module {
 
   size_t hidden_dim() const { return hidden_dim_; }
 
+  // Current parameter values, for freeze-time repacking (nn/infer.h).
+  const Matrix& wx() const { return wx_.value; }
+  const Matrix& wh() const { return wh_.value; }
+  const Matrix& bias() const { return b_.value; }
+
  private:
   size_t hidden_dim_;
   Parameter wx_;  ///< in×4H
@@ -83,6 +93,9 @@ class BiLstm : public Module {
 
   size_t out_dim() const { return 2 * fwd_.hidden_dim(); }
 
+  const Lstm& fwd() const { return fwd_; }
+  const Lstm& bwd() const { return bwd_; }
+
  private:
   Lstm fwd_;
   Lstm bwd_;
@@ -101,6 +114,7 @@ class StackedBiLstm : public Module {
 
   size_t out_dim() const;
   size_t num_layers() const { return layers_.size(); }
+  const BiLstm& layer(size_t i) const { return *layers_[i]; }
 
  private:
   std::vector<std::unique_ptr<BiLstm>> layers_;
@@ -123,6 +137,10 @@ class Tcn : public Module {
 
   size_t out_dim() const { return hidden_dim_; }
   size_t receptive_field() const;
+  size_t kernel() const { return kernel_; }
+  size_t num_layers() const { return weights_.size(); }
+  const Matrix& weight(size_t layer) const { return weights_[layer].value; }
+  const Matrix& bias(size_t layer) const { return biases_[layer].value; }
 
  private:
   size_t hidden_dim_;

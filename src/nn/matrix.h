@@ -57,6 +57,17 @@ class Matrix {
 
   void Fill(double value) { data_.assign(data_.size(), value); }
 
+  /// Reshapes to rows×cols reusing the existing storage where possible
+  /// (shrinking never reallocates). Contents are unspecified afterwards;
+  /// callers must overwrite every entry or Fill(). This is what lets the
+  /// inference scratch arena recycle buffers across windows of varying
+  /// sequence length without churning the allocator.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// this += other (same shape).
   void AddInPlace(const Matrix& other);
   /// this += scale * other (same shape).
@@ -80,8 +91,31 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// out = a × b (plain, non-autograd product).
+/// out = a × b (plain, non-autograd product). Implemented on top of
+/// MatMulInto.
 Matrix MatMulPlain(const Matrix& a, const Matrix& b);
+
+// Shared GEMM kernels. All three write into a caller-provided,
+// pre-shaped output: with accumulate=false the output is overwritten,
+// with accumulate=true the product is added on top (the shape gradient
+// accumulation needs). The inner loops are cache-blocked over the
+// reduction dimension and register-tiled (four reduction rows live in
+// registers per pass), which is what both the tape ops and the
+// forward-only inference path run on.
+
+/// out (+)= a × b. a: M×K, b: K×N, out: M×N.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                bool accumulate = false);
+
+/// out (+)= a × bᵗ where `b_t` is stored already transposed (N×K).
+/// Every output entry is a dot product of two contiguous rows — the
+/// layout the inference path repacks weights into at freeze time.
+void MatMulTransBInto(const Matrix& a, const Matrix& b_t, Matrix* out,
+                      bool accumulate = false);
+
+/// out (+)= aᵗ × b where `a` is stored untransposed (K×M), b: K×N.
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                      bool accumulate = false);
 
 }  // namespace dlacep
 

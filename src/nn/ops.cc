@@ -23,28 +23,11 @@ Var MatMul(Var a, Var b) {
     const Matrix& dc = t->GradOf(self);
     const Matrix& av = t->ValueOf(ia);
     const Matrix& bv = t->ValueOf(ib);
-    Matrix& da = t->GradOf(ia);
-    Matrix& db = t->GradOf(ib);
-    // da += dc * b^T
-    for (size_t i = 0; i < av.rows(); ++i) {
-      for (size_t k = 0; k < av.cols(); ++k) {
-        double sum = 0.0;
-        for (size_t j = 0; j < bv.cols(); ++j) {
-          sum += dc(i, j) * bv(k, j);
-        }
-        da(i, k) += sum;
-      }
-    }
-    // db += a^T * dc
-    for (size_t k = 0; k < bv.rows(); ++k) {
-      for (size_t j = 0; j < bv.cols(); ++j) {
-        double sum = 0.0;
-        for (size_t i = 0; i < av.rows(); ++i) {
-          sum += av(i, k) * dc(i, j);
-        }
-        db(k, j) += sum;
-      }
-    }
+    // da += dc · bᵗ; bv is stored row-major K×N, exactly the transposed
+    // layout MatMulTransBInto expects for the right operand.
+    MatMulTransBInto(dc, bv, &t->GradOf(ia), /*accumulate=*/true);
+    // db += aᵗ · dc.
+    MatMulTransAInto(av, dc, &t->GradOf(ib), /*accumulate=*/true);
   });
 }
 

@@ -99,6 +99,7 @@ TEST(Determinism, SavedFilterProducesIdenticalMarksAfterReload) {
   EventNetworkFilter restored(&featurizer, other, 0.5);
   EXPECT_NE(restored.Mark(probe, range), marks_before);  // pre-load
   ASSERT_TRUE(LoadParameters(restored.Params(), path).ok());
+  restored.OnParamsChanged();  // repack frozen inference weights
   EXPECT_EQ(restored.Mark(probe, range), marks_before);  // post-load
   std::remove(path.c_str());
 }

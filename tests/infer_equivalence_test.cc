@@ -1,0 +1,206 @@
+// Golden equivalence suite for the tape-free inference fast path
+// (nn/infer.h): the autograd tape forward is the reference
+// implementation, and the frozen forward-only path must reproduce it —
+// activations to within 1e-9 elementwise, thresholded marks exactly —
+// across random models, sequence lengths {1, 7, 64}, and all three
+// network filter types. Also pins the InferenceContext reuse contract:
+// recycling one arena across calls of different shapes must not change
+// any result.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dlacep/event_filter.h"
+#include "dlacep/tcn_filter.h"
+#include "dlacep/window_filter.h"
+#include "nn/infer.h"
+#include "nn/layers.h"
+#include "nn/tape.h"
+#include "test_util.h"
+
+namespace dlacep {
+namespace {
+
+using testing_util::SmallStream;
+
+constexpr double kTol = 1e-9;
+const size_t kSeqLens[] = {1, 7, 64};
+
+// ---------------------------------------------------------------------
+// Layer-level activation equivalence.
+
+TEST(InferEquivalence, DenseMatchesTape) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Dense dense("d", 5, 9, &rng);
+    for (size_t t : kSeqLens) {
+      const Matrix x = Matrix::Randn(t, 5, 1.0, &rng);
+      Tape tape;
+      const Matrix& ref = dense.Forward(&tape, tape.Input(x)).value();
+
+      const DenseInfer frozen = Freeze(dense);
+      Matrix out(t, 9);
+      frozen.Forward(x, &out);
+      EXPECT_LE(ref.MaxAbsDiff(out), kTol) << "seed " << seed << " T " << t;
+    }
+  }
+}
+
+TEST(InferEquivalence, StackedBiLstmMatchesTape) {
+  for (uint64_t seed : {11u, 12u}) {
+    Rng rng(seed);
+    StackedBiLstm stack("s", 4, 6, 2, &rng);
+    const StackedBiLstmInfer frozen = Freeze(stack);
+    InferenceContext ctx;
+    for (size_t t : kSeqLens) {
+      const Matrix x = Matrix::Randn(t, 4, 1.0, &rng);
+      Tape tape;
+      const Matrix& ref = stack.Forward(&tape, tape.Input(x)).value();
+
+      ctx.Reset();
+      const Matrix& out = frozen.Forward(&ctx, x);
+      ASSERT_EQ(ref.rows(), out.rows());
+      ASSERT_EQ(ref.cols(), out.cols());
+      EXPECT_LE(ref.MaxAbsDiff(out), kTol) << "seed " << seed << " T " << t;
+    }
+  }
+}
+
+TEST(InferEquivalence, TcnMatchesTape) {
+  for (uint64_t seed : {21u, 22u}) {
+    Rng rng(seed);
+    Tcn tcn("t", 3, 5, 2, 3, &rng);
+    const TcnInfer frozen = Freeze(tcn);
+    InferenceContext ctx;
+    for (size_t t : kSeqLens) {
+      const Matrix x = Matrix::Randn(t, 3, 1.0, &rng);
+      Tape tape;
+      const Matrix& ref = tcn.Forward(&tape, tape.Input(x)).value();
+
+      ctx.Reset();
+      const Matrix& out = frozen.Forward(&ctx, x);
+      ASSERT_EQ(ref.rows(), out.rows());
+      ASSERT_EQ(ref.cols(), out.cols());
+      EXPECT_LE(ref.MaxAbsDiff(out), kTol) << "seed " << seed << " T " << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Filter-level mark equivalence: fast path vs tape path, random models ×
+// sequence lengths × all three filter types.
+
+class InferFilterEquivalence : public ::testing::Test {
+ protected:
+  InferFilterEquivalence()
+      : stream_(SmallStream(600, 77)),
+        pattern_(testing_util::AscendingSeqPattern(stream_.schema_ptr(), 2,
+                                                   8)),
+        featurizer_(pattern_, stream_) {}
+
+  Matrix RandomFeatures(size_t t, Rng* rng) const {
+    return Matrix::Randn(t, featurizer_.feature_dim(), 1.0, rng);
+  }
+
+  /// Asserts fast-path == tape-path marks for every (seed, T) cell and
+  /// checks that reusing one InferenceContext across the whole sweep
+  /// (shrinking and growing T) changes nothing.
+  void CheckFilter(const TrainableFilter& filter, uint64_t data_seed) {
+    InferenceContext shared;
+    Rng rng(data_seed);
+    for (size_t t : kSeqLens) {
+      const Matrix features = RandomFeatures(t, &rng);
+      const std::vector<int> tape_marks = filter.MarkFeaturesTape(features);
+      const std::vector<int> fast_marks = filter.MarkFeatures(features);
+      const std::vector<int> reused_marks =
+          filter.MarkFeaturesWith(features, &shared);
+      ASSERT_EQ(tape_marks.size(), t);
+      EXPECT_EQ(tape_marks, fast_marks) << "T " << t;
+      EXPECT_EQ(tape_marks, reused_marks) << "T " << t;
+    }
+    // Second pass over the same shapes through the already-warm arena:
+    // buffer recycling must be idempotent.
+    Rng rng2(data_seed);
+    for (size_t t : kSeqLens) {
+      const Matrix features = RandomFeatures(t, &rng2);
+      EXPECT_EQ(filter.MarkFeaturesTape(features),
+                filter.MarkFeaturesWith(features, &shared))
+          << "reused-arena pass, T " << t;
+    }
+  }
+
+  EventStream stream_;
+  Pattern pattern_;
+  Featurizer featurizer_;
+};
+
+TEST_F(InferFilterEquivalence, EventNetworkFilter) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    NetworkConfig network;
+    network.hidden_dim = 6 + seed % 5;
+    network.num_layers = 1 + seed % 2;
+    network.seed = seed;
+    EventNetworkFilter filter(&featurizer_, network, 0.5);
+    CheckFilter(filter, 1000 + seed);
+  }
+}
+
+TEST_F(InferFilterEquivalence, TcnEventFilter) {
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    NetworkConfig network;
+    network.hidden_dim = 6 + seed % 5;
+    network.num_layers = 1 + seed % 2;
+    network.seed = seed;
+    TcnEventFilter filter(&featurizer_, network, 0.5);
+    CheckFilter(filter, 2000 + seed);
+  }
+}
+
+TEST_F(InferFilterEquivalence, WindowNetworkFilter) {
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    NetworkConfig network;
+    network.hidden_dim = 6 + seed % 5;
+    network.num_layers = 1 + seed % 2;
+    network.seed = seed;
+    WindowNetworkFilter filter(&featurizer_, network, 0.5);
+    CheckFilter(filter, 3000 + seed);
+
+    // The window probability itself — the pre-threshold activation —
+    // must agree to 1e-9, not just the thresholded decision.
+    Rng rng(4000 + seed);
+    for (size_t t : kSeqLens) {
+      const Matrix features = RandomFeatures(t, &rng);
+      EXPECT_NEAR(filter.WindowProbability(features),
+                  filter.WindowProbabilityTape(features), kTol)
+          << "T " << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end Mark: the stream-facing entry point (featurize + fast
+// path) must be invariant to which context — none, fresh, or reused —
+// serves the call.
+
+TEST_F(InferFilterEquivalence, MarkIsInvariantToContextReuse) {
+  NetworkConfig network;
+  network.hidden_dim = 8;
+  network.num_layers = 2;
+  network.seed = 61;
+  EventNetworkFilter filter(&featurizer_, network, 0.5);
+
+  InferenceContext reused;
+  for (size_t begin : {0u, 100u, 200u}) {
+    for (size_t size : {1u, 7u, 64u}) {
+      const WindowRange range{begin, begin + size};
+      const std::vector<int> plain = filter.Mark(stream_, range);
+      InferenceContext fresh;
+      EXPECT_EQ(plain, filter.MarkWith(stream_, range, &fresh));
+      EXPECT_EQ(plain, filter.MarkWith(stream_, range, &reused));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlacep

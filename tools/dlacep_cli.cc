@@ -209,6 +209,7 @@ int Compare(const Args& args) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
+    trainable->OnParamsChanged();  // repack frozen inference weights
     std::printf("  loaded weights from %s\n", args.Get("load").c_str());
   }
   if (args.Has("save") && trainable != nullptr) {
