@@ -14,6 +14,8 @@
 #include "workloads/queries_a.h"
 #include "workloads/recipes.h"
 
+#include "bench_json.h"
+
 namespace dlacep {
 namespace workloads {
 namespace {
@@ -95,4 +97,7 @@ int Run() {
 }  // namespace workloads
 }  // namespace dlacep
 
-int main() { return dlacep::workloads::Run(); }
+int main(int argc, char** argv) {
+  dlacep::workloads::JsonReport::Init(argc, argv);
+  return dlacep::workloads::JsonReport::Finish(dlacep::workloads::Run());
+}

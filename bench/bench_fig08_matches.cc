@@ -17,6 +17,8 @@
 #include "workloads/recipes.h"
 #include "workloads/report.h"
 
+#include "bench_json.h"
+
 namespace dlacep {
 namespace workloads {
 namespace {
@@ -92,4 +94,7 @@ int Run() {
 }  // namespace workloads
 }  // namespace dlacep
 
-int main() { return dlacep::workloads::Run(); }
+int main(int argc, char** argv) {
+  dlacep::workloads::JsonReport::Init(argc, argv);
+  return dlacep::workloads::JsonReport::Finish(dlacep::workloads::Run());
+}

@@ -18,6 +18,8 @@
 #include "workloads/recipes.h"
 #include "workloads/report.h"
 
+#include "bench_json.h"
+
 namespace dlacep {
 namespace workloads {
 namespace {
@@ -53,4 +55,7 @@ int Run() {
 }  // namespace workloads
 }  // namespace dlacep
 
-int main() { return dlacep::workloads::Run(); }
+int main(int argc, char** argv) {
+  dlacep::workloads::JsonReport::Init(argc, argv);
+  return dlacep::workloads::JsonReport::Finish(dlacep::workloads::Run());
+}

@@ -1,0 +1,140 @@
+// Shared --json support for the bench binaries.
+//
+// Every bench main calls JsonReport::Init(argc, argv) first and returns
+// through JsonReport::Finish(code). When the user passed
+// `--json out.json`, Init installs a workloads row observer so every
+// table row printed via PrintRow is also captured, benches may record
+// extra scalar measurements with Metric(), and Finish writes one JSON
+// document:
+//
+//   {
+//     "bench": "<binary name>",
+//     "rows":    [ {<ExperimentRow fields>}, ... ],
+//     "metrics": [ {"label": L, "name": N, "value": V}, ... ]
+//   }
+//
+// Without --json everything is a no-op and the bench prints its tables
+// exactly as before. (The google-benchmark micro benches translate
+// --json into --benchmark_out instead — see their mains.)
+
+#ifndef DLACEP_BENCH_BENCH_JSON_H_
+#define DLACEP_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/report.h"
+
+namespace dlacep {
+namespace workloads {
+
+class JsonReport {
+ public:
+  static void Init(int argc, char** argv) {
+    JsonReport& report = Instance();
+    if (argc > 0) {
+      const char* slash = std::strrchr(argv[0], '/');
+      report.bench_ = slash != nullptr ? slash + 1 : argv[0];
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        report.path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        report.path_ = argv[i] + 7;
+      }
+    }
+    if (report.path_.empty()) return;
+    SetRowObserver(
+        [](const ExperimentRow& row) { Instance().rows_.push_back(row); });
+  }
+
+  /// Records one scalar measurement outside the ExperimentRow schema
+  /// (custom sweeps such as bench_parallel_filter). No-op without
+  /// --json.
+  static void Metric(const std::string& label, const std::string& name,
+                     double value) {
+    JsonReport& report = Instance();
+    if (report.path_.empty()) return;
+    report.metrics_.push_back(ScalarMetric{label, name, value});
+  }
+
+  /// Writes the JSON file (if requested) and passes the bench's exit
+  /// code through; file-write failures turn a zero code into 1.
+  static int Finish(int code) {
+    JsonReport& report = Instance();
+    if (report.path_.empty()) return code;
+    std::FILE* f = std::fopen(report.path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", report.path_.c_str());
+      return code != 0 ? code : 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                 Escape(report.bench_).c_str());
+    for (size_t i = 0; i < report.rows_.size(); ++i) {
+      const ExperimentRow& r = report.rows_[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"label\": \"%s\", \"filter\": \"%s\", "
+          "\"throughput_gain\": %.6g, \"recall\": %.6g, "
+          "\"precision\": %.6g, \"f1\": %.6g, \"fn_pct\": %.6g, "
+          "\"filtering_ratio\": %.6g, \"ecep_partial_matches\": %llu, "
+          "\"acep_partial_matches\": %llu, \"exact_matches\": %zu, "
+          "\"emitted_matches\": %zu, \"train_seconds\": %.6g, "
+          "\"entity_f1\": %.6g, \"train_epochs\": %zu}",
+          i == 0 ? "" : ",", Escape(r.label).c_str(),
+          Escape(r.filter).c_str(), r.throughput_gain, r.recall,
+          r.precision, r.f1, r.fn_pct, r.filtering_ratio,
+          static_cast<unsigned long long>(r.ecep_partial_matches),
+          static_cast<unsigned long long>(r.acep_partial_matches),
+          r.exact_matches, r.emitted_matches, r.train_seconds, r.entity_f1,
+          r.train_epochs);
+    }
+    std::fprintf(f, "\n  ],\n  \"metrics\": [");
+    for (size_t i = 0; i < report.metrics_.size(); ++i) {
+      const ScalarMetric& m = report.metrics_[i];
+      std::fprintf(f,
+                   "%s\n    {\"label\": \"%s\", \"name\": \"%s\", "
+                   "\"value\": %.6g}",
+                   i == 0 ? "" : ",", Escape(m.label).c_str(),
+                   Escape(m.name).c_str(), m.value);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", report.path_.c_str());
+    return code;
+  }
+
+ private:
+  struct ScalarMetric {
+    std::string label;
+    std::string name;
+    double value;
+  };
+
+  static JsonReport& Instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<ExperimentRow> rows_;
+  std::vector<ScalarMetric> metrics_;
+};
+
+}  // namespace workloads
+}  // namespace dlacep
+
+#endif  // DLACEP_BENCH_BENCH_JSON_H_

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "dlacep/event_filter.h"
 #include "dlacep/featurizer.h"
 #include "nn/crf.h"
@@ -222,4 +225,35 @@ BENCHMARK(BM_CrfMarginals);
 }  // namespace
 }  // namespace dlacep
 
-BENCHMARK_MAIN();
+// --json F is translated into google-benchmark's own JSON reporter so
+// all 16 bench binaries share one flag for machine-readable output.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static std::string out_flag;
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  for (size_t i = 1; i < args.size(); ++i) {
+    std::string arg = args[i];
+    std::string path;
+    if (arg == "--json" && i + 1 < args.size()) {
+      path = args[i + 1];
+      args.erase(args.begin() + i, args.begin() + i + 2);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      args.erase(args.begin() + i);
+    } else {
+      continue;
+    }
+    out_flag = "--benchmark_out=" + path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+    break;
+  }
+  int rewritten_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&rewritten_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

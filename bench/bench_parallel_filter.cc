@@ -24,6 +24,8 @@
 #include "workloads/recipes.h"
 #include "workloads/report.h"
 
+#include "bench_json.h"
+
 namespace dlacep {
 namespace workloads {
 namespace {
@@ -99,6 +101,13 @@ void SweepThreads(const std::string& label, const Pattern& pattern,
                 result.filtering_ratio() * 100.0, result.matches.size(),
                 identical ? "yes" : "NO");
     std::fflush(stdout);
+    const std::string key = label + " threads=" + std::to_string(threads);
+    JsonReport::Metric(key, "filter_seconds", best_seconds);
+    JsonReport::Metric(key, "speedup",
+                       baseline_seconds / std::max(best_seconds, 1e-9));
+    JsonReport::Metric(key, "matches",
+                       static_cast<double>(result.matches.size()));
+    JsonReport::Metric(key, "identical", identical ? 1.0 : 0.0);
   }
 }
 
@@ -143,6 +152,14 @@ void SweepInferencePath(const std::string& label, const Pattern& pattern,
                 tape_best / std::max(fast_best, 1e-9),
                 identical ? "yes" : "NO");
     std::fflush(stdout);
+    const std::string key =
+        label + " path threads=" + std::to_string(threads);
+    JsonReport::Metric(key, "tape_windows_per_sec",
+                       num_windows / std::max(tape_best, 1e-9));
+    JsonReport::Metric(key, "infer_windows_per_sec",
+                       num_windows / std::max(fast_best, 1e-9));
+    JsonReport::Metric(key, "speedup", tape_best / std::max(fast_best, 1e-9));
+    JsonReport::Metric(key, "identical", identical ? 1.0 : 0.0);
   }
 }
 
@@ -192,4 +209,7 @@ int Run() {
 }  // namespace workloads
 }  // namespace dlacep
 
-int main() { return dlacep::workloads::Run(); }
+int main(int argc, char** argv) {
+  dlacep::workloads::JsonReport::Init(argc, argv);
+  return dlacep::workloads::JsonReport::Finish(dlacep::workloads::Run());
+}

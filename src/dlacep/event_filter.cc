@@ -44,17 +44,18 @@ std::vector<Parameter*> EventNetworkFilter::Params() {
   return params;
 }
 
-std::vector<int> EventNetworkFilter::Threshold(
-    const Matrix& marginals) const {
+std::vector<int> EventNetworkFilter::Threshold(const Matrix& marginals,
+                                               double threshold) const {
   std::vector<int> marks(marginals.rows());
   for (size_t t = 0; t < marginals.rows(); ++t) {
-    marks[t] = marginals(t, 1) >= event_threshold_ ? 1 : 0;
+    marks[t] = marginals(t, 1) >= threshold ? 1 : 0;
   }
   return marks;
 }
 
-std::vector<int> EventNetworkFilter::MarkFeaturesWith(
-    const Matrix& features, InferenceContext* ctx) const {
+std::vector<int> EventNetworkFilter::MarkFeaturesAt(
+    const Matrix& features, InferenceContext* ctx,
+    double threshold) const {
   InferenceContext local;
   InferenceContext* c = ctx != nullptr ? ctx : &local;
   c->Reset();
@@ -63,7 +64,12 @@ std::vector<int> EventNetworkFilter::MarkFeaturesWith(
   Matrix& emissions_b = c->Acquire(features.rows(), 2);
   frozen_.head_fwd.Forward(h, &emissions_f);
   frozen_.head_bwd.Forward(h, &emissions_b);
-  return Threshold(crf_.Marginals(emissions_f, emissions_b));
+  return Threshold(crf_.Marginals(emissions_f, emissions_b), threshold);
+}
+
+std::vector<int> EventNetworkFilter::MarkFeaturesWith(
+    const Matrix& features, InferenceContext* ctx) const {
+  return MarkFeaturesAt(features, ctx, event_threshold_);
 }
 
 std::vector<int> EventNetworkFilter::MarkFeatures(
@@ -75,7 +81,8 @@ std::vector<int> EventNetworkFilter::MarkFeaturesTape(
     const Matrix& features) const {
   Tape tape;
   auto [emissions_f, emissions_b] = Emissions(&tape, features);
-  return Threshold(crf_.Marginals(emissions_f.value(), emissions_b.value()));
+  return Threshold(crf_.Marginals(emissions_f.value(), emissions_b.value()),
+                   event_threshold_);
 }
 
 std::vector<int> EventNetworkFilter::Mark(const EventStream& stream,
@@ -88,6 +95,14 @@ std::vector<int> EventNetworkFilter::MarkWith(const EventStream& stream,
                                               InferenceContext* ctx) const {
   return MarkFeaturesWith(
       featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
+}
+
+std::vector<int> EventNetworkFilter::MarkOnline(
+    const EventStream& window, size_t stream_begin, InferenceContext* ctx,
+    double threshold_boost) const {
+  (void)stream_begin;  // content-based: marks don't depend on position
+  return MarkFeaturesAt(featurizer_->Encode(window.View(0, window.size())),
+                        ctx, event_threshold_ + threshold_boost);
 }
 
 TrainResult EventNetworkFilter::Fit(const std::vector<Sample>& samples,

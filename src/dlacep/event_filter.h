@@ -29,6 +29,9 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
                         WindowRange range) const override;
   std::vector<int> MarkWith(const EventStream& stream, WindowRange range,
                             InferenceContext* ctx) const override;
+  std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
+                              InferenceContext* ctx,
+                              double threshold_boost) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
   std::vector<int> MarkFeaturesWith(const Matrix& features,
                                     InferenceContext* ctx) const override;
@@ -46,7 +49,11 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
 
  private:
   std::pair<Var, Var> Emissions(Tape* tape, const Matrix& features) const;
-  std::vector<int> Threshold(const Matrix& marginals) const;
+  std::vector<int> Threshold(const Matrix& marginals,
+                             double threshold) const;
+  std::vector<int> MarkFeaturesAt(const Matrix& features,
+                                  InferenceContext* ctx,
+                                  double threshold) const;
   void Refreeze();
 
   const Featurizer* featurizer_;  ///< not owned

@@ -46,6 +46,25 @@ class StreamFilter {
     (void)ctx;
     return Mark(stream, range);
   }
+
+  /// Marks one assembler window that the online runtime has
+  /// materialized as a standalone stream: `window` holds copies of the
+  /// events (with their arrival ids) and `stream_begin` is the window's
+  /// position in the full stream. The default forwards to MarkWith over
+  /// the whole window, which is correct for any content-based filter;
+  /// position-salted filters (random shedding) override it to recover
+  /// their global salt, and network filters override it to honor
+  /// `threshold_boost` — an overload-control increment added to their
+  /// decision threshold so borderline entities are shed first (0 =
+  /// normal operation). Same const/re-entrancy contract as Mark().
+  virtual std::vector<int> MarkOnline(const EventStream& window,
+                                      size_t stream_begin,
+                                      InferenceContext* ctx,
+                                      double threshold_boost) const {
+    (void)stream_begin;
+    (void)threshold_boost;
+    return MarkWith(window, WindowRange{0, window.size()}, ctx);
+  }
 };
 
 /// A filter backed by a trainable network.

@@ -9,17 +9,31 @@ RandomSheddingFilter::RandomSheddingFilter(double keep_probability,
   DLACEP_CHECK_LE(keep_probability_, 1.0);
 }
 
-std::vector<int> RandomSheddingFilter::Mark(const EventStream&,
-                                            WindowRange range) const {
+std::vector<int> RandomSheddingFilter::MarkCount(size_t count,
+                                                 size_t stream_begin) const {
   // Fresh per-window generator (splitmix-style mix of the window start
   // into the seed) — see the header for why Mark must be stateless.
   Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
-                   (static_cast<uint64_t>(range.begin) + 1)));
-  std::vector<int> marks(range.size());
+                   (static_cast<uint64_t>(stream_begin) + 1)));
+  std::vector<int> marks(count);
   for (int& m : marks) {
     m = rng.Bernoulli(keep_probability_) ? 1 : 0;
   }
   return marks;
+}
+
+std::vector<int> RandomSheddingFilter::Mark(const EventStream&,
+                                            WindowRange range) const {
+  return MarkCount(range.size(), range.begin);
+}
+
+std::vector<int> RandomSheddingFilter::MarkOnline(
+    const EventStream& window, size_t stream_begin, InferenceContext*,
+    double) const {
+  // Detached window copies are 0-based; the global position carries the
+  // per-window salt, keeping online marks byte-identical to the batch
+  // path's Mark(stream, {stream_begin, ...}).
+  return MarkCount(window.size(), stream_begin);
 }
 
 TypeSheddingFilter::TypeSheddingFilter(const Pattern& pattern) {

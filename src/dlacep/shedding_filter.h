@@ -33,6 +33,16 @@ class RandomSheddingFilter : public StreamFilter {
   std::vector<int> Mark(const EventStream& stream,
                         WindowRange range) const override;
 
+  /// The pure marking core: marks for a window of `count` events whose
+  /// global start position is `stream_begin`. Mark() delegates here
+  /// with (range.size(), range.begin); the online runtime calls it
+  /// directly so detached window copies keep their global salt.
+  std::vector<int> MarkCount(size_t count, size_t stream_begin) const;
+
+  std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
+                              InferenceContext* ctx,
+                              double threshold_boost) const override;
+
  private:
   double keep_probability_;
   uint64_t seed_;

@@ -107,6 +107,17 @@ std::vector<int> WindowNetworkFilter::MarkWith(const EventStream& stream,
       featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
 }
 
+std::vector<int> WindowNetworkFilter::MarkOnline(
+    const EventStream& window, size_t stream_begin, InferenceContext* ctx,
+    double threshold_boost) const {
+  (void)stream_begin;  // content-based: marks don't depend on position
+  const Matrix features =
+      featurizer_->Encode(window.View(0, window.size()));
+  const int mark =
+      IsApplicable(ProbabilityWith(features, ctx), threshold_boost) ? 1 : 0;
+  return std::vector<int>(features.rows(), mark);
+}
+
 TrainResult WindowNetworkFilter::Fit(const std::vector<Sample>& samples,
                                      const TrainConfig& config) {
   const TrainResult result = Train(this, samples, config);

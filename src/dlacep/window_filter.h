@@ -28,6 +28,9 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
                         WindowRange range) const override;
   std::vector<int> MarkWith(const EventStream& stream, WindowRange range,
                             InferenceContext* ctx) const override;
+  std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
+                              InferenceContext* ctx,
+                              double threshold_boost) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
   std::vector<int> MarkFeaturesWith(const Matrix& features,
                                     InferenceContext* ctx) const override;
@@ -51,9 +54,10 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
 
   /// The single decision predicate shared by inference-time marking and
   /// training-time scoring, so a threshold/hysteresis change can never
-  /// silently diverge between the two.
-  bool IsApplicable(double probability) const {
-    return probability >= window_threshold_;
+  /// silently diverge between the two. `threshold_boost` is the
+  /// overload-control increment (0 in normal operation).
+  bool IsApplicable(double probability, double threshold_boost = 0.0) const {
+    return probability >= window_threshold_ + threshold_boost;
   }
 
  private:

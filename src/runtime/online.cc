@@ -1,0 +1,316 @@
+#include "runtime/online.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace dlacep {
+
+/// Per-Run mutable state. Threading contract: the producer thread only
+/// touches `queue` (and its own local counters); pool workers only read
+/// their window's detached EventStream and write the finished DoneWindow
+/// into `done` under `done_mu`; everything else is owned by the
+/// assembler (caller) thread.
+struct OnlineDlacep::RunState {
+  RunState(size_t queue_capacity, const OverloadConfig& overload)
+      : queue(queue_capacity), controller(overload) {}
+
+  RingQueue<Event> queue;
+  std::shared_ptr<const Schema> schema;
+
+  // Assembler: arrivals not yet consumed by every window that needs
+  // them. `buffer_offset` is the global stream index of buffer.front();
+  // events below the next window begin are pruned after dispatch, so
+  // memory stays O(mark_size + queue), not O(stream).
+  std::deque<Event> buffer;
+  size_t buffer_offset = 0;
+  size_t appended = 0;
+  size_t next_begin = 0;
+  size_t windows_dispatched = 0;
+  size_t last_end = 0;
+
+  // Dispatch → merge handoff. Workers insert under done_mu keyed by
+  // dispatch sequence; the assembler merges strictly in sequence order,
+  // which is what makes the merged mark stream deterministic across
+  // thread counts.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::map<size_t, DoneWindow> done;
+  size_t in_flight = 0;
+  size_t next_merge = 0;
+
+  // Merge products. marked_store is a deque so the Event addresses
+  // handed to the extractor stay stable as it grows.
+  std::vector<EventId> marked_ids;
+  std::unordered_set<EventId> seen;
+  std::deque<Event> marked_store;
+
+  OverloadController controller;
+  std::unique_ptr<DriftMonitor> drift;
+  double latency_ewma = 0.0;
+  bool latency_seen = false;
+
+  RuntimeStats stats;
+  Stopwatch watch;
+};
+
+OnlineDlacep::OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
+                           const OnlineConfig& config)
+    : pattern_(pattern),
+      config_(config),
+      filter_(filter),
+      type_shed_(pattern_),
+      random_shed_(config.overload.random_keep_probability,
+                   config.overload.random_seed),
+      extractor_(pattern_) {
+  DLACEP_CHECK(filter_ != nullptr);
+  DLACEP_CHECK(pattern_.window().kind == WindowKind::kCount);
+  const size_t w = pattern_.window().count_size();
+  mark_size_ = config_.mark_size != 0 ? config_.mark_size : 2 * w;
+  step_size_ = config_.step_size != 0 ? config_.step_size : w;
+  DLACEP_CHECK_GT(mark_size_, 0u);
+  DLACEP_CHECK_GT(step_size_, 0u);
+  workers_ = ResolveNumThreads(config_.num_threads);
+  if (workers_ > 1) pool_ = std::make_unique<ThreadPool>(workers_);
+  const size_t context_slots = pool_ != nullptr ? workers_ : 1;
+  for (size_t i = 0; i < context_slots; ++i) {
+    contexts_.push_back(std::make_unique<InferenceContext>());
+  }
+  max_in_flight_ = config_.max_windows_in_flight != 0
+                       ? config_.max_windows_in_flight
+                       : 2 * workers_ + 2;
+}
+
+void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
+  const double now = state->watch.ElapsedSeconds();
+  const double latency = std::max(0.0, now - window.close_seconds);
+  state->stats.window_latency.Record(latency);
+  state->latency_ewma = state->latency_seen
+                            ? 0.8 * state->latency_ewma + 0.2 * latency
+                            : latency;
+  state->latency_seen = true;
+
+  ++state->stats.windows_closed;
+  if (window.level == 1) ++state->stats.windows_boosted;
+  if (window.level >= 2) ++state->stats.windows_shed;
+
+  DLACEP_CHECK_EQ(window.marks.size(), window.events->size());
+  for (size_t t = 0; t < window.marks.size(); ++t) {
+    if (window.marks[t] == 0) continue;
+    const Event& event = (*window.events)[t];
+    state->marked_ids.push_back(event.id);
+    if (state->seen.insert(event.id).second) {
+      state->marked_store.push_back(event);
+    }
+  }
+
+  if (state->drift != nullptr && state->drift->Observe(window.marks)) {
+    ++state->stats.drift_flags;
+    // Flag-only policy: re-anchor to the live rate so the monitor
+    // re-arms instead of firing on every subsequent window (the
+    // retraining loop in drift.h is the heavyweight alternative).
+    state->drift->ResetReference();
+  }
+}
+
+void OnlineDlacep::DrainMerges(RunState* state, size_t target_in_flight) {
+  // Block until enough windows have retired, merging strictly in
+  // dispatch order: the next window in sequence must eventually land in
+  // `done` because every dispatched window completes.
+  while (state->in_flight > target_in_flight) {
+    DoneWindow window;
+    {
+      std::unique_lock<std::mutex> lock(state->done_mu);
+      state->done_cv.wait(lock, [&] {
+        return state->done.find(state->next_merge) != state->done.end();
+      });
+      auto it = state->done.find(state->next_merge);
+      window = std::move(it->second);
+      state->done.erase(it);
+    }
+    ++state->next_merge;
+    --state->in_flight;
+    MergeOne(state, std::move(window));
+  }
+  // Opportunistically retire whatever else is already finished and next
+  // in order, so merge latency tracks worker completion, not the
+  // in-flight bound.
+  for (;;) {
+    DoneWindow window;
+    {
+      std::lock_guard<std::mutex> lock(state->done_mu);
+      auto it = state->done.find(state->next_merge);
+      if (it == state->done.end()) break;
+      window = std::move(it->second);
+      state->done.erase(it);
+    }
+    ++state->next_merge;
+    --state->in_flight;
+    MergeOne(state, std::move(window));
+  }
+}
+
+void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
+  DrainMerges(state, max_in_flight_ - 1);
+
+  // The overload decision is taken at close time, on the assembler
+  // thread, from the current ingest-queue depth and the smoothed merge
+  // latency — so the level a window runs under is deterministic given
+  // the arrival/processing interleaving, and level changes are totally
+  // ordered with window dispatch.
+  const int level =
+      config_.overload.enabled
+          ? state->controller.Observe(
+                static_cast<double>(state->queue.size()) /
+                    static_cast<double>(state->queue.capacity()),
+                state->latency_seen ? state->latency_ewma : 0.0)
+          : 0;
+
+  // Detach the window into its own EventStream (ids preserved): workers
+  // must never read the assembler's growing buffer, and the copy is
+  // what lets the buffer prune below.
+  auto events = std::make_shared<EventStream>(state->schema);
+  for (size_t i = begin; i < end; ++i) {
+    events->AppendArrival(state->buffer[i - state->buffer_offset]);
+  }
+
+  const size_t seq = state->windows_dispatched++;
+  state->last_end = end;
+  state->next_begin = begin + step_size_;
+  while (state->buffer_offset < state->next_begin && !state->buffer.empty()) {
+    state->buffer.pop_front();
+    ++state->buffer_offset;
+  }
+
+  const double close_seconds = state->watch.ElapsedSeconds();
+  ++state->in_flight;
+
+  auto task = [this, state, seq, begin, level, close_seconds, events] {
+    DoneWindow window;
+    window.begin = begin;
+    window.level = level;
+    window.close_seconds = close_seconds;
+    window.events = events;
+    InferenceContext* ctx =
+        contexts_[ThreadPool::CurrentWorkerIndex()].get();
+    if (level >= OverloadController::kMaxLevel) {
+      const StreamFilter& shed =
+          config_.overload.shedding == SheddingPolicy::kRandom
+              ? static_cast<const StreamFilter&>(random_shed_)
+              : static_cast<const StreamFilter&>(type_shed_);
+      window.marks = shed.MarkOnline(*events, begin, ctx, 0.0);
+    } else {
+      const double boost =
+          level == 1 ? config_.overload.threshold_boost : 0.0;
+      window.marks = filter_->MarkOnline(*events, begin, ctx, boost);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->done_mu);
+      state->done.emplace(seq, std::move(window));
+    }
+    state->done_cv.notify_one();
+  };
+  if (pool_ != nullptr) {
+    pool_->Submit(std::move(task));
+  } else {
+    task();
+  }
+}
+
+OnlineResult OnlineDlacep::Run(StreamSource* source) {
+  DLACEP_CHECK(source != nullptr);
+  RunState state(config_.queue_capacity, config_.overload);
+  state.schema = source->schema();
+  if (config_.drift.enabled) {
+    state.drift = std::make_unique<DriftMonitor>(
+        config_.drift.reference_rate, config_.drift.tolerance,
+        config_.drift.window_budget);
+  }
+
+  // Producer: pull, stamp the arrival id BEFORE the queue (a dropped
+  // event leaves an id gap, keeping the count-window constraint
+  // anchored to real arrivals, §4.4), push. Counters are thread-local
+  // and folded into stats after join().
+  uint64_t ingested = 0;
+  uint64_t dropped = 0;
+  std::thread producer([&] {
+    Event event;
+    EventId next_id = 0;
+    while (source->Next(&event)) {
+      event.id = next_id++;
+      ++ingested;
+      const bool accepted = config_.drop_when_full
+                                ? state.queue.TryPush(event)
+                                : state.queue.Push(event);
+      if (!accepted) ++dropped;
+    }
+    state.queue.Close();
+  });
+
+  // Assembler loop: a full window closes by watermark the moment its
+  // last event arrives — the running prefix of
+  // CountWindows(appended, mark, step).
+  Event event;
+  while (state.queue.Pop(&event)) {
+    state.buffer.push_back(event);
+    ++state.appended;
+    while (state.appended >= state.next_begin + mark_size_) {
+      CloseWindow(&state, state.next_begin,
+                  state.next_begin + mark_size_);
+    }
+  }
+
+  // End of stream: emit the truncated suffix exactly as CountWindows
+  // would — at least one window on a nonempty stream, and windows until
+  // one ends at the final event.
+  const size_t total = state.appended;
+  if (total > 0) {
+    while (state.windows_dispatched == 0 || state.last_end != total) {
+      CloseWindow(&state, state.next_begin,
+                  std::min(state.next_begin + mark_size_, total));
+    }
+  }
+  DrainMerges(&state, 0);
+  // All windows are merged, but the worker that produced the last one
+  // may still be inside its done_cv.notify_one() — drain the pool so no
+  // task can touch RunState after Run returns.
+  if (pool_ != nullptr) pool_->Wait();
+  producer.join();
+
+  state.stats.events_ingested = ingested;
+  state.stats.events_dropped_queue = dropped;
+  state.stats.events_appended = state.appended;
+  state.stats.events_relayed = state.seen.size();
+  state.stats.events_filtered = state.appended - state.seen.size();
+  state.stats.queue_capacity = state.queue.capacity();
+  state.stats.queue_high_water = state.queue.high_water();
+  state.stats.overload_escalations = state.controller.escalations();
+  state.stats.overload_recoveries = state.controller.recoveries();
+  state.stats.overload_level_at_exit = state.controller.level();
+  state.stats.transitions = state.controller.transitions();
+
+  OnlineResult result;
+  extractor_.ResetStats();
+  Stopwatch extract_watch;
+  std::vector<const Event*> marked;
+  marked.reserve(state.marked_store.size());
+  for (const Event& e : state.marked_store) marked.push_back(&e);
+  const Status status =
+      extractor_.Extract(std::move(marked), &result.matches);
+  DLACEP_CHECK_MSG(status.ok(), status.ToString());
+  state.stats.extract_seconds = extract_watch.ElapsedSeconds();
+  state.stats.matches = result.matches.size();
+  state.stats.elapsed_seconds = state.watch.ElapsedSeconds();
+
+  result.marked_ids = std::move(state.marked_ids);
+  result.stats = std::move(state.stats);
+  result.marked_events = result.stats.events_relayed;
+  return result;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,167 @@
+// The push-based online runtime: turns the batch DlacepPipeline into a
+// streaming service.
+//
+//   source ──(producer thread)──▶ bounded ingest queue
+//          ──(assembler)──▶ watermark-closed windows
+//          ──(worker pool)──▶ per-window marks
+//          ──(deterministic in-order merge)──▶ CEP extraction
+//
+// One producer thread pulls events from a StreamSource, assigns arrival
+// ids at ingest (§4.4), and pushes into a bounded RingQueue — blocking
+// (lossless backpressure) or dropping (counted) when full. The caller's
+// thread runs the assembler: it pops events, closes assembler windows
+// by watermark (a window closes exactly when its last event has
+// arrived, reproducing InputAssembler::Windows / CountWindows window by
+// window), and dispatches each closed window to the shared ThreadPool.
+// Each worker marks with its own nn::InferenceContext scratch arena
+// (the PR-2 tape-free fast path), and the assembler re-merges marks in
+// strict window order, so:
+//
+//   CORRECTNESS CONTRACT (tests/runtime_test.cc): with a lossless
+//   producer and the overload controller disabled or never triggered,
+//   the merged mark sequence, deduplicated relayed-event count, and
+//   extracted MatchSet are byte-identical to DlacepPipeline::Evaluate
+//   on the same stream, for every num_threads setting.
+//
+// An OverloadController watches ingest-queue depth and end-to-end
+// window latency and degrades with hysteresis — raised filter
+// threshold first, then the shedding fallback — recovering when
+// pressure clears (see overload.h). The number of windows in flight is
+// bounded, which couples filtration pressure back to the ingest queue:
+// when marking can't keep up, the queue fills, and either the producer
+// blocks (backpressure) or drops are counted — never an unbounded
+// buffer.
+//
+// CEP extraction runs once at end-of-stream over the deduplicated
+// relayed events (the engines are batch evaluators); per-window
+// latencies therefore measure ingest → merged-marks, which is the
+// filtration service time the overload controller manages.
+
+#ifndef DLACEP_RUNTIME_ONLINE_H_
+#define DLACEP_RUNTIME_ONLINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dlacep/config.h"
+#include "dlacep/drift.h"
+#include "dlacep/extractor.h"
+#include "dlacep/filter.h"
+#include "dlacep/shedding_filter.h"
+#include "nn/infer.h"
+#include "runtime/overload.h"
+#include "runtime/ring_queue.h"
+#include "runtime/source.h"
+#include "runtime/stats.h"
+
+namespace dlacep {
+
+/// Online drift monitoring knobs (flag-only: the runtime records drift
+/// firings in RuntimeStats instead of triggering retraining — see
+/// dlacep/drift.h for the retraining loop).
+struct DriftConfig {
+  bool enabled = false;
+  /// Training-time marking rate the live rate is compared against.
+  double reference_rate = 0.0;
+  double tolerance = 0.1;
+  size_t window_budget = 8;
+};
+
+struct OnlineConfig {
+  size_t queue_capacity = 1024;
+
+  /// false: the producer blocks while the queue is full (lossless
+  /// backpressure). true: arrivals are dropped when full and counted in
+  /// RuntimeStats (the emergency regime the paper's §6 discusses).
+  bool drop_when_full = false;
+
+  /// Filtration workers, resolved like DlacepConfig::num_threads
+  /// (1 = assembler-inline marking, 0 = hardware concurrency).
+  size_t num_threads = 1;
+
+  /// Windows dispatched but not yet merged before the assembler stops
+  /// popping events. 0 = 2·workers + 2.
+  size_t max_windows_in_flight = 0;
+
+  /// Assembler geometry, as in DlacepConfig (0 = paper defaults 2W/W).
+  size_t mark_size = 0;
+  size_t step_size = 0;
+
+  OverloadConfig overload;
+  DriftConfig drift;
+};
+
+/// Outcome of one Run(): the extracted matches plus everything the
+/// byte-equality tests compare against the batch path.
+struct OnlineResult {
+  MatchSet matches;
+  /// Marked ids in deterministic merge order, duplicates from
+  /// overlapping windows included — same layout as
+  /// PipelineResult::marked_ids.
+  std::vector<EventId> marked_ids;
+  size_t marked_events = 0;  ///< deduplicated (== stats.events_relayed)
+  RuntimeStats stats;
+
+  double filtering_ratio() const {
+    return stats.events_appended == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(marked_events) /
+                           static_cast<double>(stats.events_appended);
+  }
+};
+
+class OnlineDlacep {
+ public:
+  /// `filter` is borrowed and must outlive the runtime; it may be a
+  /// trained network, a shedding baseline, the oracle, or pass-through
+  /// (anything the batch pipeline accepts). Count windows only, like
+  /// DlacepPipeline.
+  OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
+               const OnlineConfig& config);
+
+  /// Drains `source` to completion. May be called again with a new
+  /// source; each call is an independent run with fresh stats.
+  OnlineResult Run(StreamSource* source);
+
+  const OnlineConfig& config() const { return config_; }
+
+ private:
+  struct DoneWindow {
+    size_t begin = 0;
+    std::vector<int> marks;
+    int level = 0;             ///< overload level the window ran under
+    double close_seconds = 0;  ///< run-clock time the watermark closed it
+    std::shared_ptr<EventStream> events;
+  };
+  struct RunState;
+
+  void CloseWindow(RunState* state, size_t begin, size_t end);
+  void MergeOne(RunState* state, DoneWindow window);
+  /// Merges every completed window that is next in window order;
+  /// blocks until `target_in_flight` or fewer windows remain pending.
+  void DrainMerges(RunState* state, size_t target_in_flight);
+
+  Pattern pattern_;
+  OnlineConfig config_;
+  const StreamFilter* filter_;  ///< not owned
+  size_t mark_size_;
+  size_t step_size_;
+  size_t workers_;
+  size_t max_in_flight_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// One scratch arena per worker (slot 0 doubles as the inline path's
+  /// arena), reused across windows and runs.
+  std::vector<std::unique_ptr<InferenceContext>> contexts_;
+  /// Level-2 fallbacks, built once from the pattern/config.
+  TypeSheddingFilter type_shed_;
+  RandomSheddingFilter random_shed_;
+  CepExtractor extractor_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_ONLINE_H_

@@ -1,0 +1,52 @@
+#include "runtime/overload.h"
+
+#include "common/status.h"
+
+namespace dlacep {
+
+OverloadController::OverloadController(const OverloadConfig& config)
+    : config_(config) {
+  DLACEP_CHECK_GT(config_.dwell_windows, 0u);
+  DLACEP_CHECK_GE(config_.high_watermark, config_.low_watermark);
+}
+
+int OverloadController::Observe(double queue_fraction,
+                                double latency_seconds) {
+  ++observations_;
+  if (!config_.enabled) return level_;
+
+  const bool latency_signal = config_.latency_high_seconds > 0.0;
+  const bool pressure =
+      queue_fraction >= config_.high_watermark ||
+      (latency_signal && latency_seconds >= config_.latency_high_seconds);
+  // Relief requires BOTH signals healthy; the latency bar for recovery
+  // is half the escalation bar (the other hysteresis band).
+  const bool relief =
+      queue_fraction <= config_.low_watermark &&
+      (!latency_signal ||
+       latency_seconds <= 0.5 * config_.latency_high_seconds);
+
+  pressure_run_ = pressure ? pressure_run_ + 1 : 0;
+  relief_run_ = relief ? relief_run_ + 1 : 0;
+
+  int next = level_;
+  if (pressure_run_ >= config_.dwell_windows && level_ < kMaxLevel) {
+    next = level_ + 1;
+    ++escalations_;
+  } else if (relief_run_ >= config_.dwell_windows && level_ > 0) {
+    next = level_ - 1;
+    ++recoveries_;
+  }
+  if (next != level_) {
+    transitions_.push_back(OverloadTransition{
+        observations_ - 1, level_, next, queue_fraction, latency_seconds});
+    level_ = next;
+    // A transition consumes the run that fired it, so the next level
+    // change needs another full dwell period.
+    pressure_run_ = 0;
+    relief_run_ = 0;
+  }
+  return level_;
+}
+
+}  // namespace dlacep

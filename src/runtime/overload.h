@@ -1,0 +1,93 @@
+// Backpressure-aware overload control (paper §6).
+//
+// The paper contrasts DLACEP's learned filtration with emergency load
+// shedding that drops events blindly; this controller makes the two
+// complementary instead: the learned filter runs in steady state, and
+// under sustained pressure the runtime degrades *gracefully* —
+//
+//   level 0  normal      primary filter, configured threshold
+//   level 1  degraded    primary filter with a raised decision
+//                        threshold (borderline entities shed first)
+//   level 2  shedding    the cheap shedding fallback (type- or
+//                        random-shedding, see shedding_filter.h)
+//
+// Transitions use hysteresis: the pressure/relief signal must persist
+// for `dwell_windows` consecutive closed windows before the level
+// moves, and escalation/recovery move one level at a time, so a noisy
+// queue depth cannot thrash the policy. Observations come from the
+// assembler thread only — the controller is deliberately
+// single-threaded and lock-free.
+
+#ifndef DLACEP_RUNTIME_OVERLOAD_H_
+#define DLACEP_RUNTIME_OVERLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/stats.h"
+
+namespace dlacep {
+
+/// Which shedding baseline serves as the level-2 fallback.
+enum class SheddingPolicy { kType, kRandom };
+
+struct OverloadConfig {
+  /// false pins the runtime at level 0 (lossless backpressure only) —
+  /// used by the byte-equality tests and by callers that prefer
+  /// blocking producers over degraded marks.
+  bool enabled = true;
+
+  /// Queue-depth fractions (of capacity) that count as pressure /
+  /// relief. Distinct watermarks are the hysteresis band.
+  double high_watermark = 0.8;
+  double low_watermark = 0.25;
+
+  /// End-to-end window latency that counts as pressure regardless of
+  /// queue depth. 0 disables the latency signal.
+  double latency_high_seconds = 0.0;
+
+  /// Consecutive closed windows the signal must persist before a
+  /// transition fires.
+  size_t dwell_windows = 3;
+
+  /// Level 1: added to the network filter's decision threshold.
+  double threshold_boost = 0.15;
+
+  /// Level 2 fallback.
+  SheddingPolicy shedding = SheddingPolicy::kType;
+  double random_keep_probability = 0.25;
+  uint64_t random_seed = 0x5eedULL;
+};
+
+class OverloadController {
+ public:
+  static constexpr int kMaxLevel = 2;
+
+  explicit OverloadController(const OverloadConfig& config);
+
+  /// One observation per closed window; returns the (possibly updated)
+  /// level under which that window should be marked.
+  int Observe(double queue_fraction, double latency_seconds);
+
+  int level() const { return level_; }
+  uint64_t escalations() const { return escalations_; }
+  uint64_t recoveries() const { return recoveries_; }
+  const std::vector<OverloadTransition>& transitions() const {
+    return transitions_;
+  }
+
+ private:
+  OverloadConfig config_;
+  int level_ = 0;
+  uint64_t observations_ = 0;
+  size_t pressure_run_ = 0;
+  size_t relief_run_ = 0;
+  uint64_t escalations_ = 0;
+  uint64_t recoveries_ = 0;
+  std::vector<OverloadTransition> transitions_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_OVERLOAD_H_

@@ -1,0 +1,119 @@
+// Bounded MPSC ring queue — the ingest buffer between stream sources
+// and the online assembler (paper §6 positions DLACEP against blind
+// emergency shedding; a bounded queue is where that pressure becomes
+// visible). Two producer modes:
+//
+//   * Push()    — blocks while the queue is full (lossless
+//                 backpressure; the producer is throttled to the
+//                 consumer's pace),
+//   * TryPush() — returns false when full (the caller counts the event
+//                 as dropped-at-ingest).
+//
+// Multiple producers may push concurrently; exactly one consumer may
+// Pop(). Close() wakes everyone: pending Push/TryPush fail, Pop drains
+// the remaining events and then returns false. The queue also tracks
+// its high-water mark, the overload controller's primary signal.
+
+#ifndef DLACEP_RUNTIME_RING_QUEUE_H_
+#define DLACEP_RUNTIME_RING_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlacep {
+
+template <typename T>
+class RingQueue {
+ public:
+  explicit RingQueue(size_t capacity) : ring_(capacity) {
+    DLACEP_CHECK_GT(capacity, 0u);
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  /// Blocking push. Returns false iff the queue was closed (the value
+  /// is discarded).
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    Enqueue(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when the queue is full or closed.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == ring_.size()) return false;
+      Enqueue(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns false once the queue is closed AND drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Marks the queue closed: producers fail from here on, the consumer
+  /// drains what is left. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return ring_.size(); }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  /// Largest depth ever observed (under the queue lock, so exact).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  void Enqueue(T value) {  // callers hold mu_ and have checked space
+    ring_[(head_ + size_) % ring_.size()] = std::move(value);
+    ++size_;
+    if (size_ > high_water_) high_water_ = size_;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_RING_QUEUE_H_

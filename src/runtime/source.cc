@@ -1,0 +1,54 @@
+#include "runtime/source.h"
+
+#include <thread>
+
+namespace dlacep {
+
+Pacer::Pacer(double events_per_sec)
+    : events_per_sec_(events_per_sec), start_(Clock::now()) {}
+
+void Pacer::Tick() {
+  if (events_per_sec_ <= 0.0) return;
+  ++ticks_;
+  const auto due =
+      start_ + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(ticks_) / events_per_sec_));
+  std::this_thread::sleep_until(due);
+}
+
+ReplaySource::ReplaySource(const EventStream* stream, double events_per_sec)
+    : stream_(stream), pacer_(events_per_sec) {
+  DLACEP_CHECK(stream_ != nullptr);
+}
+
+std::shared_ptr<const Schema> ReplaySource::schema() const {
+  return stream_->schema_ptr();
+}
+
+bool ReplaySource::Next(Event* out) {
+  if (next_ >= stream_->size()) return false;
+  pacer_.Tick();
+  *out = (*stream_)[next_++];
+  return true;
+}
+
+StockSimSource::StockSimSource(const StockSimConfig& config,
+                               double events_per_sec)
+    : stepper_(config),
+      remaining_(config.num_events),
+      pacer_(events_per_sec) {}
+
+std::shared_ptr<const Schema> StockSimSource::schema() const {
+  return stepper_.schema();
+}
+
+bool StockSimSource::Next(Event* out) {
+  if (remaining_ == 0) return false;
+  --remaining_;
+  pacer_.Tick();
+  *out = stepper_.Next();
+  return true;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,91 @@
+// Pull-based stream sources for the online runtime.
+//
+// A StreamSource yields one event per Next() call, blocking as needed
+// to pace itself to a configured arrival rate; the runtime's producer
+// thread pulls from it and pushes into the bounded ingest queue. Two
+// adapters cover the evaluation setups:
+//
+//   * ReplaySource     — replays an in-memory EventStream (a generated
+//                        stream or one loaded from CSV — the CLI's
+//                        `replay` mode composes ReadCsv with this);
+//   * StockSimSource   — live stocksim generation via StockSimStepper,
+//                        byte-identical to GenerateStockStream with the
+//                        same config (the CLI's `serve` mode).
+//
+// Pacing: events_per_sec > 0 paces arrivals against a wall-clock
+// schedule (sleep-until, so short hiccups are caught up rather than
+// accumulated); <= 0 means "as fast as the consumer pulls", which under
+// a bounded queue is exactly the overload regime.
+
+#ifndef DLACEP_RUNTIME_SOURCE_H_
+#define DLACEP_RUNTIME_SOURCE_H_
+
+#include <chrono>
+#include <memory>
+
+#include "stream/stocksim.h"
+#include "stream/stream.h"
+
+namespace dlacep {
+
+/// Paces a loop to `events_per_sec` iterations per second.
+class Pacer {
+ public:
+  explicit Pacer(double events_per_sec);
+
+  /// Blocks until the next arrival slot. No-op when unpaced.
+  void Tick();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  double events_per_sec_;
+  Clock::time_point start_;
+  uint64_t ticks_ = 0;
+};
+
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual std::shared_ptr<const Schema> schema() const = 0;
+
+  /// Produces the next event (its id is ignored — the runtime assigns
+  /// arrival ids at ingest). Blocks to honor the source's pacing.
+  /// Returns false when the source is exhausted.
+  virtual bool Next(Event* out) = 0;
+};
+
+/// Replays a borrowed EventStream in order, optionally paced.
+class ReplaySource : public StreamSource {
+ public:
+  explicit ReplaySource(const EventStream* stream,
+                        double events_per_sec = 0.0);
+
+  std::shared_ptr<const Schema> schema() const override;
+  bool Next(Event* out) override;
+
+ private:
+  const EventStream* stream_;  ///< not owned
+  size_t next_ = 0;
+  Pacer pacer_;
+};
+
+/// Live stock-market generation at a configurable arrival rate.
+class StockSimSource : public StreamSource {
+ public:
+  /// Generates config.num_events events, then ends.
+  explicit StockSimSource(const StockSimConfig& config,
+                          double events_per_sec = 0.0);
+
+  std::shared_ptr<const Schema> schema() const override;
+  bool Next(Event* out) override;
+
+ private:
+  StockSimStepper stepper_;
+  size_t remaining_;
+  Pacer pacer_;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_SOURCE_H_

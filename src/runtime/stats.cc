@@ -1,0 +1,85 @@
+#include "runtime/stats.h"
+
+#include "common/string_util.h"
+
+namespace dlacep {
+
+double LatencyHistogram::BucketBound(size_t i) {
+  return 1e-6 * static_cast<double>(uint64_t{1} << i);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  size_t bucket = kBuckets - 1;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (seconds <= BucketBound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  ++count_;
+  if (seconds > max_seconds_) max_seconds_ = seconds;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile sample (1-based, nearest-rank definition).
+  const uint64_t rank = static_cast<uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank && buckets_[i] > 0) return BucketBound(i);
+    if (seen >= rank) return BucketBound(i);
+  }
+  return BucketBound(kBuckets - 1);
+}
+
+std::string RuntimeStats::ToString() const {
+  std::string out;
+  out += StrFormat("events ingested : %llu\n",
+                   static_cast<unsigned long long>(events_ingested));
+  out += StrFormat("  appended      : %llu\n",
+                   static_cast<unsigned long long>(events_appended));
+  out += StrFormat("  relayed       : %llu\n",
+                   static_cast<unsigned long long>(events_relayed));
+  out += StrFormat("  filtered      : %llu\n",
+                   static_cast<unsigned long long>(events_filtered));
+  out += StrFormat("  dropped(queue): %llu\n",
+                   static_cast<unsigned long long>(events_dropped_queue));
+  out += StrFormat("accounted       : %s\n", Accounted() ? "yes" : "NO");
+  out += StrFormat("queue high-water: %zu / %zu\n", queue_high_water,
+                   queue_capacity);
+  out += StrFormat(
+      "windows closed  : %llu (boosted %llu, shed %llu)\n",
+      static_cast<unsigned long long>(windows_closed),
+      static_cast<unsigned long long>(windows_boosted),
+      static_cast<unsigned long long>(windows_shed));
+  out += StrFormat("window latency  : p50 %.3fms  p99 %.3fms  max %.3fms\n",
+                   window_latency.Percentile(50.0) * 1e3,
+                   window_latency.Percentile(99.0) * 1e3,
+                   window_latency.max_seconds() * 1e3);
+  out += StrFormat(
+      "overload        : level %d at exit, %llu escalations, "
+      "%llu recoveries\n",
+      overload_level_at_exit,
+      static_cast<unsigned long long>(overload_escalations),
+      static_cast<unsigned long long>(overload_recoveries));
+  for (const OverloadTransition& t : transitions) {
+    out += StrFormat(
+        "  window %llu: level %d -> %d (queue %.0f%%, latency %.3fms)\n",
+        static_cast<unsigned long long>(t.at_window), t.from, t.to,
+        t.queue_fraction * 100.0, t.latency_seconds * 1e3);
+  }
+  out += StrFormat("drift flags     : %llu\n",
+                   static_cast<unsigned long long>(drift_flags));
+  out += StrFormat("matches         : %zu\n", matches);
+  out += StrFormat("elapsed         : %.3fs (extract %.3fs)\n",
+                   elapsed_seconds, extract_seconds);
+  return out;
+}
+
+}  // namespace dlacep

@@ -1,0 +1,98 @@
+// Observability for the online runtime: a fixed-bucket latency
+// histogram, the overload transition log, and the RuntimeStats snapshot
+// the `serve`/`replay` CLI modes print at exit.
+//
+// The accounting contract (pinned by tests/runtime_test.cc): every
+// event the source offered is either dropped at ingest, relayed to the
+// CEP extractor, or filtered out —
+//   events_relayed + events_filtered + events_dropped_queue
+//     == events_ingested.
+
+#ifndef DLACEP_RUNTIME_STATS_H_
+#define DLACEP_RUNTIME_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlacep {
+
+/// Fixed-bucket latency histogram: geometric bucket upper bounds
+/// doubling from 1µs, so Record() is O(buckets) with no allocation
+/// (safe on the merge hot path) and percentiles are one cumulative
+/// scan. Single-writer; readers see a consistent snapshot only after
+/// the run finished.
+class LatencyHistogram {
+ public:
+  /// 1µs · 2^26 ≈ 67s — anything slower lands in the last bucket.
+  static constexpr size_t kBuckets = 27;
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_; }
+  double max_seconds() const { return max_seconds_; }
+
+  /// Upper bound (seconds) of the bucket containing percentile `p` in
+  /// [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  static double BucketBound(size_t i);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double max_seconds_ = 0.0;
+};
+
+/// One overload state change, recorded by the controller.
+struct OverloadTransition {
+  uint64_t at_window = 0;  ///< index of the closed window that tripped it
+  int from = 0;
+  int to = 0;
+  double queue_fraction = 0.0;
+  double latency_seconds = 0.0;
+};
+
+/// End-of-run snapshot of the online runtime.
+struct RuntimeStats {
+  // Event accounting (see the contract above).
+  uint64_t events_ingested = 0;       ///< offered by the source
+  uint64_t events_dropped_queue = 0;  ///< lost to a full ingest queue
+  uint64_t events_appended = 0;       ///< entered the assembler stream
+  uint64_t events_relayed = 0;        ///< deduplicated marked events
+  uint64_t events_filtered = 0;       ///< appended but never marked
+
+  size_t queue_capacity = 0;
+  size_t queue_high_water = 0;
+
+  uint64_t windows_closed = 0;
+  uint64_t windows_boosted = 0;  ///< marked under a raised threshold
+  uint64_t windows_shed = 0;     ///< marked by the shedding fallback
+
+  uint64_t overload_escalations = 0;
+  uint64_t overload_recoveries = 0;
+  int overload_level_at_exit = 0;
+  std::vector<OverloadTransition> transitions;
+
+  uint64_t drift_flags = 0;  ///< drift monitor firings (see drift.h)
+
+  /// Watermark-close → merged-marks latency per window.
+  LatencyHistogram window_latency;
+
+  size_t matches = 0;
+  double extract_seconds = 0.0;
+  double elapsed_seconds = 0.0;  ///< whole Run() wall clock
+
+  bool Accounted() const {
+    return events_relayed + events_filtered + events_dropped_queue ==
+           events_ingested;
+  }
+
+  /// Multi-line human-readable report (printed by `serve`/`replay`).
+  std::string ToString() const;
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_STATS_H_

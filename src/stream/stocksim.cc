@@ -17,35 +17,51 @@ std::shared_ptr<Schema> MakeStockSchema(size_t num_symbols) {
   return schema;
 }
 
+StockSimStepper::StockSimStepper(const StockSimConfig& config,
+                                 std::shared_ptr<const Schema> schema)
+    : config_(config),
+      schema_(std::move(schema)),
+      rng_(config.seed),
+      base_log_(config.num_symbols),
+      cur_log_(config.num_symbols) {
+  DLACEP_CHECK_GE(schema_->num_types(), config_.num_symbols);
+  DLACEP_CHECK_GE(schema_->num_attrs(), 1u);
+  // Per-symbol state: base log-volume and current log-volume.
+  for (size_t s = 0; s < config_.num_symbols; ++s) {
+    base_log_[s] = rng_.Normal(config_.base_volume_mean,
+                               config_.base_volume_stddev);
+    cur_log_[s] = base_log_[s];
+  }
+}
+
+StockSimStepper::StockSimStepper(const StockSimConfig& config)
+    : StockSimStepper(config, MakeStockSchema(config.num_symbols)) {}
+
+Event StockSimStepper::Next() {
+  const size_t s = static_cast<size_t>(rng_.Zipf(
+      static_cast<int64_t>(config_.num_symbols), config_.zipf_exponent));
+  // Geometric random walk with mean reversion towards the base level.
+  double innovation = rng_.Normal(0.0, config_.walk_stddev);
+  if (rng_.Bernoulli(config_.shock_prob)) {
+    innovation += rng_.Normal(0.0, config_.shock_stddev);
+  }
+  cur_log_[s] += config_.mean_reversion * (base_log_[s] - cur_log_[s]) +
+                 innovation;
+  const double volume = std::exp(cur_log_[s]);
+  Event event;
+  event.type = static_cast<TypeId>(s);
+  event.timestamp = static_cast<double>(tick_++) * config_.time_step;
+  event.attrs = {volume};
+  return event;
+}
+
 EventStream GenerateStockStream(const StockSimConfig& config,
                                 std::shared_ptr<const Schema> schema) {
-  DLACEP_CHECK_GE(schema->num_types(), config.num_symbols);
-  DLACEP_CHECK_GE(schema->num_attrs(), 1u);
-  Rng rng(config.seed);
-
-  // Per-symbol state: base log-volume and current log-volume.
-  std::vector<double> base_log(config.num_symbols);
-  std::vector<double> cur_log(config.num_symbols);
-  for (size_t s = 0; s < config.num_symbols; ++s) {
-    base_log[s] = rng.Normal(config.base_volume_mean,
-                             config.base_volume_stddev);
-    cur_log[s] = base_log[s];
-  }
-
-  EventStream stream(std::move(schema));
+  StockSimStepper stepper(config, std::move(schema));
+  EventStream stream(stepper.schema());
   for (size_t i = 0; i < config.num_events; ++i) {
-    const size_t s = static_cast<size_t>(rng.Zipf(
-        static_cast<int64_t>(config.num_symbols), config.zipf_exponent));
-    // Geometric random walk with mean reversion towards the base level.
-    double innovation = rng.Normal(0.0, config.walk_stddev);
-    if (rng.Bernoulli(config.shock_prob)) {
-      innovation += rng.Normal(0.0, config.shock_stddev);
-    }
-    cur_log[s] += config.mean_reversion * (base_log[s] - cur_log[s]) +
-                  innovation;
-    const double volume = std::exp(cur_log[s]);
-    stream.Append(static_cast<TypeId>(s),
-                  static_cast<double>(i) * config.time_step, {volume});
+    Event e = stepper.Next();
+    stream.Append(e.type, e.timestamp, std::move(e.attrs));
   }
   return stream;
 }

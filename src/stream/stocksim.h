@@ -22,7 +22,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "common/rng.h"
 #include "stream/stream.h"
 
 namespace dlacep {
@@ -45,6 +47,32 @@ struct StockSimConfig {
 /// Builds a schema with symbols "S0".."S<n-1>" (rank order = popularity
 /// order, so T_k = type ids 0..k-1) and a single "vol" attribute.
 std::shared_ptr<Schema> MakeStockSchema(size_t num_symbols);
+
+/// Incremental form of the simulator: construct once, call Next() per
+/// event. GenerateStockStream is implemented on top of it, so a stepper
+/// and a batch generation with the same config produce byte-identical
+/// event sequences — the online runtime's live `serve` source and the
+/// offline benches draw from the same distribution.
+class StockSimStepper {
+ public:
+  explicit StockSimStepper(const StockSimConfig& config);
+  StockSimStepper(const StockSimConfig& config,
+                  std::shared_ptr<const Schema> schema);
+
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+
+  /// Synthesizes the next event. The returned event carries no arrival
+  /// id (id 0) — ids are assigned by whoever ingests it.
+  Event Next();
+
+ private:
+  StockSimConfig config_;
+  std::shared_ptr<const Schema> schema_;
+  Rng rng_;
+  std::vector<double> base_log_;  ///< per-symbol base log-volume
+  std::vector<double> cur_log_;   ///< per-symbol current log-volume
+  size_t tick_ = 0;
+};
 
 /// Generates a simulated stock stream over the given schema.
 EventStream GenerateStockStream(const StockSimConfig& config,

@@ -17,6 +17,12 @@ EventId EventStream::AppendBlank(double timestamp) {
   return id;
 }
 
+void EventStream::AppendArrival(const Event& event) {
+  DLACEP_CHECK(events_.empty() || event.id > events_.back().id);
+  events_.push_back(event);
+  next_id_ = event.id + 1;
+}
+
 std::span<const Event> EventStream::View(size_t first, size_t count) const {
   DLACEP_CHECK_LE(first + count, events_.size());
   return std::span<const Event>(events_.data() + first, count);

@@ -38,6 +38,13 @@ class EventStream {
   /// Appends a blank (padding) event with the given timestamp.
   EventId AppendBlank(double timestamp);
 
+  /// Appends a copy of `event` preserving its id. The online runtime
+  /// assigns arrival ids at ingest (before queueing, as in §4.4), so a
+  /// stream rebuilt from surviving arrivals keeps id gaps where events
+  /// were dropped — the count-window constraint stays anchored to real
+  /// arrivals. Ids must be strictly increasing.
+  void AppendArrival(const Event& event);
+
   const Schema& schema() const { return *schema_; }
   std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
 

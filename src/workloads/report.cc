@@ -2,9 +2,21 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 namespace dlacep {
 namespace workloads {
+
+namespace {
+RowObserver& Observer() {
+  static RowObserver observer;
+  return observer;
+}
+}  // namespace
+
+void SetRowObserver(RowObserver observer) {
+  Observer() = std::move(observer);
+}
 
 ExperimentRow RunDlacepExperiment(const std::string& label,
                                   const Pattern& pattern,
@@ -89,6 +101,7 @@ void PrintRow(const ExperimentRow& row) {
       static_cast<unsigned long long>(row.acep_partial_matches),
       row.emitted_matches, row.entity_f1);
   std::fflush(stdout);
+  if (Observer()) Observer()(row);
 }
 
 void PrintFooter() { std::printf("\n"); }

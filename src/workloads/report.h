@@ -6,6 +6,7 @@
 #ifndef DLACEP_WORKLOADS_REPORT_H_
 #define DLACEP_WORKLOADS_REPORT_H_
 
+#include <functional>
 #include <string>
 
 #include "dlacep/pipeline.h"
@@ -51,6 +52,13 @@ ExperimentRow RunEngineExperiment(const std::string& label,
 void PrintHeader(const std::string& title);
 void PrintRow(const ExperimentRow& row);
 void PrintFooter();
+
+/// Observer invoked with every row passed to PrintRow, in addition to
+/// the table output — the hook the benches' shared --json reporter uses
+/// to capture measurements without changing any bench logic. Pass
+/// nullptr to clear.
+using RowObserver = std::function<void(const ExperimentRow&)>;
+void SetRowObserver(RowObserver observer);
 
 }  // namespace workloads
 }  // namespace dlacep

@@ -1,0 +1,155 @@
+// Shedding-baseline filter properties: RandomSheddingFilter marks are a
+// pure function of (seed, range.begin) — independent of call order,
+// instance, and detachment — and TypeSheddingFilter loses zero matches
+// relative to exact CEP on the stock workload (it only drops events no
+// pattern position can accept).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "cep/engine.h"
+#include "dlacep/pipeline.h"
+#include "dlacep/shedding_filter.h"
+#include "pattern/builder.h"
+#include "stream/stocksim.h"
+#include "test_util.h"
+
+namespace dlacep {
+namespace {
+
+using testing_util::SmallStream;
+
+// ---------------------------------------------------------------------
+// RandomSheddingFilter purity.
+
+TEST(RandomSheddingFilter, MarksDependOnlyOnSeedAndWindowBegin) {
+  const EventStream stream = SmallStream(400, 5);
+  const RandomSheddingFilter filter(0.5, 1234);
+
+  std::vector<WindowRange> windows;
+  for (size_t begin = 0; begin + 20 <= stream.size(); begin += 10) {
+    windows.push_back(WindowRange{begin, begin + 20});
+  }
+
+  // Reference pass, in order.
+  std::vector<std::vector<int>> reference;
+  for (const WindowRange& w : windows) {
+    reference.push_back(filter.Mark(stream, w));
+  }
+
+  // Same instance, shuffled evaluation order.
+  std::vector<size_t> order(windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::mt19937 shuffle_rng(99);
+  std::shuffle(order.begin(), order.end(), shuffle_rng);
+  for (size_t i : order) {
+    EXPECT_EQ(filter.Mark(stream, windows[i]), reference[i]);
+  }
+
+  // A fresh instance with the same seed agrees; a different seed (with
+  // 400 Bernoulli(0.5) draws) virtually surely does not.
+  const RandomSheddingFilter same(0.5, 1234);
+  const RandomSheddingFilter other(0.5, 4321);
+  bool any_diff = false;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(same.Mark(stream, windows[i]), reference[i]);
+    any_diff |= other.Mark(stream, windows[i]) != reference[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomSheddingFilter, ConcurrentCallsMatchSequential) {
+  const EventStream stream = SmallStream(600, 7);
+  const RandomSheddingFilter filter(0.3, 77);
+
+  std::vector<WindowRange> windows;
+  for (size_t begin = 0; begin + 30 <= stream.size(); begin += 15) {
+    windows.push_back(WindowRange{begin, begin + 30});
+  }
+  std::vector<std::vector<int>> reference(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    reference[i] = filter.Mark(stream, windows[i]);
+  }
+
+  std::vector<std::vector<int>> concurrent(windows.size());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < windows.size(); i += 4) {
+        concurrent[i] = filter.Mark(stream, windows[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(concurrent, reference);
+}
+
+TEST(RandomSheddingFilter, DetachedWindowKeepsGlobalSalt) {
+  const EventStream stream = SmallStream(200, 9);
+  const RandomSheddingFilter filter(0.5, 31);
+  const WindowRange range{40, 70};
+
+  // MarkOnline over a 0-based detached copy must equal the batch Mark
+  // over the same global positions — the contract the online runtime's
+  // byte-equality rests on.
+  const EventStream window = stream.Slice(range.begin, range.size());
+  EXPECT_EQ(filter.MarkOnline(window, range.begin, nullptr, 0.0),
+            filter.Mark(stream, range));
+  EXPECT_EQ(filter.MarkCount(range.size(), range.begin),
+            filter.Mark(stream, range));
+
+  // Different stream positions draw different salts.
+  EXPECT_NE(filter.MarkCount(30, 40), filter.MarkCount(30, 41));
+}
+
+// ---------------------------------------------------------------------
+// TypeSheddingFilter recall.
+
+TEST(TypeSheddingFilter, LosesZeroMatchesOnStockStream) {
+  StockSimConfig sim;
+  sim.num_events = 2500;
+  sim.num_symbols = 16;
+  sim.seed = 21;
+  const EventStream stream = GenerateStockStream(sim);
+
+  // SEQ over the three most prevalent symbols with a volume band — the
+  // Table 1 shape. Types S3..S15 are pattern-irrelevant traffic the
+  // filter may shed.
+  PatternBuilder builder(stream.schema_ptr());
+  auto root = builder.Seq(builder.Prim("S0", "a"), builder.Prim("S1", "b"),
+                          builder.Prim("S2", "c"));
+  builder.WhereCmp(0.5, "a", "vol", CmpOp::kLt, 1.0, "c");
+  Pattern pattern = builder.BuildOrDie(std::move(root),
+                                       WindowSpec::Count(20));
+
+  auto engine = CreateEngine(EngineKind::kNfa, pattern);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  MatchSet exact;
+  const Status status = engine.value()->Evaluate(
+      std::span<const Event>(stream.events().data(), stream.size()),
+      &exact);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_GT(exact.size(), 0u) << "vacuous recall test";
+
+  DlacepConfig config;
+  DlacepPipeline pipeline(
+      pattern, std::make_unique<TypeSheddingFilter>(pattern), config);
+  const PipelineResult result = pipeline.Evaluate(stream);
+
+  // Zero lost matches (full recall) AND no spurious ones: type shedding
+  // only removes events no primitive position accepts, and the
+  // extractor's id-anchored count window rejects anything the original
+  // window would have.
+  const MatchSetMetrics quality = CompareMatchSets(exact, result.matches);
+  EXPECT_EQ(quality.recall, 1.0);
+  EXPECT_EQ(quality.precision, 1.0);
+  // And it actually shed something, or the test is trivial.
+  EXPECT_LT(result.marked_events, stream.size());
+}
+
+}  // namespace
+}  // namespace dlacep

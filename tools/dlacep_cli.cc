@@ -7,9 +7,21 @@
 //       Evaluate a PQL query exactly and print matches + statistics.
 //   compare   --query Q --train F.csv --test G.csv
 //             [--filter event|window] [--hidden N] [--layers N]
-//             [--epochs N] [--save model.bin | --load model.bin]
+//             [--epochs N] [--num_threads N]
+//             [--save model.bin | --load model.bin]
 //       Train (or load) a DLACEP filter on the training stream and
 //       compare DLACEP against exact CEP on the test stream.
+//   replay    --query Q --data F.csv [--filter KIND] [--rate R]
+//             [--queue_capacity N] [--num_threads N] [--drop 0|1]
+//       Stream a CSV through the online runtime (bounded ingest queue,
+//       sharded window workers, overload control) and print
+//       RuntimeStats at exit.
+//   serve     --query Q [--events N] [--symbols N] [--seed S]
+//             [--filter KIND] [--rate R] [--queue_capacity N] ...
+//       Like replay, but the source is live stock-market simulation.
+//
+// Online filter KINDs: pass (default), type-shed, random-shed, oracle,
+// or event|window with --train F.csv (trains first, then streams).
 //
 // Notes: --load restores network weights only; the featurizer is refit
 // from --train, so pass the same training stream used with --save.
@@ -17,14 +29,19 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "cep/engine.h"
 #include "dlacep/event_filter.h"
+#include "dlacep/oracle_filter.h"
 #include "dlacep/pipeline.h"
+#include "dlacep/shedding_filter.h"
 #include "dlacep/window_filter.h"
 #include "nn/serialize.h"
 #include "pattern/parser.h"
+#include "runtime/online.h"
+#include "runtime/source.h"
 #include "stream/csv_io.h"
 #include "stream/generator.h"
 #include "stream/stocksim.h"
@@ -78,8 +95,20 @@ int Usage() {
                "  dlacep compare --query Q --train F.csv --test G.csv\n"
                "       [--filter event|window] [--hidden N] [--layers N]"
                " [--epochs N]\n"
-               "       [--threshold P] [--save model.bin | --load "
-               "model.bin]\n");
+               "       [--threshold P] [--num_threads N]"
+               " [--save model.bin | --load model.bin]\n"
+               "  dlacep replay --query Q --data F.csv [--filter KIND]\n"
+               "       [--rate EV_PER_SEC] [--queue_capacity N]"
+               " [--num_threads N]\n"
+               "       [--drop 0|1] [--overload 0|1] [--train F.csv]\n"
+               "  dlacep serve --query Q [--events N] [--symbols N]"
+               " [--seed S]\n"
+               "       [--filter KIND] [--rate EV_PER_SEC]"
+               " [--queue_capacity N]\n"
+               "       [--num_threads N] [--drop 0|1] [--overload 0|1]"
+               " [--train F.csv]\n"
+               "  (online filter KINDs: pass | type-shed | random-shed |"
+               " oracle | event | window)\n");
   return 2;
 }
 
@@ -189,6 +218,7 @@ int Compare(const Args& args) {
       static_cast<size_t>(args.GetInt("epochs", 30));
   config.event_threshold = args.GetDouble("threshold", 0.35);
   config.window_threshold = config.event_threshold;
+  config.num_threads = static_cast<size_t>(args.GetInt("num_threads", 1));
   const FilterKind kind = args.Get("filter", "event") == "window"
                               ? FilterKind::kWindowNetwork
                               : FilterKind::kEventNetwork;
@@ -234,6 +264,128 @@ int Compare(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Online streaming modes (serve / replay).
+
+/// The online filter plus whatever owns it (a shedding baseline, the
+/// oracle, or a whole trained pipeline for the learned kinds).
+struct OnlineFilter {
+  const StreamFilter* filter = nullptr;
+  std::unique_ptr<StreamFilter> owned;
+  std::unique_ptr<BuiltDlacep> built;  ///< keeps featurizer + filter alive
+};
+
+StatusOr<OnlineFilter> MakeOnlineFilter(const Args& args,
+                                        const Pattern& pattern) {
+  OnlineFilter out;
+  const std::string kind = args.Get("filter", "pass");
+  if (kind == "pass") {
+    out.owned = std::make_unique<PassThroughFilter>();
+  } else if (kind == "type-shed") {
+    out.owned = std::make_unique<TypeSheddingFilter>(pattern);
+  } else if (kind == "random-shed") {
+    out.owned = std::make_unique<RandomSheddingFilter>(
+        args.GetDouble("keep", 0.5),
+        static_cast<uint64_t>(args.GetInt("seed", 1)));
+  } else if (kind == "oracle") {
+    out.owned = std::make_unique<OracleFilter>(pattern);
+  } else if (kind == "event" || kind == "window") {
+    auto train = LoadStream(args.Get("train"));
+    if (!train.ok()) {
+      return Status::InvalidArgument(
+          "--filter " + kind + " needs --train F.csv (" +
+          train.status().ToString() + ")");
+    }
+    DlacepConfig config;
+    config.network.hidden_dim =
+        static_cast<size_t>(args.GetInt("hidden", 12));
+    config.network.num_layers =
+        static_cast<size_t>(args.GetInt("layers", 1));
+    config.train.max_epochs =
+        static_cast<size_t>(args.GetInt("epochs", 30));
+    config.event_threshold = args.GetDouble("threshold", 0.35);
+    config.window_threshold = config.event_threshold;
+    std::printf("training %s filter on %zu events...\n", kind.c_str(),
+                train.value().size());
+    out.built = std::make_unique<BuiltDlacep>(
+        BuildDlacep(pattern, train.value(),
+                    kind == "window" ? FilterKind::kWindowNetwork
+                                     : FilterKind::kEventNetwork,
+                    config));
+    out.filter = &out.built->pipeline->filter();
+    return out;
+  } else {
+    return Status::InvalidArgument("unknown online filter kind: " + kind);
+  }
+  out.filter = out.owned.get();
+  return out;
+}
+
+OnlineConfig MakeOnlineConfig(const Args& args) {
+  OnlineConfig config;
+  config.queue_capacity =
+      static_cast<size_t>(args.GetInt("queue_capacity", 1024));
+  config.num_threads = static_cast<size_t>(args.GetInt("num_threads", 1));
+  config.drop_when_full = args.GetInt("drop", 0) != 0;
+  config.overload.enabled = args.GetInt("overload", 1) != 0;
+  config.drift.enabled = args.Has("drift_reference");
+  config.drift.reference_rate = args.GetDouble("drift_reference", 0.0);
+  return config;
+}
+
+int StreamOnline(const Args& args, const Pattern& pattern,
+                 StreamSource* source) {
+  auto filter = MakeOnlineFilter(args, pattern);
+  if (!filter.ok()) {
+    std::fprintf(stderr, "%s\n", filter.status().ToString().c_str());
+    return 1;
+  }
+  OnlineDlacep online(pattern, filter.value().filter,
+                      MakeOnlineConfig(args));
+  const OnlineResult result = online.Run(source);
+  std::printf("pattern : %s\n", pattern.ToString().c_str());
+  std::printf("filter  : %s\n", filter.value().filter->name().c_str());
+  std::printf("%s", result.stats.ToString().c_str());
+  size_t shown = 0;
+  for (const Match& match : result.matches) {
+    if (++shown > 10) {
+      std::printf("  ... (%zu more)\n", result.matches.size() - 10);
+      break;
+    }
+    std::printf("  %s\n", match.ToString().c_str());
+  }
+  return result.stats.Accounted() ? 0 : 1;
+}
+
+int Replay(const Args& args) {
+  auto stream = LoadStream(args.Get("data"));
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  auto pattern = ParsePattern(args.Get("query"), stream.value().schema_ptr());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  ReplaySource source(&stream.value(), args.GetDouble("rate", 0.0));
+  return StreamOnline(args, pattern.value(), &source);
+}
+
+int Serve(const Args& args) {
+  StockSimConfig sim;
+  sim.num_events = static_cast<size_t>(args.GetInt("events", 20000));
+  sim.num_symbols = static_cast<size_t>(args.GetInt("symbols", 50));
+  sim.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  StockSimSource source(sim, args.GetDouble("rate", 0.0));
+  auto pattern = ParsePattern(args.Get("query"), source.schema());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  return StreamOnline(args, pattern.value(), &source);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const Args args(argc, argv);
@@ -242,6 +394,8 @@ int Main(int argc, char** argv) {
   if (command == "generate") return Generate(args);
   if (command == "run") return RunQuery(args);
   if (command == "compare") return Compare(args);
+  if (command == "replay") return Replay(args);
+  if (command == "serve") return Serve(args);
   return Usage();
 }
 
