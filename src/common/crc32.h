@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for integrity-checking
+// on-disk artifacts: DLNN model files (serialize.cc, format v2) and
+// runtime checkpoints (runtime/checkpoint.cc). Not a cryptographic hash
+// — it catches truncation and bit flips, which is what a crash-prone or
+// faulty storage layer actually produces.
+
+#ifndef DLACEP_COMMON_CRC32_H_
+#define DLACEP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlacep {
+
+/// One-shot CRC-32 of `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Incremental form: feed `crc` the previous return value (or 0 for the
+/// first chunk).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_COMMON_CRC32_H_

@@ -26,6 +26,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code.
@@ -39,6 +40,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -71,6 +73,11 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Transient failure: the operation may succeed if retried (used by
+  /// stream sources for flaky reads; the runtime retries with backoff).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "dlacep/event_filter.h"
 
+#include <cmath>
+
 namespace dlacep {
 
 EventNetworkFilter::EventNetworkFilter(const Featurizer* featurizer,
@@ -48,7 +50,15 @@ std::vector<int> EventNetworkFilter::Threshold(const Matrix& marginals,
                                                double threshold) const {
   std::vector<int> marks(marginals.rows());
   for (size_t t = 0; t < marginals.rows(); ++t) {
-    marks[t] = marginals(t, 1) >= threshold ? 1 : 0;
+    const double score = marginals(t, 1);
+    if (!std::isfinite(score)) {
+      // NaN compares false against any threshold, which would silently
+      // drop the event. Surface the blown-up pass as a whole-window
+      // sentinel instead; downstream either relays everything (batch) or
+      // quarantines and degrades (online HealthGuard).
+      return std::vector<int>(marginals.rows(), kInvalidMark);
+    }
+    marks[t] = score >= threshold ? 1 : 0;
   }
   return marks;
 }

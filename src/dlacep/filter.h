@@ -18,6 +18,15 @@ namespace dlacep {
 
 class InferenceContext;
 
+/// Sentinel mark value: the filter's scores were numerically invalid
+/// (NaN/Inf) for this window, so no trustworthy relay decision exists.
+/// Network filters return a whole-window vector of kInvalidMark instead
+/// of silently thresholding NaN to 0 (which would drop every event). The
+/// batch pipeline treats any nonzero mark as relay (conservative); the
+/// online runtime's HealthGuard recognizes the sentinel, quarantines the
+/// window (relaying it unfiltered), and flips into degraded mode.
+inline constexpr int kInvalidMark = -1;
+
 class StreamFilter {
  public:
   virtual ~StreamFilter() = default;

@@ -1,5 +1,7 @@
 #include "dlacep/tcn_filter.h"
 
+#include <cmath>
+
 namespace dlacep {
 
 TcnEventFilter::TcnEventFilter(const Featurizer* featurizer,
@@ -48,7 +50,13 @@ std::vector<Parameter*> TcnEventFilter::Params() {
 std::vector<int> TcnEventFilter::Threshold(const Matrix& marginals) const {
   std::vector<int> marks(marginals.rows());
   for (size_t t = 0; t < marginals.rows(); ++t) {
-    marks[t] = marginals(t, 1) >= event_threshold_ ? 1 : 0;
+    const double score = marginals(t, 1);
+    if (!std::isfinite(score)) {
+      // Same contract as the BiLSTM event filter: a blown-up pass is
+      // reported as a whole-window sentinel, never thresholded to 0.
+      return std::vector<int>(marginals.rows(), kInvalidMark);
+    }
+    marks[t] = score >= event_threshold_ ? 1 : 0;
   }
   return marks;
 }

@@ -78,10 +78,25 @@ double WindowNetworkFilter::WindowProbabilityTape(
   return 1.0 / (1.0 + std::exp(-logit));
 }
 
+namespace {
+
+// A NaN probability would compare false against the threshold and mark
+// the whole window inapplicable — a silent recall cliff. Map non-finite
+// scores to the kInvalidMark sentinel instead.
+std::vector<int> MarksForProbability(bool applicable, double probability,
+                                     size_t n) {
+  if (!std::isfinite(probability)) {
+    return std::vector<int>(n, kInvalidMark);
+  }
+  return std::vector<int>(n, applicable ? 1 : 0);
+}
+
+}  // namespace
+
 std::vector<int> WindowNetworkFilter::MarkFeaturesWith(
     const Matrix& features, InferenceContext* ctx) const {
-  const int mark = IsApplicable(ProbabilityWith(features, ctx)) ? 1 : 0;
-  return std::vector<int>(features.rows(), mark);
+  const double p = ProbabilityWith(features, ctx);
+  return MarksForProbability(IsApplicable(p), p, features.rows());
 }
 
 std::vector<int> WindowNetworkFilter::MarkFeatures(
@@ -91,8 +106,8 @@ std::vector<int> WindowNetworkFilter::MarkFeatures(
 
 std::vector<int> WindowNetworkFilter::MarkFeaturesTape(
     const Matrix& features) const {
-  const int mark = IsApplicable(WindowProbabilityTape(features)) ? 1 : 0;
-  return std::vector<int>(features.rows(), mark);
+  const double p = WindowProbabilityTape(features);
+  return MarksForProbability(IsApplicable(p), p, features.rows());
 }
 
 std::vector<int> WindowNetworkFilter::Mark(const EventStream& stream,
@@ -113,9 +128,9 @@ std::vector<int> WindowNetworkFilter::MarkOnline(
   (void)stream_begin;  // content-based: marks don't depend on position
   const Matrix features =
       featurizer_->Encode(window.View(0, window.size()));
-  const int mark =
-      IsApplicable(ProbabilityWith(features, ctx), threshold_boost) ? 1 : 0;
-  return std::vector<int>(features.rows(), mark);
+  const double p = ProbabilityWith(features, ctx);
+  return MarksForProbability(IsApplicable(p, threshold_boost), p,
+                             features.rows());
 }
 
 TrainResult WindowNetworkFilter::Fit(const std::vector<Sample>& samples,

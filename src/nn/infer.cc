@@ -1,7 +1,9 @@
 #include "nn/infer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 
 #if defined(DLACEP_HAVE_MVEC) && defined(__x86_64__)
 #define DLACEP_VECTOR_CELL 1
@@ -259,6 +261,29 @@ Matrix Transposed(const Matrix& m) {
 
 }  // namespace
 
+namespace {
+
+// Process-wide fault hook (fault-injection harness only). Both words are
+// published/consumed with acquire/release so a hook installed on one
+// thread is seen consistently by worker-thread Reset() calls.
+std::atomic<bool (*)(void*)> g_fault_hook{nullptr};
+std::atomic<void*> g_fault_hook_ctx{nullptr};
+
+}  // namespace
+
+void SetInferenceFaultHook(bool (*hook)(void* ctx), void* ctx) {
+  g_fault_hook_ctx.store(ctx, std::memory_order_release);
+  g_fault_hook.store(hook, std::memory_order_release);
+}
+
+void InferenceContext::Reset() {
+  next_ = 0;
+  poison_ = false;
+  if (auto* hook = g_fault_hook.load(std::memory_order_acquire)) {
+    poison_ = hook(g_fault_hook_ctx.load(std::memory_order_acquire));
+  }
+}
+
 Matrix& InferenceContext::Acquire(size_t rows, size_t cols) {
   if (next_ == pool_.size()) pool_.emplace_back();
   Matrix& m = pool_[next_++];
@@ -338,12 +363,19 @@ const Matrix& StackedBiLstmInfer::Forward(InferenceContext* ctx,
                                           const Matrix& x) const {
   DLACEP_CHECK(!layers.empty());
   const Matrix* cur = &x;
+  Matrix* last = nullptr;
   for (const BiLstmInfer& layer : layers) {
     Matrix& out = ctx->Acquire(cur->rows(), 2 * layer.fwd.hidden);
     layer.Forward(ctx, *cur, &out);
     cur = &out;
+    last = &out;
   }
-  return *cur;
+  if (ctx->poisoned()) {
+    // Fault injection: a poisoned pass leaves with a blown-up trunk
+    // activation, which the heads/CRF propagate to non-finite scores.
+    last->Fill(std::numeric_limits<double>::quiet_NaN());
+  }
+  return *last;
 }
 
 const Matrix& TcnInfer::Forward(InferenceContext* ctx,
@@ -352,6 +384,7 @@ const Matrix& TcnInfer::Forward(InferenceContext* ctx,
   const ptrdiff_t center = static_cast<ptrdiff_t>(kernel / 2);
   const size_t t_steps = x.rows();
   const Matrix* cur = &x;
+  Matrix* last = nullptr;
   size_t dilation = 1;
   for (const Layer& layer : layers) {
     const size_t d_in = cur->cols();
@@ -380,9 +413,13 @@ const Matrix& TcnInfer::Forward(InferenceContext* ctx,
       for (size_t o = 0; o < d_out; ++o) orow[o] = std::max(0.0, orow[o]);
     }
     cur = &out;
+    last = &out;
     dilation *= 2;
   }
-  return *cur;
+  if (ctx->poisoned()) {
+    last->Fill(std::numeric_limits<double>::quiet_NaN());
+  }
+  return *last;
 }
 
 DenseInfer Freeze(const Dense& layer) {

@@ -52,8 +52,10 @@ class InferenceContext {
   InferenceContext& operator=(const InferenceContext&) = delete;
 
   /// Rewinds the arena; previously acquired references become free for
-  /// reuse (call once at the top of each forward pass).
-  void Reset() { next_ = 0; }
+  /// reuse (call once at the top of each forward pass). Consults the
+  /// process-wide inference fault hook (see SetInferenceFaultHook), which
+  /// is how the fault-injection harness poisons a forward pass.
+  void Reset();
 
   /// Next scratch buffer, reshaped to rows×cols. Contents unspecified —
   /// the producer must overwrite (or Fill) every entry. References stay
@@ -62,13 +64,29 @@ class InferenceContext {
 
   size_t num_buffers() const { return pool_.size(); }
 
+  /// True when the current forward pass was poisoned by the fault hook.
+  /// The trunk Forward implementations consult this and NaN-fill their
+  /// output activation, simulating a numeric blow-up.
+  bool poisoned() const { return poison_; }
+
  private:
   // Deque, not vector: Acquire hands out references while later calls
   // keep appending slots — references must survive growth (same
   // reasoning as Tape's node store).
   std::deque<Matrix> pool_;
   size_t next_ = 0;
+  // Set per forward pass by Reset() when the fault hook fires.
+  bool poison_ = false;
 };
+
+/// Installs a process-wide fault hook consulted at every
+/// InferenceContext::Reset(). When the hook returns true, that forward
+/// pass is poisoned: the trunk's output activation is NaN-filled, which
+/// propagates through heads/CRF into non-finite scores and the
+/// kInvalidMark sentinel. Pass nullptr to clear. For fault-injection
+/// tests only — not a production API. The hook must be thread-safe:
+/// inference contexts reset concurrently on worker threads.
+void SetInferenceFaultHook(bool (*hook)(void* ctx), void* ctx);
 
 /// Frozen Dense: y = x·W + b with W stored transposed (out×in).
 struct DenseInfer {

@@ -1,38 +1,157 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "nn/matrix.h"
 
 namespace dlacep {
 
 namespace {
+
 constexpr char kMagic[4] = {'D', 'L', 'N', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+// Sanity bounds applied before any allocation driven by file contents. A
+// bit-flipped dimension field must not turn into a multi-gigabyte alloc.
+constexpr uint64_t kMaxNameLen = 4096;
+constexpr uint64_t kMaxDim = 1ull << 20;
+constexpr uint64_t kMaxElems = 1ull << 26;  // 64 Mi doubles = 512 MiB
+
+void AppendRaw(std::string* buf, const void* data, size_t len) {
+  buf->append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+void AppendScalar(std::string* buf, T v) {
+  AppendRaw(buf, &v, sizeof(v));
+}
+
+// Cursor over an in-memory payload; every read is bounds-checked so a
+// truncated file fails cleanly instead of reading past the buffer.
+class Reader {
+ public:
+  Reader(const char* data, size_t len) : data_(data), len_(len) {}
+
+  bool Read(void* out, size_t n) {
+    if (n > len_ - pos_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadScalar(T* out) {
+    return Read(out, sizeof(T));
+  }
+
+  bool ReadString(std::string* out, size_t n) {
+    if (n > len_ - pos_) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+Status ParsePayload(const std::string& path, Reader* reader,
+                    const std::vector<Parameter*>& params,
+                    std::unordered_map<std::string, Matrix>* staged) {
+  uint64_t count = 0;
+  if (!reader->ReadScalar(&count)) {
+    return Status::InvalidArgument("truncated DLNN file: " + path);
+  }
+  std::unordered_map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) by_name.emplace(p->name, p);
+
+  for (uint64_t k = 0; k < count; ++k) {
+    uint64_t name_len = 0;
+    if (!reader->ReadScalar(&name_len) || name_len > kMaxNameLen) {
+      return Status::InvalidArgument("corrupt DLNN file: " + path);
+    }
+    std::string name;
+    if (!reader->ReadString(&name, name_len)) {
+      return Status::InvalidArgument("truncated DLNN file: " + path);
+    }
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    if (!reader->ReadScalar(&rows) || !reader->ReadScalar(&cols)) {
+      return Status::InvalidArgument("truncated DLNN file: " + path);
+    }
+    if (rows > kMaxDim || cols > kMaxDim || rows * cols > kMaxElems) {
+      return Status::InvalidArgument("implausible parameter shape for " +
+                                     name + " in " + path);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("unknown parameter in file: " + name);
+    }
+    const Parameter* p = it->second;
+    if (p->value.rows() != rows || p->value.cols() != cols) {
+      return Status::InvalidArgument("shape mismatch for parameter " + name);
+    }
+    if (staged->count(name) != 0) {
+      return Status::InvalidArgument("duplicate parameter in file: " + name);
+    }
+    Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+    if (!reader->Read(m.data(), rows * cols * sizeof(double))) {
+      return Status::InvalidArgument("truncated DLNN file: " + path);
+    }
+    const double* values = m.data();
+    for (uint64_t i = 0; i < rows * cols; ++i) {
+      if (!std::isfinite(values[i])) {
+        return Status::InvalidArgument("non-finite weight in parameter " +
+                                       name + " of " + path);
+      }
+    }
+    staged->emplace(std::move(name), std::move(m));
+  }
+  if (staged->size() != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch when loading " +
+                                   path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path) {
+  std::string payload;
+  AppendScalar<uint64_t>(&payload, params.size());
+  for (const Parameter* p : params) {
+    AppendScalar<uint64_t>(&payload, p->name.size());
+    AppendRaw(&payload, p->name.data(), p->name.size());
+    const uint64_t rows = p->value.rows();
+    const uint64_t cols = p->value.cols();
+    AppendScalar<uint64_t>(&payload, rows);
+    AppendScalar<uint64_t>(&payload, cols);
+    AppendRaw(&payload, p->value.data(), rows * cols * sizeof(double));
+  }
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
   out.write(kMagic, sizeof(kMagic));
   out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Parameter* p : params) {
-    const uint64_t name_len = p->name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(p->name.data(), static_cast<std::streamsize>(name_len));
-    const uint64_t rows = p->value.rows();
-    const uint64_t cols = p->value.cols();
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(rows * cols * sizeof(double)));
-  }
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!out) return Status::Internal("write failed: " + path);
   return Status::Ok();
 }
@@ -48,46 +167,43 @@ Status LoadParameters(const std::vector<Parameter*>& params,
   }
   uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (version != kVersion) {
+  if (!in || (version != 1 && version != kVersion)) {
     return Status::InvalidArgument("unsupported DLNN version");
   }
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
 
-  std::unordered_map<std::string, Parameter*> by_name;
-  for (Parameter* p : params) by_name.emplace(p->name, p);
-
-  size_t loaded = 0;
-  for (uint64_t k = 0; k < count; ++k) {
-    uint64_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > 4096) {
-      return Status::InvalidArgument("corrupt DLNN file: " + path);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (version == 1) {
+    DLACEP_LOG(Warning) << "loading legacy DLNN v1 file (no checksum): "
+                        << path;
+  } else {
+    if (body.size() < sizeof(uint32_t)) {
+      return Status::InvalidArgument("truncated DLNN file: " + path);
     }
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    uint64_t rows = 0;
-    uint64_t cols = 0;
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    if (!in) return Status::InvalidArgument("corrupt DLNN file: " + path);
-    auto it = by_name.find(name);
-    if (it == by_name.end()) {
-      return Status::InvalidArgument("unknown parameter in file: " + name);
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, body.data() + body.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    body.resize(body.size() - sizeof(uint32_t));
+    const uint32_t actual_crc = Crc32(body.data(), body.size());
+    if (actual_crc != stored_crc) {
+      return Status::InvalidArgument("checksum mismatch in DLNN file: " +
+                                     path);
     }
-    Parameter* p = it->second;
-    if (p->value.rows() != rows || p->value.cols() != cols) {
-      return Status::InvalidArgument("shape mismatch for parameter " +
-                                     name);
-    }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(rows * cols * sizeof(double)));
-    if (!in) return Status::InvalidArgument("truncated DLNN file: " + path);
-    ++loaded;
   }
-  if (loaded != params.size()) {
-    return Status::InvalidArgument(
-        "parameter count mismatch when loading " + path);
+
+  Reader reader(body.data(), body.size());
+  // Stage everything first; parameters are only overwritten after the whole
+  // file validates, so a corrupt file leaves the model untouched.
+  std::unordered_map<std::string, Matrix> staged;
+  DLACEP_RETURN_IF_ERROR(ParsePayload(path, &reader, params, &staged));
+
+  for (Parameter* p : params) {
+    auto it = staged.find(p->name);
+    if (it == staged.end()) {
+      return Status::InvalidArgument("missing parameter " + p->name +
+                                     " in " + path);
+    }
+    p->value = std::move(it->second);
   }
   return Status::Ok();
 }

@@ -1,9 +1,14 @@
 // Binary save/load of model parameters.
 //
-// Format: magic "DLNN" + version, then per parameter: name length, name,
-// rows, cols, row-major doubles. Loading matches parameters by name and
-// fails when a stored parameter is missing or shaped differently —
-// retraining on a changed architecture should be explicit, not silent.
+// Format v2: magic "DLNN" + version, then a payload of per-parameter
+// records (name length, name, rows, cols, row-major doubles), followed by
+// a CRC32 of the payload. Loading matches parameters by name and fails
+// when a stored parameter is missing or shaped differently — retraining
+// on a changed architecture should be explicit, not silent. Loads are
+// staged: no parameter is overwritten until the whole file validates
+// (checksum, shape bounds, finite weights), so a corrupt file can never
+// leave the model half-updated. Legacy v1 files (no checksum) still load,
+// with a warning.
 
 #ifndef DLACEP_NN_SERIALIZE_H_
 #define DLACEP_NN_SERIALIZE_H_

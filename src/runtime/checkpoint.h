@@ -1,0 +1,99 @@
+// Crash-consistent checkpoint/restore for the online runtime.
+//
+// A checkpoint is a quiescent snapshot of OnlineDlacep's assembler
+// state, taken on the assembler thread after all in-flight windows have
+// merged: the watermark/arrival-id counter, the un-windowed buffer
+// tail, the dedup relay sets, the accumulated marked ids/events, the
+// stats counters, and the controller/health state. Restoring one and
+// replaying the same deterministic source from the snapshot's watermark
+// (StreamSource::Skip) yields marks and matches byte-identical to an
+// uninterrupted run.
+//
+// On-disk format: magic "DLCK" + version + payload + CRC32 of the
+// payload. Writes are atomic — serialize to `<path>.tmp`, fsync, then
+// rename over the final path (and fsync the directory), so a crash
+// mid-write can never leave a torn checkpoint; a torn or bit-flipped
+// file fails the CRC at load and restore refuses it.
+//
+// Restore is only supported for lossless ingest (drop_when_full =
+// false): with drops enabled the arrival-id counter no longer equals
+// the source position, so Skip() could not find the right suffix.
+
+#ifndef DLACEP_RUNTIME_CHECKPOINT_H_
+#define DLACEP_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace dlacep {
+
+struct CheckpointConfig {
+  /// Directory for checkpoint files; empty disables checkpointing.
+  std::string dir;
+
+  /// Write a checkpoint each time this many events have been appended
+  /// since the last one (0 = only the final checkpoint at end of run).
+  uint64_t every_events = 0;
+
+  /// Start from `dir`'s checkpoint instead of the beginning.
+  bool restore = false;
+};
+
+/// Serializable snapshot of a quiescent OnlineDlacep run.
+struct CheckpointState {
+  // Window-geometry echo: restore refuses a checkpoint taken under a
+  // different assembler configuration.
+  uint64_t mark_size = 0;
+  uint64_t step_size = 0;
+
+  // Assembler progress.
+  uint64_t appended = 0;             ///< watermark == arrival-id counter
+  uint64_t next_begin = 0;
+  uint64_t windows_dispatched = 0;
+  uint64_t last_end = 0;
+  uint64_t buffer_offset = 0;
+  std::vector<Event> buffer;         ///< events [buffer_offset, appended)
+
+  // Relay state.
+  std::vector<uint64_t> marked_ids;  ///< arrival order preserved
+  std::vector<Event> marked_events;
+  std::vector<uint64_t> seen;        ///< healthily marked ids
+  std::vector<uint64_t> quarantined; ///< ids relayed via quarantine only
+
+  // Stats counters that survive a restart.
+  uint64_t events_dropped_queue = 0;
+  uint64_t windows_closed = 0;
+  uint64_t windows_boosted = 0;
+  uint64_t windows_shed = 0;
+  uint64_t windows_quarantined = 0;
+  uint64_t windows_degraded = 0;
+  uint64_t health_violations = 0;
+  uint64_t health_degrades = 0;
+  uint64_t health_recoveries = 0;
+  uint64_t probes_run = 0;
+  uint64_t probes_passed = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t drift_flags = 0;
+
+  // Controller / health-guard state machine.
+  int32_t controller_level = 0;
+  uint64_t probe_pass_run = 0;
+  uint64_t degraded_since_probe = 0;  ///< probe-period phase
+};
+
+/// Final path of the checkpoint file inside `dir`.
+std::string CheckpointPath(const std::string& dir);
+
+/// Atomically writes `state` into `dir` (write temp + fsync + rename).
+Status SaveCheckpoint(const CheckpointState& state, const std::string& dir);
+
+/// Loads and CRC-validates the checkpoint in `dir`.
+StatusOr<CheckpointState> LoadCheckpoint(const std::string& dir);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_CHECKPOINT_H_

@@ -1,0 +1,236 @@
+#include "runtime/fault_injection.h"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dlacep/filter.h"
+#include "nn/infer.h"
+#include "nn/tape.h"
+
+namespace dlacep {
+
+namespace {
+
+// Parses "name", "name:a", "name:a:b" into name + numeric args.
+struct FaultToken {
+  std::string name;
+  std::vector<double> args;
+};
+
+StatusOr<FaultToken> ParseToken(const std::string& raw) {
+  FaultToken token;
+  const std::vector<std::string> parts = Split(raw, ':');
+  token.name = std::string(Trim(parts[0]));
+  if (token.name.empty()) {
+    return Status::InvalidArgument("empty fault token in --inject spec");
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string arg(Trim(parts[i]));
+    char* end = nullptr;
+    const double v = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end != arg.c_str() + arg.size()) {
+      return Status::InvalidArgument("bad fault argument '" + arg +
+                                     "' in token '" + raw + "'");
+    }
+    token.args.push_back(v);
+  }
+  return token;
+}
+
+double ArgOr(const FaultToken& t, size_t i, double fallback) {
+  return i < t.args.size() ? t.args[i] : fallback;
+}
+
+/// Source wrapper applying source_fail and corrupt_source.
+class FaultInjectingSource : public StreamSource {
+ public:
+  FaultInjectingSource(const FaultPlan& plan,
+                       std::unique_ptr<StreamSource> inner)
+      : plan_(plan), inner_(std::move(inner)), rng_(plan.seed) {}
+
+  std::shared_ptr<const Schema> schema() const override {
+    return inner_->schema();
+  }
+
+  Status Read(Event* out) override {
+    if (plan_.source_fail && index_ == plan_.fail_at) {
+      if (plan_.fail_count == 0) {
+        return Status::Internal("injected permanent source failure");
+      }
+      if (failures_ < plan_.fail_count) {
+        ++failures_;
+        return Status::Unavailable("injected transient source failure");
+      }
+    }
+    DLACEP_RETURN_IF_ERROR(inner_->Read(out));
+    if (plan_.corrupt_probability > 0.0 &&
+        rng_.Bernoulli(plan_.corrupt_probability)) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      out->timestamp = nan;
+      for (double& a : out->attrs) a = nan;
+    }
+    ++index_;
+    return Status::Ok();
+  }
+
+  size_t Skip(size_t n) override {
+    // Restore fast-forwards through already-processed events; injected
+    // faults there already happened in the pre-kill run, so the skip
+    // advances the fault cursor without re-firing reads. The rng is
+    // still consumed per event to keep corrupt_source deterministic
+    // across a restore.
+    const size_t skipped = inner_->Skip(n);
+    for (size_t i = 0; i < skipped; ++i) {
+      if (plan_.corrupt_probability > 0.0) {
+        rng_.Bernoulli(plan_.corrupt_probability);
+      }
+    }
+    index_ += skipped;
+    return skipped;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::unique_ptr<StreamSource> inner_;
+  Rng rng_;
+  uint64_t index_ = 0;     ///< successful reads so far
+  uint64_t failures_ = 0;  ///< transient failures already served
+};
+
+}  // namespace
+
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  if (Trim(spec).empty()) return plan;
+  for (const std::string& raw : Split(spec, ',')) {
+    if (Trim(raw).empty()) continue;
+    StatusOr<FaultToken> parsed = ParseToken(std::string(Trim(raw)));
+    if (!parsed.ok()) return parsed.status();
+    const FaultToken& t = *parsed;
+    if (t.name == "nan_burst") {
+      plan.nan_burst = true;
+      plan.nan_begin_pass = static_cast<uint64_t>(ArgOr(t, 0, 4));
+      plan.nan_pass_count = static_cast<uint64_t>(ArgOr(t, 1, 4));
+    } else if (t.name == "model_corrupt") {
+      plan.model_corrupt = true;
+    } else if (t.name == "corrupt_source") {
+      plan.corrupt_probability = ArgOr(t, 0, 0.05);
+      if (plan.corrupt_probability < 0.0 || plan.corrupt_probability > 1.0) {
+        return Status::InvalidArgument(
+            "corrupt_source probability out of [0,1]");
+      }
+    } else if (t.name == "wedge") {
+      plan.wedge = true;
+      plan.wedge_window = static_cast<uint64_t>(ArgOr(t, 0, 8));
+      plan.wedge_seconds = ArgOr(t, 1, 0.2);
+      if (plan.wedge_seconds < 0.0) {
+        return Status::InvalidArgument("wedge delay must be >= 0");
+      }
+    } else if (t.name == "source_fail") {
+      plan.source_fail = true;
+      plan.fail_at = static_cast<uint64_t>(ArgOr(t, 0, 256));
+      plan.fail_count = static_cast<uint64_t>(ArgOr(t, 1, 3));
+    } else {
+      return Status::InvalidArgument("unknown fault '" + t.name +
+                                     "' in --inject spec");
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+FaultInjector::~FaultInjector() {
+  if (hook_installed_) SetInferenceFaultHook(nullptr, nullptr);
+}
+
+bool FaultInjector::NanHookTrampoline(void* self) {
+  auto* injector = static_cast<FaultInjector*>(self);
+  const uint64_t pass =
+      injector->forward_passes_.fetch_add(1, std::memory_order_relaxed);
+  return pass >= injector->plan_.nan_begin_pass &&
+         pass < injector->plan_.nan_begin_pass +
+                    injector->plan_.nan_pass_count;
+}
+
+void FaultInjector::InstallNanHook() {
+  if (!plan_.nan_burst || hook_installed_) return;
+  SetInferenceFaultHook(&FaultInjector::NanHookTrampoline, this);
+  hook_installed_ = true;
+}
+
+void FaultInjector::OnWorkerWindow(uint64_t window_seq) {
+  if (!plan_.wedge || window_seq != plan_.wedge_window) return;
+  if (wedge_fired_.exchange(true, std::memory_order_relaxed)) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(plan_.wedge_seconds));
+}
+
+std::unique_ptr<StreamSource> FaultInjector::WrapSource(
+    std::unique_ptr<StreamSource> inner) {
+  if (!plan_.source_fail && plan_.corrupt_probability <= 0.0) return inner;
+  return std::make_unique<FaultInjectingSource>(plan_, std::move(inner));
+}
+
+void CorruptParams(TrainableFilter* filter) {
+  DLACEP_CHECK(filter != nullptr);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (Parameter* p : filter->Params()) {
+    double* values = p->value.data();
+    for (size_t i = 0; i < p->value.size(); ++i) values[i] = nan;
+  }
+  filter->OnParamsChanged();
+}
+
+Status TruncateFile(const std::string& path, uint64_t keep_bytes) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return Status::NotFound("cannot open " + path);
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    bytes.append(chunk, n);
+  }
+  std::fclose(in);
+  if (keep_bytes < bytes.size()) bytes.resize(keep_bytes);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return Status::Internal("cannot rewrite " + path);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+  if (written != bytes.size()) {
+    return Status::Internal("short write truncating " + path);
+  }
+  return Status::Ok();
+}
+
+Status BitFlipFile(const std::string& path, uint64_t offset, int bit) {
+  if (bit < 0 || bit > 7) {
+    return Status::InvalidArgument("bit index out of [0,7]");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("offset past end of " + path);
+  }
+  int c = std::fgetc(f);
+  if (c == EOF) {
+    std::fclose(f);
+    return Status::InvalidArgument("offset past end of " + path);
+  }
+  c ^= 1 << bit;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fputc(c, f) == EOF) {
+    std::fclose(f);
+    return Status::Internal("rewrite failed for " + path);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace dlacep

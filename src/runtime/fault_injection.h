@@ -1,0 +1,133 @@
+// Deterministic fault-injection harness for the online runtime.
+//
+// Faults a production DLACEP service actually meets — blown-up
+// activations, corrupt model files, wedged workers, flaky and corrupt
+// sources — are injected here on purpose, seeded and reproducible, so
+// tests and CI can assert the runtime's contract under each of them:
+// never crash, keep the accounting identity, degrade to exact CEP.
+//
+// A FaultPlan is parsed from the CLI's `--inject` spec: a
+// comma-separated list of fault tokens, each optionally parameterized
+// with `:`-separated arguments —
+//
+//   nan_burst[:BEGIN[:COUNT]]   poison inference scratch buffers with
+//                               NaN for forward passes [BEGIN,
+//                               BEGIN+COUNT) (default 4:4)
+//   model_corrupt               scribble NaN into the loaded model's
+//                               parameters before the run (the CLI
+//                               applies it; see CorruptParams)
+//   corrupt_source[:PROB]       with probability PROB (default 0.05),
+//                               replace an event's attributes and
+//                               timestamp with NaN at the source
+//   wedge[:WINDOW[:SECONDS]]    delay the worker marking window
+//                               WINDOW by SECONDS (default 8:0.2)
+//   source_fail[:AT[:COUNT]]    the source's AT-th read fails; COUNT
+//                               failures are transient (kUnavailable,
+//                               then the event is delivered), COUNT=0
+//                               means the failure is permanent
+//                               (default 256:3)
+//
+// The NaN burst rides the process-wide hook of
+// SetInferenceFaultHook(); everything else is window- or event-indexed
+// and therefore deterministic regardless of thread count.
+
+#ifndef DLACEP_RUNTIME_FAULT_INJECTION_H_
+#define DLACEP_RUNTIME_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/source.h"
+
+namespace dlacep {
+
+class TrainableFilter;
+
+struct FaultPlan {
+  // nan_burst
+  bool nan_burst = false;
+  uint64_t nan_begin_pass = 4;   ///< first poisoned forward pass
+  uint64_t nan_pass_count = 4;   ///< number of poisoned passes
+
+  // model_corrupt (applied by the caller via CorruptParams)
+  bool model_corrupt = false;
+
+  // corrupt_source
+  double corrupt_probability = 0.0;  ///< 0 disables
+
+  // wedge
+  bool wedge = false;
+  uint64_t wedge_window = 8;     ///< window sequence number to delay
+  double wedge_seconds = 0.2;
+
+  // source_fail
+  bool source_fail = false;
+  uint64_t fail_at = 256;        ///< 0-based read index that fails
+  uint64_t fail_count = 3;       ///< transient failures; 0 = permanent
+
+  uint64_t seed = 0xFA017ULL;    ///< rng seed for corrupt_source
+
+  bool any() const {
+    return nan_burst || model_corrupt || corrupt_probability > 0.0 ||
+           wedge || source_fail;
+  }
+};
+
+/// Parses a `--inject` spec (see header comment). Empty spec = no faults.
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+/// Owns the live counters behind one run's injected faults. Create it,
+/// wrap the source, install the hook, run, then let it destruct (the
+/// destructor uninstalls the hook).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Installs the process-wide NaN hook when the plan has a nan_burst
+  /// (no-op otherwise). At most one injector may install at a time.
+  void InstallNanHook();
+
+  /// Called by the runtime's worker for each window it marks; sleeps
+  /// when this window is the wedged one (first marking only — a
+  /// re-marked probe of the same sequence is not re-delayed).
+  void OnWorkerWindow(uint64_t window_seq);
+
+  /// Wraps `inner` with the plan's source faults (corrupt_source,
+  /// source_fail). Returns `inner` untouched when neither is active.
+  /// The injector must outlive the returned source.
+  std::unique_ptr<StreamSource> WrapSource(
+      std::unique_ptr<StreamSource> inner);
+
+ private:
+  static bool NanHookTrampoline(void* self);
+
+  FaultPlan plan_;
+  std::atomic<uint64_t> forward_passes_{0};
+  std::atomic<bool> wedge_fired_{false};
+  bool hook_installed_ = false;
+};
+
+/// Scribbles NaN into the filter's parameters (and refreezes), the
+/// in-memory equivalent of loading a corrupt model that slipped past
+/// checksumming. Used by the CLI's `model_corrupt` injection.
+void CorruptParams(TrainableFilter* filter);
+
+/// Truncates the file at `path` to `keep_bytes` bytes.
+Status TruncateFile(const std::string& path, uint64_t keep_bytes);
+
+/// Flips bit `bit` (0–7) of the byte at `offset` in the file at `path`.
+Status BitFlipFile(const std::string& path, uint64_t offset, int bit);
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_FAULT_INJECTION_H_

@@ -1,0 +1,77 @@
+#include "runtime/health.h"
+
+#include "dlacep/filter.h"
+
+namespace dlacep {
+
+const char* HealthViolationName(HealthViolation v) {
+  switch (v) {
+    case HealthViolation::kNone: return "none";
+    case HealthViolation::kInvalidMarks: return "invalid-marks";
+    case HealthViolation::kDeadline: return "deadline";
+    case HealthViolation::kAnomalyStreak: return "anomaly-streak";
+  }
+  return "unknown";
+}
+
+HealthGuard::HealthGuard(const HealthConfig& config) : config_(config) {}
+
+HealthViolation HealthGuard::Check(const std::vector<int>& marks,
+                                   size_t window_size,
+                                   double latency_seconds) const {
+  if (marks.size() != window_size) return HealthViolation::kInvalidMarks;
+  for (int m : marks) {
+    if (m == kInvalidMark) return HealthViolation::kInvalidMarks;
+    if (m != 0 && m != 1) return HealthViolation::kInvalidMarks;
+  }
+  if (config_.mark_deadline_seconds > 0.0 &&
+      latency_seconds > config_.mark_deadline_seconds) {
+    return HealthViolation::kDeadline;
+  }
+  return HealthViolation::kNone;
+}
+
+HealthViolation HealthGuard::Inspect(const std::vector<int>& marks,
+                                     size_t window_size,
+                                     double latency_seconds) {
+  if (!config_.enabled) return HealthViolation::kNone;
+  HealthViolation v = Check(marks, window_size, latency_seconds);
+  if (v == HealthViolation::kNone && config_.anomaly_streak > 0 &&
+      window_size > 0) {
+    size_t relayed = 0;
+    for (int m : marks) relayed += m != 0 ? 1 : 0;
+    const bool uniform = relayed == 0 || relayed == window_size;
+    uniform_run_ = uniform ? uniform_run_ + 1 : 0;
+    if (uniform_run_ >= config_.anomaly_streak) {
+      v = HealthViolation::kAnomalyStreak;
+      uniform_run_ = 0;
+    }
+  }
+  return v;
+}
+
+bool HealthGuard::ProbeHealthy(const std::vector<int>& marks,
+                               size_t window_size, double latency_seconds,
+                               bool* recovered) {
+  *recovered = false;
+  // The anomaly streak is deliberately not consulted for probes: while
+  // degraded only every probe_period-th window is shadow-marked, so
+  // consecutive-window streak logic has no meaning here.
+  if (Check(marks, window_size, latency_seconds) != HealthViolation::kNone) {
+    probe_pass_run_ = 0;
+    return false;
+  }
+  ++probe_pass_run_;
+  if (probe_pass_run_ >= config_.probe_passes) {
+    probe_pass_run_ = 0;
+    *recovered = true;
+  }
+  return true;
+}
+
+void HealthGuard::ResetStreaks() {
+  uniform_run_ = 0;
+  probe_pass_run_ = 0;
+}
+
+}  // namespace dlacep

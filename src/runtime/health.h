@@ -1,0 +1,107 @@
+// Per-window health validation of filter outputs.
+//
+// DLACEP is allowed to be *approximate* — it is never allowed to be
+// silently *wrong*. The HealthGuard sits between the worker that marked
+// a window and the merge step that commits those marks, and checks that
+// the filter's output is trustworthy:
+//
+//   * kInvalidMarks  — the mark vector does not cover the window, or
+//                      contains the kInvalidMark sentinel (the filter
+//                      itself detected non-finite scores);
+//   * kDeadline      — the window took longer than the configured
+//                      mark-latency deadline (wedged or starved worker);
+//   * kAnomalyStreak — `anomaly_streak` consecutive windows marked
+//                      everything or nothing (a stuck filter looks
+//                      exactly like this; a healthy learned filter
+//                      almost never does).
+//
+// On any violation the runtime quarantines the window — its events are
+// relayed unfiltered to the exact CEP engine, so recall for that window
+// is 1.0 by construction — and forces the OverloadController into
+// degraded mode. Recovery is probed: every `probe_period` windows the
+// degraded runtime shadow-marks one window with the primary filter
+// (output discarded, only inspected), and after `probe_passes`
+// consecutive healthy probes the filter is re-enabled.
+
+#ifndef DLACEP_RUNTIME_HEALTH_H_
+#define DLACEP_RUNTIME_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlacep {
+
+struct HealthConfig {
+  /// false disables every check (and with it degraded mode): the
+  /// runtime behaves exactly like PR-3.
+  bool enabled = true;
+
+  /// Per-window wall-clock budget for marking, in seconds. A merged
+  /// window whose mark latency exceeds this — or that never arrives —
+  /// is quarantined. 0 disables the deadline.
+  double mark_deadline_seconds = 0.0;
+
+  /// Number of consecutive all-relay or all-blank windows that counts
+  /// as a stuck filter. 0 disables the check (the default: legitimate
+  /// filters like pass-through mark everything on purpose).
+  size_t anomaly_streak = 0;
+
+  /// While degraded, shadow-probe the primary filter every this many
+  /// closed windows.
+  size_t probe_period = 8;
+
+  /// Consecutive healthy probes required before leaving degraded mode.
+  size_t probe_passes = 3;
+};
+
+enum class HealthViolation {
+  kNone = 0,
+  kInvalidMarks,   ///< wrong size or kInvalidMark sentinel present
+  kDeadline,       ///< mark latency over budget / worker wedged
+  kAnomalyStreak,  ///< suspiciously uniform marks for too long
+};
+
+const char* HealthViolationName(HealthViolation v);
+
+/// Single-threaded (assembler/merge thread only) health state machine.
+class HealthGuard {
+ public:
+  explicit HealthGuard(const HealthConfig& config);
+
+  /// Validates one merged window's marks. `latency_seconds` is the
+  /// window's close-to-merge mark latency. Returns the first violation
+  /// found (kNone when healthy). Streak state updates internally.
+  HealthViolation Inspect(const std::vector<int>& marks,
+                          size_t window_size, double latency_seconds);
+
+  /// Records a shadow-probe outcome while degraded. Returns true when
+  /// this probe was healthy; sets `*recovered` when it also completed
+  /// the consecutive-pass target — i.e. the caller should
+  /// ExitDegraded(). An unhealthy probe resets the pass counter.
+  bool ProbeHealthy(const std::vector<int>& marks, size_t window_size,
+                    double latency_seconds, bool* recovered);
+
+  /// Resets transient streak/probe state (called on entering degraded
+  /// mode and after recovery, so stale streaks never carry across).
+  void ResetStreaks();
+
+  const HealthConfig& config() const { return config_; }
+  size_t probe_pass_run() const { return probe_pass_run_; }
+  /// Checkpoint restore only.
+  void RestoreProbeRun(size_t run) { probe_pass_run_ = run; }
+
+ private:
+  /// The stateless core shared by Inspect and ProbeHealthy; does not
+  /// touch the anomaly streak.
+  HealthViolation Check(const std::vector<int>& marks, size_t window_size,
+                        double latency_seconds) const;
+
+  HealthConfig config_;
+  size_t uniform_run_ = 0;    ///< consecutive all-relay/all-blank windows
+  size_t probe_pass_run_ = 0; ///< consecutive healthy probes
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_RUNTIME_HEALTH_H_

@@ -1,6 +1,8 @@
 #include "runtime/online.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -11,14 +13,26 @@
 
 namespace dlacep {
 
+namespace {
+
+// Producer-side retry policy for transient (kUnavailable) source reads:
+// exponential backoff from 1ms, at most 8 attempts per read before the
+// source is declared dead. The counter resets on every successful read,
+// so a flaky-but-alive source never accumulates toward the limit.
+constexpr int kMaxSourceRetries = 8;
+constexpr double kSourceBackoffBaseSeconds = 1e-3;
+
+}  // namespace
+
 /// Per-Run mutable state. Threading contract: the producer thread only
 /// touches `queue` (and its own local counters); pool workers only read
 /// their window's detached EventStream and write the finished DoneWindow
 /// into `done` under `done_mu`; everything else is owned by the
 /// assembler (caller) thread.
 struct OnlineDlacep::RunState {
-  RunState(size_t queue_capacity, const OverloadConfig& overload)
-      : queue(queue_capacity), controller(overload) {}
+  RunState(size_t queue_capacity, const OverloadConfig& overload,
+           const HealthConfig& health)
+      : queue(queue_capacity), controller(overload), guard(health) {}
 
   RingQueue<Event> queue;
   std::shared_ptr<const Schema> schema;
@@ -44,20 +58,54 @@ struct OnlineDlacep::RunState {
   size_t in_flight = 0;
   size_t next_merge = 0;
 
+  // Assembler-side shadow of every dispatched-but-unmerged window, so a
+  // deadline abandon can synthesize a quarantined stand-in without the
+  // worker's cooperation. Keyed by dispatch sequence.
+  struct Pending {
+    size_t begin = 0;
+    int level = 0;
+    double close_seconds = 0.0;
+    std::shared_ptr<EventStream> events;
+  };
+  std::map<size_t, Pending> pending;
+
   // Merge products. marked_store is a deque so the Event addresses
-  // handed to the extractor stay stable as it grows.
+  // handed to the extractor stay stable as it grows. `stored` dedups
+  // the store across overlapping windows; `seen` holds ids relayed by a
+  // healthy mark, `quarantined_ids` ids relayed through a quarantined
+  // or degraded window (an id can be in both — accounting attributes it
+  // to `seen`).
   std::vector<EventId> marked_ids;
   std::unordered_set<EventId> seen;
+  std::unordered_set<EventId> quarantined_ids;
+  std::unordered_set<EventId> stored;
   std::deque<Event> marked_store;
 
   OverloadController controller;
+  HealthGuard guard;
+  size_t degraded_since_probe = 0;
   std::unique_ptr<DriftMonitor> drift;
   double latency_ewma = 0.0;
   bool latency_seen = false;
 
+  // Checkpoint bookkeeping (assembler thread).
+  uint64_t base_ingested = 0;  ///< events already accounted pre-restore
+  uint64_t last_checkpoint = 0;
+
+  std::atomic<bool> source_aborted{false};
+
   RuntimeStats stats;
   Stopwatch watch;
 };
+
+Status OnlineDlacep::ValidateForOnline(const Pattern& pattern) {
+  if (pattern.window().kind != WindowKind::kCount) {
+    return Status::InvalidArgument(
+        "the online runtime requires a count window; time-window "
+        "queries run through the batch pipeline");
+  }
+  return Status::Ok();
+}
 
 OnlineDlacep::OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
                            const OnlineConfig& config)
@@ -69,7 +117,8 @@ OnlineDlacep::OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
                    config.overload.random_seed),
       extractor_(pattern_) {
   DLACEP_CHECK(filter_ != nullptr);
-  DLACEP_CHECK(pattern_.window().kind == WindowKind::kCount);
+  DLACEP_CHECK_MSG(ValidateForOnline(pattern_).ok(),
+                   ValidateForOnline(pattern_).message());
   const size_t w = pattern_.window().count_size();
   mark_size_ = config_.mark_size != 0 ? config_.mark_size : 2 * w;
   step_size_ = config_.step_size != 0 ? config_.step_size : w;
@@ -97,42 +146,144 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
 
   ++state->stats.windows_closed;
   if (window.level == 1) ++state->stats.windows_boosted;
-  if (window.level >= 2) ++state->stats.windows_shed;
-
-  DLACEP_CHECK_EQ(window.marks.size(), window.events->size());
-  for (size_t t = 0; t < window.marks.size(); ++t) {
-    if (window.marks[t] == 0) continue;
-    const Event& event = (*window.events)[t];
-    state->marked_ids.push_back(event.id);
-    if (state->seen.insert(event.id).second) {
-      state->marked_store.push_back(event);
-    }
+  if (window.level >= OverloadController::kMaxLevel &&
+      window.level != OverloadController::kDegradedLevel) {
+    ++state->stats.windows_shed;
   }
 
-  if (state->drift != nullptr && state->drift->Observe(window.marks)) {
-    ++state->stats.drift_flags;
-    // Flag-only policy: re-anchor to the live rate so the monitor
-    // re-arms instead of firing on every subsequent window (the
-    // retraining loop in drift.h is the heavyweight alternative).
-    state->drift->ResetReference();
+  const size_t window_size = window.events->size();
+  const bool degraded_window =
+      window.level == OverloadController::kDegradedLevel;
+  bool quarantine = false;
+
+  if (degraded_window) {
+    ++state->stats.windows_degraded;
+    if (window.probe) {
+      ++state->stats.probes_run;
+      bool recovered = false;
+      const bool passed = state->guard.ProbeHealthy(
+          window.shadow_marks, window_size, latency, &recovered);
+      if (passed) ++state->stats.probes_passed;
+      if (recovered) {
+        state->controller.ExitDegraded();
+        ++state->stats.health_recoveries;
+        state->guard.ResetStreaks();
+        state->degraded_since_probe = 0;
+        DLACEP_LOG(Info) << "filter re-enabled after "
+                         << state->guard.config().probe_passes
+                         << " healthy probes";
+      }
+    }
+  } else if (config_.health.enabled) {
+    HealthViolation v =
+        window.timed_out
+            ? HealthViolation::kDeadline
+            : state->guard.Inspect(window.marks, window_size, latency);
+    if (v != HealthViolation::kNone) {
+      quarantine = true;
+      ++state->stats.health_violations;
+      ++state->stats.windows_quarantined;
+      DLACEP_LOG(Warning)
+          << "window at " << window.begin << " quarantined ("
+          << HealthViolationName(v) << "); degrading to exact CEP";
+      if (!state->controller.degraded()) {
+        state->controller.ForceDegrade(
+            static_cast<double>(state->queue.size()) /
+                static_cast<double>(state->queue.capacity()),
+            latency);
+        ++state->stats.health_degrades;
+      }
+      state->guard.ResetStreaks();
+      state->degraded_since_probe = 0;
+    }
+  } else {
+    // Health checks off: the PR-3 invariant — a filter must cover its
+    // window — is a programmer error again.
+    DLACEP_CHECK_EQ(window.marks.size(), window.events->size());
+  }
+
+  if (degraded_window || quarantine) {
+    // Relay the whole window unfiltered: recall 1.0 by construction.
+    for (size_t t = 0; t < window_size; ++t) {
+      const Event& event = (*window.events)[t];
+      state->marked_ids.push_back(event.id);
+      state->quarantined_ids.insert(event.id);
+      if (state->stored.insert(event.id).second) {
+        state->marked_store.push_back(event);
+      }
+    }
+  } else {
+    for (size_t t = 0; t < window.marks.size(); ++t) {
+      if (window.marks[t] == 0) continue;
+      const Event& event = (*window.events)[t];
+      state->marked_ids.push_back(event.id);
+      state->seen.insert(event.id);
+      if (state->stored.insert(event.id).second) {
+        state->marked_store.push_back(event);
+      }
+    }
+    if (state->drift != nullptr && state->drift->Observe(window.marks)) {
+      ++state->stats.drift_flags;
+      // Flag-only policy: re-anchor to the live rate so the monitor
+      // re-arms instead of firing on every subsequent window (the
+      // retraining loop in drift.h is the heavyweight alternative).
+      state->drift->ResetReference();
+    }
   }
 }
 
 void OnlineDlacep::DrainMerges(RunState* state, size_t target_in_flight) {
+  const double deadline =
+      config_.health.enabled ? config_.health.mark_deadline_seconds : 0.0;
   // Block until enough windows have retired, merging strictly in
   // dispatch order: the next window in sequence must eventually land in
-  // `done` because every dispatched window completes.
+  // `done` because every dispatched window completes — or, with a mark
+  // deadline configured, because the assembler abandons it.
   while (state->in_flight > target_in_flight) {
     DoneWindow window;
+    bool have = false;
     {
       std::unique_lock<std::mutex> lock(state->done_mu);
-      state->done_cv.wait(lock, [&] {
-        return state->done.find(state->next_merge) != state->done.end();
-      });
+      // A previously abandoned window's real result may arrive late;
+      // anything below the merge line is stale.
+      while (!state->done.empty() &&
+             state->done.begin()->first < state->next_merge) {
+        state->done.erase(state->done.begin());
+      }
+      if (deadline <= 0.0) {
+        state->done_cv.wait(lock, [&] {
+          return state->done.find(state->next_merge) != state->done.end();
+        });
+      } else {
+        while (state->done.find(state->next_merge) == state->done.end()) {
+          const auto pit = state->pending.find(state->next_merge);
+          DLACEP_CHECK(pit != state->pending.end());
+          const double wait_s = pit->second.close_seconds + deadline -
+                                state->watch.ElapsedSeconds();
+          if (wait_s <= 0.0) break;  // overdue: abandon below
+          state->done_cv.wait_for(
+              lock, std::chrono::duration<double>(wait_s));
+        }
+      }
       auto it = state->done.find(state->next_merge);
-      window = std::move(it->second);
-      state->done.erase(it);
+      if (it != state->done.end()) {
+        window = std::move(it->second);
+        state->done.erase(it);
+        have = true;
+      }
     }
+    if (!have) {
+      // Deadline abandon: the worker is wedged (or just too slow).
+      // Synthesize a quarantined stand-in from the assembler's shadow;
+      // MergeOne relays its events unfiltered and degrades.
+      const RunState::Pending& p = state->pending.at(state->next_merge);
+      window.begin = p.begin;
+      window.level = p.level;
+      window.close_seconds = p.close_seconds;
+      window.events = p.events;
+      window.timed_out = true;
+    }
+    state->pending.erase(state->next_merge);
     ++state->next_merge;
     --state->in_flight;
     MergeOne(state, std::move(window));
@@ -144,11 +295,16 @@ void OnlineDlacep::DrainMerges(RunState* state, size_t target_in_flight) {
     DoneWindow window;
     {
       std::lock_guard<std::mutex> lock(state->done_mu);
+      while (!state->done.empty() &&
+             state->done.begin()->first < state->next_merge) {
+        state->done.erase(state->done.begin());
+      }
       auto it = state->done.find(state->next_merge);
       if (it == state->done.end()) break;
       window = std::move(it->second);
       state->done.erase(it);
     }
+    state->pending.erase(state->next_merge);
     ++state->next_merge;
     --state->in_flight;
     MergeOne(state, std::move(window));
@@ -162,14 +318,24 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
   // thread, from the current ingest-queue depth and the smoothed merge
   // latency — so the level a window runs under is deterministic given
   // the arrival/processing interleaving, and level changes are totally
-  // ordered with window dispatch.
-  const int level =
-      config_.overload.enabled
-          ? state->controller.Observe(
-                static_cast<double>(state->queue.size()) /
-                    static_cast<double>(state->queue.capacity()),
-                state->latency_seen ? state->latency_ewma : 0.0)
-          : 0;
+  // ordered with window dispatch. While degraded, Observe() returns
+  // kDegradedLevel unconditionally.
+  const int level = state->controller.Observe(
+      static_cast<double>(state->queue.size()) /
+          static_cast<double>(state->queue.capacity()),
+      state->latency_seen ? state->latency_ewma : 0.0);
+
+  // Probe scheduling is assembler-side (deterministic regardless of
+  // thread count): every probe_period-th degraded window additionally
+  // shadow-marks with the primary filter.
+  bool probe = false;
+  if (level == OverloadController::kDegradedLevel &&
+      config_.health.enabled && config_.health.probe_period > 0) {
+    if (++state->degraded_since_probe >= config_.health.probe_period) {
+      probe = true;
+      state->degraded_since_probe = 0;
+    }
+  }
 
   // Detach the window into its own EventStream (ids preserved): workers
   // must never read the assembler's growing buffer, and the copy is
@@ -189,16 +355,29 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
 
   const double close_seconds = state->watch.ElapsedSeconds();
   ++state->in_flight;
+  state->pending.emplace(
+      seq, RunState::Pending{begin, level, close_seconds, events});
 
-  auto task = [this, state, seq, begin, level, close_seconds, events] {
+  auto task = [this, state, seq, begin, level, probe, close_seconds,
+               events] {
+    if (config_.worker_window_hook) config_.worker_window_hook(seq);
     DoneWindow window;
     window.begin = begin;
     window.level = level;
     window.close_seconds = close_seconds;
     window.events = events;
+    window.probe = probe;
     InferenceContext* ctx =
         contexts_[ThreadPool::CurrentWorkerIndex()].get();
-    if (level >= OverloadController::kMaxLevel) {
+    if (level == OverloadController::kDegradedLevel) {
+      // Degrade-to-exact: relay everything; the exact CEP engine sees
+      // the unfiltered window (recall 1.0). A probe window additionally
+      // exercises the distrusted filter, output inspected only.
+      window.marks.assign(events->size(), 1);
+      if (probe) {
+        window.shadow_marks = filter_->MarkOnline(*events, begin, ctx, 0.0);
+      }
+    } else if (level >= OverloadController::kMaxLevel) {
       const StreamFilter& shed =
           config_.overload.shedding == SheddingPolicy::kRandom
               ? static_cast<const StreamFilter&>(random_shed_)
@@ -222,32 +401,189 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
   }
 }
 
+void OnlineDlacep::WriteCheckpointNow(RunState* state) {
+  // Quiesce: a checkpoint is only consistent once every dispatched
+  // window has merged (the snapshot has no notion of in-flight work).
+  DrainMerges(state, 0);
+
+  CheckpointState snap;
+  snap.mark_size = mark_size_;
+  snap.step_size = step_size_;
+  snap.appended = state->appended;
+  snap.next_begin = state->next_begin;
+  snap.windows_dispatched = state->windows_dispatched;
+  snap.last_end = state->last_end;
+  snap.buffer_offset = state->buffer_offset;
+  snap.buffer.assign(state->buffer.begin(), state->buffer.end());
+  snap.marked_ids = state->marked_ids;
+  snap.marked_events.assign(state->marked_store.begin(),
+                            state->marked_store.end());
+  snap.seen.assign(state->seen.begin(), state->seen.end());
+  std::sort(snap.seen.begin(), snap.seen.end());
+  snap.quarantined.assign(state->quarantined_ids.begin(),
+                          state->quarantined_ids.end());
+  std::sort(snap.quarantined.begin(), snap.quarantined.end());
+  snap.events_dropped_queue = state->stats.events_dropped_queue;
+  snap.windows_closed = state->stats.windows_closed;
+  snap.windows_boosted = state->stats.windows_boosted;
+  snap.windows_shed = state->stats.windows_shed;
+  snap.windows_quarantined = state->stats.windows_quarantined;
+  snap.windows_degraded = state->stats.windows_degraded;
+  snap.health_violations = state->stats.health_violations;
+  snap.health_degrades = state->stats.health_degrades;
+  snap.health_recoveries = state->stats.health_recoveries;
+  snap.probes_run = state->stats.probes_run;
+  snap.probes_passed = state->stats.probes_passed;
+  snap.checkpoints_written = state->stats.checkpoints_written + 1;
+  snap.drift_flags = state->stats.drift_flags;
+  snap.controller_level = state->controller.level();
+  snap.probe_pass_run = state->guard.probe_pass_run();
+  snap.degraded_since_probe = state->degraded_since_probe;
+
+  const Status status = SaveCheckpoint(snap, config_.checkpoint.dir);
+  if (status.ok()) {
+    ++state->stats.checkpoints_written;
+  } else {
+    // A failed checkpoint degrades durability, not availability.
+    DLACEP_LOG(Warning) << "checkpoint write failed: " << status.ToString();
+  }
+}
+
+Status OnlineDlacep::RestoreFrom(RunState* state, StreamSource* source) {
+  if (config_.drop_when_full) {
+    return Status::FailedPrecondition(
+        "checkpoint restore requires lossless ingest "
+        "(drop_when_full = false): with drops the arrival-id counter "
+        "no longer tracks the source position");
+  }
+  StatusOr<CheckpointState> loaded = LoadCheckpoint(config_.checkpoint.dir);
+  if (!loaded.ok()) return loaded.status();
+  CheckpointState& cs = *loaded;
+  if (cs.mark_size != mark_size_ || cs.step_size != step_size_) {
+    return Status::FailedPrecondition(
+        "checkpoint window geometry does not match this runtime");
+  }
+  if (cs.buffer.size() != cs.appended - cs.buffer_offset) {
+    return Status::InvalidArgument(
+        "checkpoint buffer does not cover [buffer_offset, appended)");
+  }
+
+  state->appended = cs.appended;
+  state->next_begin = cs.next_begin;
+  state->windows_dispatched = cs.windows_dispatched;
+  state->next_merge = cs.windows_dispatched;  // quiescent at snapshot
+  state->last_end = cs.last_end;
+  state->buffer_offset = cs.buffer_offset;
+  state->buffer.assign(cs.buffer.begin(), cs.buffer.end());
+  state->marked_ids = std::move(cs.marked_ids);
+  for (Event& e : cs.marked_events) {
+    state->stored.insert(e.id);
+    state->marked_store.push_back(std::move(e));
+  }
+  state->seen.insert(cs.seen.begin(), cs.seen.end());
+  state->quarantined_ids.insert(cs.quarantined.begin(),
+                                cs.quarantined.end());
+
+  state->stats.events_dropped_queue = cs.events_dropped_queue;
+  state->stats.windows_closed = cs.windows_closed;
+  state->stats.windows_boosted = cs.windows_boosted;
+  state->stats.windows_shed = cs.windows_shed;
+  state->stats.windows_quarantined = cs.windows_quarantined;
+  state->stats.windows_degraded = cs.windows_degraded;
+  state->stats.health_violations = cs.health_violations;
+  state->stats.health_degrades = cs.health_degrades;
+  state->stats.health_recoveries = cs.health_recoveries;
+  state->stats.probes_run = cs.probes_run;
+  state->stats.probes_passed = cs.probes_passed;
+  state->stats.checkpoints_written = cs.checkpoints_written;
+  state->stats.drift_flags = cs.drift_flags;
+
+  state->controller.RestoreLevel(cs.controller_level);
+  state->guard.RestoreProbeRun(cs.probe_pass_run);
+  state->degraded_since_probe = cs.degraded_since_probe;
+
+  state->base_ingested = cs.appended;
+  state->last_checkpoint = cs.appended;
+
+  const size_t skipped = source->Skip(cs.appended);
+  if (skipped != cs.appended) {
+    return Status::FailedPrecondition(
+        "source ended before the checkpoint watermark — restore needs "
+        "the same deterministic stream the checkpoint was taken from");
+  }
+  DLACEP_LOG(Info) << "restored checkpoint at watermark " << cs.appended
+                   << " (" << state->marked_store.size()
+                   << " relayed events)";
+  return Status::Ok();
+}
+
 OnlineResult OnlineDlacep::Run(StreamSource* source) {
+  OnlineResult result;
+  const Status status = Run(source, &result);
+  DLACEP_CHECK_MSG(status.ok(), status.ToString());
+  return result;
+}
+
+Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   DLACEP_CHECK(source != nullptr);
-  RunState state(config_.queue_capacity, config_.overload);
+  DLACEP_CHECK(result != nullptr);
+  RunState state(config_.queue_capacity, config_.overload, config_.health);
   state.schema = source->schema();
   if (config_.drift.enabled) {
     state.drift = std::make_unique<DriftMonitor>(
         config_.drift.reference_rate, config_.drift.tolerance,
         config_.drift.window_budget);
   }
+  const bool checkpointing = !config_.checkpoint.dir.empty();
+  if (config_.checkpoint.restore) {
+    if (!checkpointing) {
+      return Status::InvalidArgument("--restore needs a checkpoint dir");
+    }
+    DLACEP_RETURN_IF_ERROR(RestoreFrom(&state, source));
+  }
 
   // Producer: pull, stamp the arrival id BEFORE the queue (a dropped
   // event leaves an id gap, keeping the count-window constraint
-  // anchored to real arrivals, §4.4), push. Counters are thread-local
-  // and folded into stats after join().
+  // anchored to real arrivals, §4.4), push. Transient read failures
+  // retry with exponential backoff; a persistent failure closes the
+  // queue and flags the abort — the serve loop never crashes on a bad
+  // source. Counters are thread-local and folded into stats after
+  // join().
   uint64_t ingested = 0;
   uint64_t dropped = 0;
+  uint64_t read_errors = 0;
+  uint64_t retries = 0;
   std::thread producer([&] {
     Event event;
-    EventId next_id = 0;
-    while (source->Next(&event)) {
-      event.id = next_id++;
-      ++ingested;
-      const bool accepted = config_.drop_when_full
-                                ? state.queue.TryPush(event)
-                                : state.queue.Push(event);
-      if (!accepted) ++dropped;
+    EventId next_id = state.appended;  // restored runs resume the id line
+    int consecutive_failures = 0;
+    for (;;) {
+      const Status read = source->Read(&event);
+      if (read.ok()) {
+        consecutive_failures = 0;
+        event.id = next_id++;
+        ++ingested;
+        const bool accepted = config_.drop_when_full
+                                  ? state.queue.TryPush(event)
+                                  : state.queue.Push(event);
+        if (!accepted) ++dropped;
+        continue;
+      }
+      if (read.code() == StatusCode::kOutOfRange) break;  // clean end
+      ++read_errors;
+      if (read.code() == StatusCode::kUnavailable &&
+          consecutive_failures < kMaxSourceRetries) {
+        ++retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            kSourceBackoffBaseSeconds *
+            static_cast<double>(1 << consecutive_failures)));
+        ++consecutive_failures;
+        continue;
+      }
+      DLACEP_LOG(Error) << "stream source failed permanently: "
+                        << read.ToString();
+      state.source_aborted.store(true, std::memory_order_release);
+      break;
     }
     state.queue.Close();
   });
@@ -263,13 +599,23 @@ OnlineResult OnlineDlacep::Run(StreamSource* source) {
       CloseWindow(&state, state.next_begin,
                   state.next_begin + mark_size_);
     }
+    if (checkpointing && config_.checkpoint.every_events > 0 &&
+        state.appended - state.last_checkpoint >=
+            config_.checkpoint.every_events) {
+      WriteCheckpointNow(&state);
+      state.last_checkpoint = state.appended;
+    }
   }
 
   // End of stream: emit the truncated suffix exactly as CountWindows
   // would — at least one window on a nonempty stream, and windows until
-  // one ends at the final event.
+  // one ends at the final event. After a source abort the suffix is NOT
+  // fabricated: those windows would differ from the ones an
+  // uninterrupted run eventually closes, which would poison a later
+  // restore. The buffered tail stays in the checkpoint instead.
+  const bool aborted = state.source_aborted.load(std::memory_order_acquire);
   const size_t total = state.appended;
-  if (total > 0) {
+  if (total > 0 && !aborted) {
     while (state.windows_dispatched == 0 || state.last_end != total) {
       CloseWindow(&state, state.next_begin,
                   std::min(state.next_begin + mark_size_, total));
@@ -282,35 +628,46 @@ OnlineResult OnlineDlacep::Run(StreamSource* source) {
   if (pool_ != nullptr) pool_->Wait();
   producer.join();
 
-  state.stats.events_ingested = ingested;
-  state.stats.events_dropped_queue = dropped;
+  // Final checkpoint at full quiescence (also the abort-path snapshot a
+  // --restore run resumes from).
+  if (checkpointing) WriteCheckpointNow(&state);
+
+  state.stats.events_ingested = state.base_ingested + ingested;
+  state.stats.events_dropped_queue += dropped;
   state.stats.events_appended = state.appended;
   state.stats.events_relayed = state.seen.size();
-  state.stats.events_filtered = state.appended - state.seen.size();
+  uint64_t quarantined_only = 0;
+  for (const EventId id : state.quarantined_ids) {
+    if (state.seen.find(id) == state.seen.end()) ++quarantined_only;
+  }
+  state.stats.events_quarantined = quarantined_only;
+  state.stats.events_filtered = state.appended - state.stored.size();
   state.stats.queue_capacity = state.queue.capacity();
   state.stats.queue_high_water = state.queue.high_water();
   state.stats.overload_escalations = state.controller.escalations();
   state.stats.overload_recoveries = state.controller.recoveries();
   state.stats.overload_level_at_exit = state.controller.level();
   state.stats.transitions = state.controller.transitions();
+  state.stats.source_read_errors = read_errors;
+  state.stats.source_retries = retries;
+  state.stats.source_aborted = aborted;
 
-  OnlineResult result;
   extractor_.ResetStats();
   Stopwatch extract_watch;
   std::vector<const Event*> marked;
   marked.reserve(state.marked_store.size());
   for (const Event& e : state.marked_store) marked.push_back(&e);
   const Status status =
-      extractor_.Extract(std::move(marked), &result.matches);
+      extractor_.Extract(std::move(marked), &result->matches);
   DLACEP_CHECK_MSG(status.ok(), status.ToString());
   state.stats.extract_seconds = extract_watch.ElapsedSeconds();
-  state.stats.matches = result.matches.size();
+  state.stats.matches = result->matches.size();
   state.stats.elapsed_seconds = state.watch.ElapsedSeconds();
 
-  result.marked_ids = std::move(state.marked_ids);
-  result.stats = std::move(state.stats);
-  result.marked_events = result.stats.events_relayed;
-  return result;
+  result->marked_ids = std::move(state.marked_ids);
+  result->stats = std::move(state.stats);
+  result->marked_events = result->stats.events_relayed;
+  return Status::Ok();
 }
 
 }  // namespace dlacep

@@ -32,6 +32,20 @@
 // blocks (backpressure) or drops are counted — never an unbounded
 // buffer.
 //
+// FAULT TOLERANCE (see health.h, checkpoint.h, fault_injection.h):
+// a HealthGuard validates every merged window's marks (kInvalidMark
+// sentinels, coverage, mark-latency deadline, anomaly streaks). A
+// violation quarantines the window — its events relay unfiltered, so
+// recall for that window is 1.0 — and forces the controller into the
+// kDegraded level, where every window relays unfiltered until probed
+// recovery (periodic shadow-marked windows must pass N consecutive
+// health checks) re-enables the filter. Source reads are retried with
+// exponential backoff on kUnavailable; a persistent failure aborts
+// ingestion cleanly (suffix windows are not fabricated) instead of
+// crashing, so a final checkpoint still captures a restorable state.
+// The accounting contract grows one term:
+//   relayed + filtered + dropped + quarantined == ingested.
+//
 // CEP extraction runs once at end-of-stream over the deduplicated
 // relayed events (the engines are batch evaluators); per-window
 // latencies therefore measure ingest → merged-marks, which is the
@@ -41,6 +55,7 @@
 #define DLACEP_RUNTIME_ONLINE_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_set>
@@ -53,6 +68,8 @@
 #include "dlacep/filter.h"
 #include "dlacep/shedding_filter.h"
 #include "nn/infer.h"
+#include "runtime/checkpoint.h"
+#include "runtime/health.h"
 #include "runtime/overload.h"
 #include "runtime/ring_queue.h"
 #include "runtime/source.h"
@@ -93,6 +110,13 @@ struct OnlineConfig {
 
   OverloadConfig overload;
   DriftConfig drift;
+  HealthConfig health;
+  CheckpointConfig checkpoint;
+
+  /// Test/fault-injection hook: called by the worker about to mark
+  /// window `seq` (e.g. FaultInjector::OnWorkerWindow wedges one
+  /// window). Must be thread-safe; empty = no-op.
+  std::function<void(uint64_t)> worker_window_hook;
 };
 
 /// Outcome of one Run(): the extracted matches plus everything the
@@ -123,9 +147,19 @@ class OnlineDlacep {
   OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
                const OnlineConfig& config);
 
+  /// Online-mode precondition surfaced as a Status (for user-input
+  /// paths like the CLI): the streaming assembler requires a count
+  /// window. The constructor CHECKs the same condition.
+  static Status ValidateForOnline(const Pattern& pattern);
+
   /// Drains `source` to completion. May be called again with a new
-  /// source; each call is an independent run with fresh stats.
+  /// source; each call is an independent run with fresh stats. Aborts
+  /// on restore/config errors — CLI paths use the Status overload.
   OnlineResult Run(StreamSource* source);
+
+  /// Like Run(), but surfaces checkpoint-restore and configuration
+  /// errors as a Status instead of aborting.
+  Status Run(StreamSource* source, OnlineResult* result);
 
   const OnlineConfig& config() const { return config_; }
 
@@ -136,6 +170,9 @@ class OnlineDlacep {
     int level = 0;             ///< overload level the window ran under
     double close_seconds = 0;  ///< run-clock time the watermark closed it
     std::shared_ptr<EventStream> events;
+    bool probe = false;        ///< shadow-marked recovery probe
+    bool timed_out = false;    ///< synthesized after a deadline abandon
+    std::vector<int> shadow_marks;  ///< probe output (inspected only)
   };
   struct RunState;
 
@@ -143,7 +180,14 @@ class OnlineDlacep {
   void MergeOne(RunState* state, DoneWindow window);
   /// Merges every completed window that is next in window order;
   /// blocks until `target_in_flight` or fewer windows remain pending.
+  /// With a mark deadline configured, an overdue window is abandoned:
+  /// a synthesized quarantined DoneWindow takes its place so a wedged
+  /// worker can never stall the merge line.
   void DrainMerges(RunState* state, size_t target_in_flight);
+  /// Quiesces in-flight windows and atomically persists a checkpoint.
+  void WriteCheckpointNow(RunState* state);
+  /// Seeds a fresh RunState from the checkpoint in config_.checkpoint.
+  Status RestoreFrom(RunState* state, StreamSource* source);
 
   Pattern pattern_;
   OnlineConfig config_;

@@ -13,6 +13,9 @@ OverloadController::OverloadController(const OverloadConfig& config)
 int OverloadController::Observe(double queue_fraction,
                                 double latency_seconds) {
   ++observations_;
+  // Degraded mode is health-driven: pressure signals neither escalate
+  // into nor relieve out of it.
+  if (degraded()) return level_;
   if (!config_.enabled) return level_;
 
   const bool latency_signal = config_.latency_high_seconds > 0.0;
@@ -47,6 +50,36 @@ int OverloadController::Observe(double queue_fraction,
     relief_run_ = 0;
   }
   return level_;
+}
+
+void OverloadController::ForceDegrade(double queue_fraction,
+                                      double latency_seconds) {
+  if (degraded()) return;
+  transitions_.push_back(OverloadTransition{observations_, level_,
+                                            kDegradedLevel, queue_fraction,
+                                            latency_seconds});
+  level_ = kDegradedLevel;
+  ++degrades_;
+  pressure_run_ = 0;
+  relief_run_ = 0;
+}
+
+void OverloadController::RestoreLevel(int level) {
+  DLACEP_CHECK_GE(level, 0);
+  DLACEP_CHECK_LE(level, kDegradedLevel);
+  level_ = level;
+  pressure_run_ = 0;
+  relief_run_ = 0;
+}
+
+void OverloadController::ExitDegraded() {
+  if (!degraded()) return;
+  transitions_.push_back(
+      OverloadTransition{observations_, level_, 0, 0.0, 0.0});
+  level_ = 0;
+  ++degrade_recoveries_;
+  pressure_run_ = 0;
+  relief_run_ = 0;
 }
 
 }  // namespace dlacep

@@ -6,17 +6,24 @@
 // under sustained pressure the runtime degrades *gracefully* —
 //
 //   level 0  normal      primary filter, configured threshold
-//   level 1  degraded    primary filter with a raised decision
+//   level 1  boosted     primary filter with a raised decision
 //                        threshold (borderline entities shed first)
 //   level 2  shedding    the cheap shedding fallback (type- or
 //                        random-shedding, see shedding_filter.h)
+//   level 3  degraded    the filter is distrusted entirely: every event
+//                        relays unfiltered to the exact CEP engine
+//                        (recall = 1.0, throughput pays full price)
 //
-// Transitions use hysteresis: the pressure/relief signal must persist
-// for `dwell_windows` consecutive closed windows before the level
-// moves, and escalation/recovery move one level at a time, so a noisy
-// queue depth cannot thrash the policy. Observations come from the
-// assembler thread only — the controller is deliberately
-// single-threaded and lock-free.
+// Levels 0–2 are pressure-driven. Transitions between them use
+// hysteresis: the pressure/relief signal must persist for
+// `dwell_windows` consecutive closed windows before the level moves,
+// and escalation/recovery move one level at a time, so a noisy queue
+// depth cannot thrash the policy. Level 3 is *health*-driven and sits
+// outside the hysteresis ladder: only HealthGuard violations force it
+// (ForceDegrade) and only probed recovery leaves it (ExitDegraded) —
+// queue pressure can never escalate into, nor relieve out of,
+// degraded mode. Observations come from the assembler thread only —
+// the controller is deliberately single-threaded and lock-free.
 
 #ifndef DLACEP_RUNTIME_OVERLOAD_H_
 #define DLACEP_RUNTIME_OVERLOAD_H_
@@ -62,17 +69,39 @@ struct OverloadConfig {
 
 class OverloadController {
  public:
+  /// Highest pressure-driven level (shedding). Pressure escalation never
+  /// exceeds this.
   static constexpr int kMaxLevel = 2;
+  /// Health-forced level: relay everything unfiltered. Reachable only
+  /// via ForceDegrade(), left only via ExitDegraded().
+  static constexpr int kDegradedLevel = 3;
 
   explicit OverloadController(const OverloadConfig& config);
 
   /// One observation per closed window; returns the (possibly updated)
-  /// level under which that window should be marked.
+  /// level under which that window should be marked. While degraded,
+  /// returns kDegradedLevel unconditionally (pressure bookkeeping is
+  /// suspended — the hysteresis runs restart from scratch on recovery).
   int Observe(double queue_fraction, double latency_seconds);
+
+  /// Flips into degraded mode (HealthGuard violation). Idempotent.
+  void ForceDegrade(double queue_fraction, double latency_seconds);
+
+  /// Leaves degraded mode back to level 0 (probed recovery succeeded).
+  /// No-op unless degraded.
+  void ExitDegraded();
+
+  /// Checkpoint restore only: re-enters a snapshotted level without
+  /// logging a transition. Hysteresis runs restart from scratch.
+  void RestoreLevel(int level);
+
+  bool degraded() const { return level_ == kDegradedLevel; }
 
   int level() const { return level_; }
   uint64_t escalations() const { return escalations_; }
   uint64_t recoveries() const { return recoveries_; }
+  uint64_t degrades() const { return degrades_; }
+  uint64_t degrade_recoveries() const { return degrade_recoveries_; }
   const std::vector<OverloadTransition>& transitions() const {
     return transitions_;
   }
@@ -85,6 +114,8 @@ class OverloadController {
   size_t relief_run_ = 0;
   uint64_t escalations_ = 0;
   uint64_t recoveries_ = 0;
+  uint64_t degrades_ = 0;
+  uint64_t degrade_recoveries_ = 0;
   std::vector<OverloadTransition> transitions_;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/source.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace dlacep {
@@ -17,6 +18,22 @@ void Pacer::Tick() {
   std::this_thread::sleep_until(due);
 }
 
+size_t StreamSource::Skip(size_t n) {
+  Event scratch;
+  size_t skipped = 0;
+  while (skipped < n) {
+    const Status status = Read(&scratch);
+    if (!status.ok()) {
+      // Transient errors are retried — a skip must land on the exact
+      // watermark or restore determinism is lost.
+      if (status.code() == StatusCode::kUnavailable) continue;
+      break;
+    }
+    ++skipped;
+  }
+  return skipped;
+}
+
 ReplaySource::ReplaySource(const EventStream* stream, double events_per_sec)
     : stream_(stream), pacer_(events_per_sec) {
   DLACEP_CHECK(stream_ != nullptr);
@@ -26,11 +43,19 @@ std::shared_ptr<const Schema> ReplaySource::schema() const {
   return stream_->schema_ptr();
 }
 
-bool ReplaySource::Next(Event* out) {
-  if (next_ >= stream_->size()) return false;
+Status ReplaySource::Read(Event* out) {
+  if (next_ >= stream_->size()) {
+    return Status::OutOfRange("end of replay stream");
+  }
   pacer_.Tick();
   *out = (*stream_)[next_++];
-  return true;
+  return Status::Ok();
+}
+
+size_t ReplaySource::Skip(size_t n) {
+  const size_t skipped = std::min(n, stream_->size() - next_);
+  next_ += skipped;
+  return skipped;
 }
 
 StockSimSource::StockSimSource(const StockSimConfig& config,
@@ -43,12 +68,25 @@ std::shared_ptr<const Schema> StockSimSource::schema() const {
   return stepper_.schema();
 }
 
-bool StockSimSource::Next(Event* out) {
-  if (remaining_ == 0) return false;
+Status StockSimSource::Read(Event* out) {
+  if (remaining_ == 0) return Status::OutOfRange("end of stocksim stream");
   --remaining_;
   pacer_.Tick();
   *out = stepper_.Next();
-  return true;
+  return Status::Ok();
+}
+
+size_t StockSimSource::Skip(size_t n) {
+  Event scratch;
+  size_t skipped = 0;
+  // Unpaced: the stepper must still advance its RNG state so the
+  // post-skip suffix is byte-identical to the uninterrupted run.
+  while (skipped < n && remaining_ > 0) {
+    --remaining_;
+    scratch = stepper_.Next();
+    ++skipped;
+  }
+  return skipped;
 }
 
 }  // namespace dlacep

@@ -1,6 +1,6 @@
 // Pull-based stream sources for the online runtime.
 //
-// A StreamSource yields one event per Next() call, blocking as needed
+// A StreamSource yields one event per Read() call, blocking as needed
 // to pace itself to a configured arrival rate; the runtime's producer
 // thread pulls from it and pushes into the bounded ingest queue. Two
 // adapters cover the evaluation setups:
@@ -12,6 +12,12 @@
 //                        byte-identical to GenerateStockStream with the
 //                        same config (the CLI's `serve` mode).
 //
+// Error model: Read() returns a Status rather than a bare bool so that a
+// flaky source (torn file, transient I/O error) can distinguish "retry
+// me" (kUnavailable) from "the stream is over" (kOutOfRange) and "give
+// up" (anything else). The runtime's producer retries kUnavailable with
+// exponential backoff and degrades — it never crashes the serve loop.
+//
 // Pacing: events_per_sec > 0 paces arrivals against a wall-clock
 // schedule (sleep-until, so short hiccups are caught up rather than
 // accumulated); <= 0 means "as fast as the consumer pulls", which under
@@ -21,8 +27,10 @@
 #define DLACEP_RUNTIME_SOURCE_H_
 
 #include <chrono>
+#include <cstddef>
 #include <memory>
 
+#include "common/status.h"
 #include "stream/stocksim.h"
 #include "stream/stream.h"
 
@@ -51,8 +59,25 @@ class StreamSource {
 
   /// Produces the next event (its id is ignored — the runtime assigns
   /// arrival ids at ingest). Blocks to honor the source's pacing.
-  /// Returns false when the source is exhausted.
-  virtual bool Next(Event* out) = 0;
+  ///
+  ///   * Ok            — `*out` holds the next event;
+  ///   * kOutOfRange   — the source is exhausted (clean end of stream);
+  ///   * kUnavailable  — transient failure; the same Read() may succeed
+  ///                     if retried (the runtime retries with backoff);
+  ///   * anything else — permanent failure; the caller must stop.
+  virtual Status Read(Event* out) = 0;
+
+  /// Convenience wrapper over Read(): true iff an event was produced.
+  /// Collapses every error — transient or fatal — into end-of-stream;
+  /// callers that care about retry/degrade semantics use Read().
+  bool Next(Event* out) { return Read(out).ok(); }
+
+  /// Discards up to `n` events without pacing, returning how many were
+  /// actually skipped (fewer only when the source ends first). Used by
+  /// checkpoint restore to fast-forward a deterministic source to the
+  /// snapshot's watermark. The default pulls events one by one; sources
+  /// with random access override it.
+  virtual size_t Skip(size_t n);
 };
 
 /// Replays a borrowed EventStream in order, optionally paced.
@@ -62,7 +87,8 @@ class ReplaySource : public StreamSource {
                         double events_per_sec = 0.0);
 
   std::shared_ptr<const Schema> schema() const override;
-  bool Next(Event* out) override;
+  Status Read(Event* out) override;
+  size_t Skip(size_t n) override;
 
  private:
   const EventStream* stream_;  ///< not owned
@@ -78,7 +104,8 @@ class StockSimSource : public StreamSource {
                           double events_per_sec = 0.0);
 
   std::shared_ptr<const Schema> schema() const override;
-  bool Next(Event* out) override;
+  Status Read(Event* out) override;
+  size_t Skip(size_t n) override;
 
  private:
   StockSimStepper stepper_;

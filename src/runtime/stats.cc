@@ -50,6 +50,8 @@ std::string RuntimeStats::ToString() const {
                    static_cast<unsigned long long>(events_filtered));
   out += StrFormat("  dropped(queue): %llu\n",
                    static_cast<unsigned long long>(events_dropped_queue));
+  out += StrFormat("  quarantined   : %llu\n",
+                   static_cast<unsigned long long>(events_quarantined));
   out += StrFormat("accounted       : %s\n", Accounted() ? "yes" : "NO");
   out += StrFormat("queue high-water: %zu / %zu\n", queue_high_water,
                    queue_capacity);
@@ -73,6 +75,28 @@ std::string RuntimeStats::ToString() const {
         "  window %llu: level %d -> %d (queue %.0f%%, latency %.3fms)\n",
         static_cast<unsigned long long>(t.at_window), t.from, t.to,
         t.queue_fraction * 100.0, t.latency_seconds * 1e3);
+  }
+  out += StrFormat(
+      "health          : %llu violations, %llu degrades, %llu recoveries, "
+      "probes %llu/%llu\n",
+      static_cast<unsigned long long>(health_violations),
+      static_cast<unsigned long long>(health_degrades),
+      static_cast<unsigned long long>(health_recoveries),
+      static_cast<unsigned long long>(probes_passed),
+      static_cast<unsigned long long>(probes_run));
+  out += StrFormat(
+      "windows flagged : quarantined %llu, degraded %llu\n",
+      static_cast<unsigned long long>(windows_quarantined),
+      static_cast<unsigned long long>(windows_degraded));
+  if (source_read_errors > 0 || source_aborted) {
+    out += StrFormat("source          : %llu read errors, %llu retries%s\n",
+                     static_cast<unsigned long long>(source_read_errors),
+                     static_cast<unsigned long long>(source_retries),
+                     source_aborted ? ", ABORTED" : "");
+  }
+  if (checkpoints_written > 0) {
+    out += StrFormat("checkpoints     : %llu written\n",
+                     static_cast<unsigned long long>(checkpoints_written));
   }
   out += StrFormat("drift flags     : %llu\n",
                    static_cast<unsigned long long>(drift_flags));

@@ -4,9 +4,9 @@
 //
 // The accounting contract (pinned by tests/runtime_test.cc): every
 // event the source offered is either dropped at ingest, relayed to the
-// CEP extractor, or filtered out —
+// CEP extractor, filtered out, or relayed via a quarantined window —
 //   events_relayed + events_filtered + events_dropped_queue
-//     == events_ingested.
+//     + events_quarantined == events_ingested.
 
 #ifndef DLACEP_RUNTIME_STATS_H_
 #define DLACEP_RUNTIME_STATS_H_
@@ -62,6 +62,10 @@ struct RuntimeStats {
   uint64_t events_appended = 0;       ///< entered the assembler stream
   uint64_t events_relayed = 0;        ///< deduplicated marked events
   uint64_t events_filtered = 0;       ///< appended but never marked
+  /// Relayed unfiltered because every window containing them was
+  /// quarantined/degraded (disjoint from events_relayed: an event also
+  /// healthily marked in an overlapping window counts as relayed).
+  uint64_t events_quarantined = 0;
 
   size_t queue_capacity = 0;
   size_t queue_high_water = 0;
@@ -69,11 +73,24 @@ struct RuntimeStats {
   uint64_t windows_closed = 0;
   uint64_t windows_boosted = 0;  ///< marked under a raised threshold
   uint64_t windows_shed = 0;     ///< marked by the shedding fallback
+  uint64_t windows_quarantined = 0;  ///< failed a health check
+  uint64_t windows_degraded = 0;     ///< relayed unfiltered while degraded
 
   uint64_t overload_escalations = 0;
   uint64_t overload_recoveries = 0;
   int overload_level_at_exit = 0;
   std::vector<OverloadTransition> transitions;
+
+  // Health / fault-tolerance counters.
+  uint64_t health_violations = 0;   ///< HealthGuard Inspect() failures
+  uint64_t health_degrades = 0;     ///< times the runtime entered degraded
+  uint64_t health_recoveries = 0;   ///< probed recoveries out of degraded
+  uint64_t probes_run = 0;          ///< shadow probes while degraded
+  uint64_t probes_passed = 0;
+  uint64_t source_read_errors = 0;  ///< transient Read() failures observed
+  uint64_t source_retries = 0;      ///< retry attempts (incl. successes)
+  bool source_aborted = false;      ///< source gave up mid-stream
+  uint64_t checkpoints_written = 0;
 
   uint64_t drift_flags = 0;  ///< drift monitor firings (see drift.h)
 
@@ -85,7 +102,8 @@ struct RuntimeStats {
   double elapsed_seconds = 0.0;  ///< whole Run() wall clock
 
   bool Accounted() const {
-    return events_relayed + events_filtered + events_dropped_queue ==
+    return events_relayed + events_filtered + events_dropped_queue +
+               events_quarantined ==
            events_ingested;
   }
 

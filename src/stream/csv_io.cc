@@ -1,12 +1,41 @@
 #include "stream/csv_io.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
 
 namespace dlacep {
+
+namespace {
+
+/// Strict numeric cell parse: the whole (trimmed) cell must be one
+/// finite double. CSVs are user input — a malformed or NaN cell is a
+/// diagnosable error with a row number, never a silent 0.0 (strtod with
+/// an ignored end pointer) or a NaN smuggled into the filter features.
+Status ParseCell(const std::string& cell, size_t line_no, const char* what,
+                 const std::string& path, double* out) {
+  const std::string trimmed(Trim(cell));
+  char* end = nullptr;
+  const double v = std::strtod(trimmed.c_str(), &end);
+  if (trimmed.empty() || end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu: bad %s '%s' in %s", line_no, what,
+                  cell.c_str(), path.c_str()));
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument(
+        StrFormat("row %zu: non-finite %s '%s' in %s", line_no, what,
+                  cell.c_str(), path.c_str()));
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status WriteCsv(const EventStream& stream, const std::string& path) {
   std::ofstream out(path);
@@ -63,7 +92,9 @@ StatusOr<EventStream> ReadCsv(const std::string& path) {
           StrFormat("row %zu has %zu cells, expected %zu in %s", line_no,
                     cells.size(), header.size(), path.c_str()));
     }
-    const double ts = std::strtod(cells[2].c_str(), nullptr);
+    double ts = 0.0;
+    DLACEP_RETURN_IF_ERROR(
+        ParseCell(cells[2], line_no, "timestamp", path, &ts));
     if (cells[1] == "<blank>") {
       stream.AppendBlank(ts);
       continue;
@@ -71,7 +102,8 @@ StatusOr<EventStream> ReadCsv(const std::string& path) {
     const TypeId type = schema->RegisterType(cells[1]);
     std::vector<double> attrs(num_attrs);
     for (size_t i = 0; i < num_attrs; ++i) {
-      attrs[i] = std::strtod(cells[3 + i].c_str(), nullptr);
+      DLACEP_RETURN_IF_ERROR(
+          ParseCell(cells[3 + i], line_no, "attribute", path, &attrs[i]));
     }
     stream.Append(type, ts, std::move(attrs));
   }

@@ -1,0 +1,127 @@
+// RingQueue shutdown-race tests. The basic FIFO/accounting behavior is
+// covered in runtime_test.cc; this file focuses on the races around
+// Close() — producers blocked on a full queue, a consumer blocked on an
+// empty one, and Close() arriving concurrently with both — and runs
+// under TSan in CI (see the thread-sanitizer job's binary list).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/ring_queue.h"
+
+namespace dlacep {
+namespace {
+
+TEST(RingQueueShutdown, CloseUnblocksConsumerOnEmptyQueue) {
+  RingQueue<int> queue(4);
+  std::atomic<bool> pop_result{true};
+  std::thread consumer([&] {
+    int out = 0;
+    pop_result = queue.Pop(&out);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(pop_result.load());
+}
+
+TEST(RingQueueShutdown, CloseUnblocksEveryBlockedProducer) {
+  RingQueue<int> queue(1);
+  ASSERT_TRUE(queue.TryPush(0));  // queue now full
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&queue, &rejected, i] {
+      if (!queue.Push(i + 1)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+  // All four producers were blocked on the full queue; Close() must
+  // wake and reject every one of them.
+  EXPECT_EQ(rejected.load(), kProducers);
+  int out = -1;
+  EXPECT_TRUE(queue.Pop(&out));  // the pre-close element drains
+  EXPECT_EQ(out, 0);
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(RingQueueShutdown, ConcurrentCloseNeverLosesAcceptedValues) {
+  // Producers hammer TryPush while Close() lands mid-stream: every
+  // value a producer saw accepted must be popped exactly once, and
+  // nothing may be popped that was not accepted.
+  RingQueue<int> queue(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.TryPush(i)) accepted.fetch_add(1);
+      }
+    });
+  }
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.Close();
+  });
+  int popped = 0;
+  int out = 0;
+  while (queue.Pop(&out)) ++popped;
+  for (std::thread& t : producers) t.join();
+  closer.join();
+  // The consumer stops once the queue is closed AND drained; by then
+  // every producer has returned, so `accepted` is final. A TryPush that
+  // raced Close() either got in (counted, popped) or was rejected.
+  EXPECT_EQ(popped, accepted.load());
+}
+
+TEST(RingQueueShutdown, BlockingProducersDrainLosslesslyThroughClose) {
+  // Lossless mode: producers Push (block, never drop) a fixed total and
+  // close when done. The consumer must see exactly that total even with
+  // heavy contention on a tiny queue.
+  RingQueue<int> queue(2);
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 1500;
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &done] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(i));
+      }
+      if (done.fetch_add(1) + 1 == kProducers) queue.Close();
+    });
+  }
+  int popped = 0;
+  int out = 0;
+  while (queue.Pop(&out)) ++popped;
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(popped, kProducers * kPerProducer);
+  EXPECT_LE(queue.high_water(), queue.capacity());
+}
+
+TEST(RingQueueShutdown, CloseIsIdempotentUnderConcurrentCallers) {
+  RingQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(42));
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&queue] { queue.Close(); });
+  }
+  for (std::thread& t : closers) t.join();
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_FALSE(queue.TryPush(1));
+}
+
+}  // namespace
+}  // namespace dlacep

@@ -312,11 +312,13 @@ class BurstThenPacedSource : public StreamSource {
     return stream_->schema_ptr();
   }
 
-  bool Next(Event* out) override {
-    if (next_ >= stream_->size()) return false;
+  Status Read(Event* out) override {
+    if (next_ >= stream_->size()) {
+      return Status::OutOfRange("end of stream");
+    }
     if (next_ >= burst_) pacer_.Tick();
     *out = (*stream_)[next_++];
-    return true;
+    return Status::Ok();
   }
 
  private:

@@ -23,6 +23,11 @@
 // Online filter KINDs: pass (default), type-shed, random-shed, oracle,
 // or event|window with --train F.csv (trains first, then streams).
 //
+// Fault tolerance (replay/serve): --deadline/--anomaly_streak tune the
+// HealthGuard, --checkpoint_dir/--checkpoint_every/--restore drive
+// crash-consistent snapshots, and --inject=... runs the deterministic
+// fault harness (see runtime/fault_injection.h for the spec grammar).
+//
 // Notes: --load restores network weights only; the featurizer is refit
 // from --train, so pass the same training stream used with --save.
 
@@ -40,6 +45,7 @@
 #include "dlacep/window_filter.h"
 #include "nn/serialize.h"
 #include "pattern/parser.h"
+#include "runtime/fault_injection.h"
 #include "runtime/online.h"
 #include "runtime/source.h"
 #include "stream/csv_io.h"
@@ -108,7 +114,15 @@ int Usage() {
                "       [--num_threads N] [--drop 0|1] [--overload 0|1]"
                " [--train F.csv]\n"
                "  (online filter KINDs: pass | type-shed | random-shed |"
-               " oracle | event | window)\n");
+               " oracle | event | window)\n"
+               "  fault-tolerance flags (replay/serve):\n"
+               "       [--health 0|1] [--deadline SEC] [--anomaly_streak N]\n"
+               "       [--probe_period N] [--probe_passes N]\n"
+               "       [--checkpoint_dir DIR] [--checkpoint_every N]"
+               " [--restore 0|1]\n"
+               "       [--inject nan_burst[:B[:C]],model_corrupt,"
+               "corrupt_source[:P],\n"
+               "                wedge[:W[:S]],source_fail[:AT[:N]]]\n");
   return 2;
 }
 
@@ -273,6 +287,7 @@ struct OnlineFilter {
   const StreamFilter* filter = nullptr;
   std::unique_ptr<StreamFilter> owned;
   std::unique_ptr<BuiltDlacep> built;  ///< keeps featurizer + filter alive
+  TrainableFilter* trainable = nullptr;  ///< non-null for learned kinds
 };
 
 StatusOr<OnlineFilter> MakeOnlineFilter(const Args& args,
@@ -313,6 +328,8 @@ StatusOr<OnlineFilter> MakeOnlineFilter(const Args& args,
                                      : FilterKind::kEventNetwork,
                     config));
     out.filter = &out.built->pipeline->filter();
+    out.trainable =
+        dynamic_cast<TrainableFilter*>(&out.built->pipeline->filter());
     return out;
   } else {
     return Status::InvalidArgument("unknown online filter kind: " + kind);
@@ -330,19 +347,66 @@ OnlineConfig MakeOnlineConfig(const Args& args) {
   config.overload.enabled = args.GetInt("overload", 1) != 0;
   config.drift.enabled = args.Has("drift_reference");
   config.drift.reference_rate = args.GetDouble("drift_reference", 0.0);
+  config.health.enabled = args.GetInt("health", 1) != 0;
+  config.health.mark_deadline_seconds = args.GetDouble("deadline", 0.0);
+  config.health.anomaly_streak =
+      static_cast<size_t>(args.GetInt("anomaly_streak", 0));
+  config.health.probe_period =
+      static_cast<size_t>(args.GetInt("probe_period", 8));
+  config.health.probe_passes =
+      static_cast<size_t>(args.GetInt("probe_passes", 3));
+  config.checkpoint.dir = args.Get("checkpoint_dir");
+  config.checkpoint.every_events =
+      static_cast<uint64_t>(args.GetInt("checkpoint_every", 0));
+  config.checkpoint.restore = args.GetInt("restore", 0) != 0;
   return config;
 }
 
 int StreamOnline(const Args& args, const Pattern& pattern,
-                 StreamSource* source) {
+                 std::unique_ptr<StreamSource> source) {
+  const Status online_ok = OnlineDlacep::ValidateForOnline(pattern);
+  if (!online_ok.ok()) {
+    std::fprintf(stderr, "%s\n", online_ok.ToString().c_str());
+    return 1;
+  }
   auto filter = MakeOnlineFilter(args, pattern);
   if (!filter.ok()) {
     std::fprintf(stderr, "%s\n", filter.status().ToString().c_str());
     return 1;
   }
-  OnlineDlacep online(pattern, filter.value().filter,
-                      MakeOnlineConfig(args));
-  const OnlineResult result = online.Run(source);
+
+  auto plan = ParseFaultSpec(args.Get("inject"));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  FaultInjector injector(plan.value());
+  OnlineConfig config = MakeOnlineConfig(args);
+  if (plan.value().any()) {
+    std::printf("injecting faults: %s\n", args.Get("inject").c_str());
+    injector.InstallNanHook();
+    source = injector.WrapSource(std::move(source));
+    config.worker_window_hook = [&injector](uint64_t seq) {
+      injector.OnWorkerWindow(seq);
+    };
+    if (plan.value().model_corrupt) {
+      if (filter.value().trainable != nullptr) {
+        CorruptParams(filter.value().trainable);
+      } else {
+        std::printf(
+            "  (model_corrupt: filter '%s' has no parameters, skipped)\n",
+            filter.value().filter->name().c_str());
+      }
+    }
+  }
+
+  OnlineDlacep online(pattern, filter.value().filter, config);
+  OnlineResult result;
+  const Status run_status = online.Run(source.get(), &result);
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "%s\n", run_status.ToString().c_str());
+    return 1;
+  }
   std::printf("pattern : %s\n", pattern.ToString().c_str());
   std::printf("filter  : %s\n", filter.value().filter->name().c_str());
   std::printf("%s", result.stats.ToString().c_str());
@@ -368,8 +432,9 @@ int Replay(const Args& args) {
     std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
     return 1;
   }
-  ReplaySource source(&stream.value(), args.GetDouble("rate", 0.0));
-  return StreamOnline(args, pattern.value(), &source);
+  auto source = std::make_unique<ReplaySource>(&stream.value(),
+                                               args.GetDouble("rate", 0.0));
+  return StreamOnline(args, pattern.value(), std::move(source));
 }
 
 int Serve(const Args& args) {
@@ -377,13 +442,14 @@ int Serve(const Args& args) {
   sim.num_events = static_cast<size_t>(args.GetInt("events", 20000));
   sim.num_symbols = static_cast<size_t>(args.GetInt("symbols", 50));
   sim.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
-  StockSimSource source(sim, args.GetDouble("rate", 0.0));
-  auto pattern = ParsePattern(args.Get("query"), source.schema());
+  auto source =
+      std::make_unique<StockSimSource>(sim, args.GetDouble("rate", 0.0));
+  auto pattern = ParsePattern(args.Get("query"), source->schema());
   if (!pattern.ok()) {
     std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
     return 1;
   }
-  return StreamOnline(args, pattern.value(), &source);
+  return StreamOnline(args, pattern.value(), std::move(source));
 }
 
 int Main(int argc, char** argv) {
