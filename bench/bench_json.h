@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "workloads/report.h"
 
 namespace dlacep {
@@ -100,7 +101,10 @@ class JsonReport {
                    i == 0 ? "" : ",", Escape(m.label).c_str(),
                    Escape(m.name).c_str(), m.value);
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    // Registry snapshot under the same schema WriteMetricsFile emits for
+    // the CLI's *.json --metrics_out, so one reader parses both.
+    std::fprintf(f, "\n  ],\n  \"registry\": %s\n}\n",
+                 obs::MetricsRegistry::Global().RenderJson().c_str());
     std::fclose(f);
     std::printf("wrote %s\n", report.path_.c_str());
     return code;

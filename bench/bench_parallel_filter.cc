@@ -20,6 +20,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/stages.h"
 #include "workloads/queries_a.h"
 #include "workloads/recipes.h"
 #include "workloads/report.h"
@@ -163,6 +165,52 @@ void SweepInferencePath(const std::string& label, const Pattern& pattern,
   }
 }
 
+/// Metrics on/off A-B on the inference fast path: the observability
+/// layer budgets <2% filtration throughput (CI gates on overhead_pct).
+/// Single-threaded so the scheduler can't masquerade as
+/// instrumentation cost, best-of-N per side, and A-B-B-A ordering so
+/// slow frequency/thermal drift cancels instead of biasing one side.
+/// The "on" side pre-registers the full standard schema to measure the
+/// realistic steady state, not an empty registry.
+void SweepMetricsOverhead(const std::string& label, const Pattern& pattern,
+                          const BuiltDlacep& built, const DlacepConfig& base,
+                          const EventStream& test) {
+  constexpr int kOverheadReps = 8;
+  const double num_windows = static_cast<double>(
+      built.pipeline->assembler().Windows(test.size()).size());
+  DlacepConfig config = base;
+  config.num_threads = 1;
+  DlacepPipeline pipeline(
+      pattern, std::make_unique<BorrowedFilter>(&built.pipeline->filter()),
+      config);
+  obs::TouchStandardMetrics();
+  pipeline.Evaluate(test);  // warm caches/arenas outside the measurement
+  double best_on = 0.0;
+  double best_off = 0.0;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    const bool on_first = rep % 2 == 0;
+    for (int side = 0; side < 2; ++side) {
+      const bool on = (side == 0) == on_first;
+      obs::MetricsRegistry::SetEnabled(on);
+      const PipelineResult r = pipeline.Evaluate(test);
+      double& best = on ? best_on : best_off;
+      if (rep == 0 || r.filter_seconds < best) best = r.filter_seconds;
+    }
+  }
+  obs::MetricsRegistry::SetEnabled(true);
+  const double on_wps = num_windows / std::max(best_on, 1e-9);
+  const double off_wps = num_windows / std::max(best_off, 1e-9);
+  const double overhead_pct = (off_wps - on_wps) / off_wps * 100.0;
+  std::printf("%-28s metrics on=%9.1f w/s  off=%9.1f w/s  "
+              "overhead=%+5.2f%%\n",
+              label.c_str(), on_wps, off_wps, overhead_pct);
+  std::fflush(stdout);
+  const std::string key = label + " metrics";
+  JsonReport::Metric(key, "windows_per_sec_on", on_wps);
+  JsonReport::Metric(key, "windows_per_sec_off", off_wps);
+  JsonReport::Metric(key, "overhead_pct", overhead_pct);
+}
+
 int Run() {
   const EventStream train = GenerateStockStream(StockConfig(6000, 1001));
   const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
@@ -183,6 +231,9 @@ int Run() {
     std::printf("--- tape vs inference fast path (windows/sec) ---\n");
     SweepInferencePath("QA1(j=4,k=4) event-net", pattern, built, config,
                        test);
+    std::printf("--- metrics overhead (windows/sec) ---\n");
+    SweepMetricsOverhead("QA1(j=4,k=4) event-net", pattern, built, config,
+                         test);
   }
   {
     const Pattern pattern = QA3(s, 5, 12, 3, 2, 1, 4, 0.9, 1.1, 1.5, w);

@@ -29,6 +29,14 @@ struct EngineStats {
   uint64_t matches_emitted = 0;
   /// Partial matches dropped by the storage cap (0 in normal operation).
   uint64_t partial_matches_dropped = 0;
+  /// Extension attempts: candidate (partial match, event) combinations
+  /// the engine examined — NFA edge traversals, tree join probes, lazy
+  /// chain steps. The per-operator cost the latency histograms can't
+  /// see (many attempts never create a partial match).
+  uint64_t transitions = 0;
+  /// Candidates rejected by a pruning check (time-window, predicate, or
+  /// contiguity) before becoming partial matches.
+  uint64_t partial_matches_pruned = 0;
   double elapsed_seconds = 0.0;
 
   double throughput() const {

@@ -110,7 +110,14 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
           PartialMatch next = pm;
           next.mask |= uint64_t{1} << p;
           next.binding.Bind(pos.var, &e);
-          if (!PassesPruning(plan, next.binding, pos.var)) continue;
+          // Every candidate below counts as one transition and either
+          // prunes or reaches try_store, so across a run
+          // transitions == partial_matches + partial_matches_pruned.
+          ++stats_.transitions;
+          if (!PassesPruning(plan, next.binding, pos.var)) {
+            ++stats_.partial_matches_pruned;
+            continue;
+          }
           try_store(std::move(next));
         } else if (pos.kleene) {
           // Absorb another event into a Kleene position, allowed only
@@ -127,7 +134,11 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
           if (successor_filled) continue;
           PartialMatch next = pm;
           next.binding.Bind(pos.var, &e);
-          if (!PassesPruning(plan, next.binding, pos.var)) continue;
+          ++stats_.transitions;
+          if (!PassesPruning(plan, next.binding, pos.var)) {
+            ++stats_.partial_matches_pruned;
+            continue;
+          }
           try_store(std::move(next));
         }
       }
@@ -139,8 +150,11 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
         next.mask = uint64_t{1} << 0;
         next.reps = pm.reps + 1;
         next.binding.Bind(plan.positions[0].var, &e);
+        ++stats_.transitions;
         if (PassesPruning(plan, next.binding, plan.positions[0].var)) {
           try_store(std::move(next));
+        } else {
+          ++stats_.partial_matches_pruned;
         }
       }
     }
@@ -157,7 +171,11 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
       pm.binding.Bind(pos.var, &e);
       pm.first_id = e.id;
       pm.first_ts = e.timestamp;
-      if (!PassesPruning(plan, pm.binding, pos.var)) continue;
+      ++stats_.transitions;
+      if (!PassesPruning(plan, pm.binding, pos.var)) {
+        ++stats_.partial_matches_pruned;
+        continue;
+      }
       try_store(std::move(pm));
     }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/stages.h"
+#include "obs/trace.h"
+
 namespace dlacep {
 
 EventNetworkFilter::EventNetworkFilter(const Featurizer* featurizer,
@@ -66,6 +69,7 @@ std::vector<int> EventNetworkFilter::Threshold(const Matrix& marginals,
 std::vector<int> EventNetworkFilter::MarkFeaturesAt(
     const Matrix& features, InferenceContext* ctx,
     double threshold) const {
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
   InferenceContext local;
   InferenceContext* c = ctx != nullptr ? ctx : &local;
   c->Reset();
@@ -89,6 +93,7 @@ std::vector<int> EventNetworkFilter::MarkFeatures(
 
 std::vector<int> EventNetworkFilter::MarkFeaturesTape(
     const Matrix& features) const {
+  obs::TraceSpan forward_span(obs::StageNnForwardTape());
   Tape tape;
   auto [emissions_f, emissions_b] = Emissions(&tape, features);
   return Threshold(crf_.Marginals(emissions_f.value(), emissions_b.value()),
@@ -103,16 +108,21 @@ std::vector<int> EventNetworkFilter::Mark(const EventStream& stream,
 std::vector<int> EventNetworkFilter::MarkWith(const EventStream& stream,
                                               WindowRange range,
                                               InferenceContext* ctx) const {
-  return MarkFeaturesWith(
-      featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
+  obs::TraceSpan feature_span(obs::StageFeatureBuild());
+  Matrix features =
+      featurizer_->Encode(stream.View(range.begin, range.size()));
+  feature_span.Finish();
+  return MarkFeaturesWith(features, ctx);
 }
 
 std::vector<int> EventNetworkFilter::MarkOnline(
     const EventStream& window, size_t stream_begin, InferenceContext* ctx,
     double threshold_boost) const {
   (void)stream_begin;  // content-based: marks don't depend on position
-  return MarkFeaturesAt(featurizer_->Encode(window.View(0, window.size())),
-                        ctx, event_threshold_ + threshold_boost);
+  obs::TraceSpan feature_span(obs::StageFeatureBuild());
+  Matrix features = featurizer_->Encode(window.View(0, window.size()));
+  feature_span.Finish();
+  return MarkFeaturesAt(features, ctx, event_threshold_ + threshold_boost);
 }
 
 TrainResult EventNetworkFilter::Fit(const std::vector<Sample>& samples,

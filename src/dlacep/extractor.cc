@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stages.h"
+
 namespace dlacep {
 
 CepExtractor::CepExtractor(const Pattern& pattern, EngineKind engine_kind,
@@ -28,8 +30,25 @@ Status CepExtractor::Extract(std::vector<const Event*> marked,
   for (const Event* e : marked) {
     if (!e->is_blank()) filtered.push_back(*e);
   }
-  return engine_->Evaluate(
+  const EngineStats before = engine_->stats();
+  const size_t matches_before = out->size();
+  const Status status = engine_->Evaluate(
       std::span<const Event>(filtered.data(), filtered.size()), out);
+  // Engine stats accumulate across Evaluate() calls and reset between
+  // runs; the labelled counters want the monotone per-call delta.
+  const EngineStats& after = engine_->stats();
+  const std::string& engine_name = engine_->name();
+  obs::CepEvents(engine_name)
+      ->Increment(after.events_processed - before.events_processed);
+  obs::CepPartialMatches(engine_name)
+      ->Increment(after.partial_matches - before.partial_matches);
+  obs::CepPartialMatchesPruned(engine_name)
+      ->Increment(after.partial_matches_pruned -
+                  before.partial_matches_pruned);
+  obs::CepTransitions(engine_name)
+      ->Increment(after.transitions - before.transitions);
+  obs::CepMatches(engine_name)->Increment(out->size() - matches_before);
+  return status;
 }
 
 }  // namespace dlacep

@@ -4,6 +4,8 @@
 #include "dlacep/event_filter.h"
 #include "dlacep/oracle_filter.h"
 #include "dlacep/window_filter.h"
+#include "obs/stages.h"
+#include "obs/trace.h"
 
 namespace dlacep {
 
@@ -60,6 +62,7 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
     contexts_.push_back(std::make_unique<InferenceContext>());
   }
   ParallelForWorker(pool, windows.size(), [&](size_t worker, size_t i) {
+    obs::TraceSpan mark_span(obs::StageWindowMark());
     window_marks[i] =
         filter.MarkWith(stream, windows[i], contexts_[worker].get());
   });
@@ -70,6 +73,7 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
   // here, over stream positions, so that blanks the extractor later
   // drops still count as relayed (the paper's Ψ measures filtration,
   // not extraction).
+  obs::TraceSpan merge_span(obs::StageWindowMerge());
   std::vector<const Event*> marked;
   std::vector<uint8_t> seen(stream.size(), 0);
   for (size_t i = 0; i < windows.size(); ++i) {
@@ -86,6 +90,7 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
       }
     }
   }
+  merge_span.Finish();
   result.filter_seconds = filter_watch.ElapsedSeconds();
 
   // Extraction on the filtered stream.
@@ -95,6 +100,7 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
                                            &result.matches);
   DLACEP_CHECK_MSG(status.ok(), status.ToString());
   result.cep_seconds = cep_watch.ElapsedSeconds();
+  obs::StageCepEval()->Observe(result.cep_seconds);
   result.cep_stats = extractor_.stats();
   return result;
 }

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/stages.h"
+#include "obs/trace.h"
+
 namespace dlacep {
 
 TcnEventFilter::TcnEventFilter(const Featurizer* featurizer,
@@ -63,6 +66,7 @@ std::vector<int> TcnEventFilter::Threshold(const Matrix& marginals) const {
 
 std::vector<int> TcnEventFilter::MarkFeaturesWith(
     const Matrix& features, InferenceContext* ctx) const {
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
   InferenceContext local;
   InferenceContext* c = ctx != nullptr ? ctx : &local;
   c->Reset();
@@ -81,6 +85,7 @@ std::vector<int> TcnEventFilter::MarkFeatures(
 
 std::vector<int> TcnEventFilter::MarkFeaturesTape(
     const Matrix& features) const {
+  obs::TraceSpan forward_span(obs::StageNnForwardTape());
   Tape tape;
   auto [emissions_f, emissions_b] = Emissions(&tape, features);
   return Threshold(crf_.Marginals(emissions_f.value(), emissions_b.value()));
@@ -94,8 +99,11 @@ std::vector<int> TcnEventFilter::Mark(const EventStream& stream,
 std::vector<int> TcnEventFilter::MarkWith(const EventStream& stream,
                                           WindowRange range,
                                           InferenceContext* ctx) const {
-  return MarkFeaturesWith(
-      featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
+  obs::TraceSpan feature_span(obs::StageFeatureBuild());
+  Matrix features =
+      featurizer_->Encode(stream.View(range.begin, range.size()));
+  feature_span.Finish();
+  return MarkFeaturesWith(features, ctx);
 }
 
 TrainResult TcnEventFilter::Fit(const std::vector<Sample>& samples,

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "nn/ops.h"
+#include "obs/stages.h"
+#include "obs/trace.h"
 
 namespace dlacep {
 
@@ -49,6 +51,7 @@ std::vector<Parameter*> WindowNetworkFilter::Params() {
 
 double WindowNetworkFilter::ProbabilityWith(const Matrix& features,
                                             InferenceContext* ctx) const {
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
   InferenceContext local;
   InferenceContext* c = ctx != nullptr ? ctx : &local;
   c->Reset();
@@ -73,6 +76,7 @@ double WindowNetworkFilter::WindowProbability(
 
 double WindowNetworkFilter::WindowProbabilityTape(
     const Matrix& features) const {
+  obs::TraceSpan forward_span(obs::StageNnForwardTape());
   Tape tape;
   const double logit = Logit(&tape, features).value()(0, 0);
   return 1.0 / (1.0 + std::exp(-logit));
@@ -118,16 +122,21 @@ std::vector<int> WindowNetworkFilter::Mark(const EventStream& stream,
 std::vector<int> WindowNetworkFilter::MarkWith(const EventStream& stream,
                                                WindowRange range,
                                                InferenceContext* ctx) const {
-  return MarkFeaturesWith(
-      featurizer_->Encode(stream.View(range.begin, range.size())), ctx);
+  obs::TraceSpan feature_span(obs::StageFeatureBuild());
+  Matrix features =
+      featurizer_->Encode(stream.View(range.begin, range.size()));
+  feature_span.Finish();
+  return MarkFeaturesWith(features, ctx);
 }
 
 std::vector<int> WindowNetworkFilter::MarkOnline(
     const EventStream& window, size_t stream_begin, InferenceContext* ctx,
     double threshold_boost) const {
   (void)stream_begin;  // content-based: marks don't depend on position
+  obs::TraceSpan feature_span(obs::StageFeatureBuild());
   const Matrix features =
       featurizer_->Encode(window.View(0, window.size()));
+  feature_span.Finish();
   const double p = ProbabilityWith(features, ctx);
   return MarksForProbability(IsApplicable(p, threshold_boost), p,
                              features.rows());

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/stages.h"
+#include "obs/trace.h"
+
 #if defined(DLACEP_HAVE_MVEC) && defined(__x86_64__)
 #define DLACEP_VECTOR_CELL 1
 #include <immintrin.h>
@@ -314,7 +317,10 @@ void LstmInfer::ForwardInto(InferenceContext* ctx, const Matrix& x,
   // recurrence only depends on it row by row, so there is no reason to
   // pay matrix-vector arithmetic intensity T times.
   Matrix& xproj = ctx->Acquire(t_steps, 4 * h);
-  MatMulInto(x, wx, &xproj, /*accumulate=*/false);
+  {
+    obs::TraceSpan gemm_span(obs::StageNnGemm());
+    MatMulInto(x, wx, &xproj, /*accumulate=*/false);
+  }
 
   Matrix& gates = ctx->Acquire(1, 4 * h);
   Matrix& h_state = ctx->Acquire(1, h);
@@ -332,6 +338,10 @@ void LstmInfer::ForwardInto(InferenceContext* ctx, const Matrix& x,
   const RecurrentFn recurrent_update = PickRecurrentUpdate();
 #endif
 
+  // One span over the whole recurrence, not per step: the per-step cell
+  // work is far below clock resolution and a clock read per step would
+  // dominate it.
+  obs::TraceSpan cell_span(obs::StageNnCell());
   for (size_t step = 0; step < t_steps; ++step) {
     const size_t t = reverse ? t_steps - 1 - step : step;
     // One fused pass fills all four gates: g = x_t·Wx (precomputed) +

@@ -1,0 +1,76 @@
+#include "obs/export.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace dlacep {
+namespace obs {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+bool WriteMetricsFile(const std::string& path, const std::string& tag) {
+  std::string body;
+  if (EndsWith(path, ".json")) {
+    body = "{\n  \"bench\": \"" + tag +
+           "\",\n  \"rows\": [],\n  \"metrics\": [],\n  \"registry\": " +
+           MetricsRegistry::Global().RenderJson() + "\n}\n";
+  } else {
+    body = MetricsRegistry::Global().RenderPrometheus();
+  }
+  return WriteWholeFile(path, body);
+}
+
+MetricsExporter::MetricsExporter(std::string path, double period_seconds,
+                                 std::string tag)
+    : path_(std::move(path)), tag_(std::move(tag)) {
+  if (period_seconds <= 0) return;
+  thread_ = std::thread([this, period_seconds] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto period = std::chrono::duration<double>(period_seconds);
+    while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+      lock.unlock();
+      WriteMetricsFile(path_, tag_);
+      lock.lock();
+    }
+  });
+}
+
+bool MetricsExporter::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flushed_) return true;
+    flushed_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  return WriteMetricsFile(path_, tag_);
+}
+
+MetricsExporter::~MetricsExporter() { Flush(); }
+
+}  // namespace obs
+}  // namespace dlacep

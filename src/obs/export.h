@@ -1,0 +1,60 @@
+// Metrics exposition to files: one-shot writes and a periodic
+// background exporter (the `--metrics_out` / `--metrics_every` CLI
+// flags).
+//
+// Format is chosen by extension: a path ending in ".json" gets the
+// unified bench_json-style document
+//
+//   {"bench": "<tag>", "rows": [], "metrics": [], "registry": {...}}
+//
+// (so the same tooling reads bench output and runtime scrapes);
+// anything else gets Prometheus text exposition. Writes go through a
+// temp file + rename so a scraper never sees a torn file.
+
+#ifndef DLACEP_OBS_EXPORT_H_
+#define DLACEP_OBS_EXPORT_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dlacep {
+namespace obs {
+
+/// Writes the global registry to `path` (format by extension, see
+/// above). Returns false on I/O failure.
+bool WriteMetricsFile(const std::string& path,
+                      const std::string& tag = "dlacep_cli");
+
+/// Periodic exporter: writes `path` every `period_seconds` on a
+/// background thread, and once more (final snapshot) at destruction.
+/// period_seconds <= 0 disables the thread — only the exit write runs.
+class MetricsExporter {
+ public:
+  MetricsExporter(std::string path, double period_seconds,
+                  std::string tag = "dlacep_cli");
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Stops the background thread and writes the final snapshot (also
+  /// called by the destructor; idempotent). Returns the final write's
+  /// success.
+  bool Flush();
+
+ private:
+  std::string path_;
+  std::string tag_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool flushed_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace dlacep
+
+#endif  // DLACEP_OBS_EXPORT_H_

@@ -1,0 +1,407 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace dlacep {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Threads claim stripes round-robin at first use; the index is stable
+// for the thread's lifetime, so a given worker always hits the same
+// cache line of a given instrument.
+std::atomic<size_t> g_next_shard{0};
+
+size_t ClaimShard() {
+  return g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+}
+
+// Escapes a label value for Prometheus text exposition.
+std::string EscapeLabel(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabel(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Same, but with a `le` bucket bound appended (histogram exposition).
+std::string RenderBucketLabels(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabel(v);
+    out += "\"";
+  }
+  if (!first) out += ",";
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += JsonEscape(k);
+    out += "\":\"";
+    out += JsonEscape(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  thread_local size_t shard = ClaimShard();
+  return shard;
+}
+
+bool MetricsEnabled() {
+#ifdef DLACEP_NO_METRICS
+  return false;
+#else
+  return g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+#ifndef DLACEP_NO_METRICS
+  if (!MetricsEnabled()) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+#else
+  (void)delta;
+#endif
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : min_value_(options.min_value), num_buckets_(options.num_buckets) {
+  shards_.reserve(kMetricShards);
+  for (size_t i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(num_buckets_ + 1));
+  }
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // Bucket 0 covers (-inf, min_value]; NaN compares false and also
+  // lands there rather than corrupting the overflow bucket.
+  if (!(value > min_value_)) return 0;
+  int exp = 0;
+  double m = std::frexp(value / min_value_, &exp);
+  // value/min = m·2^exp, m ∈ [0.5, 1): ceil(log2) is exp, except when
+  // the ratio is an exact power of two (m == 0.5), where it is exp-1.
+  size_t idx = (m == 0.5) ? static_cast<size_t>(exp - 1)
+                          : static_cast<size_t>(exp);
+  return std::min(idx, num_buckets_);  // num_buckets_ == overflow bucket
+}
+
+double Histogram::BucketBound(size_t i) const {
+  if (i >= num_buckets_) return std::numeric_limits<double>::infinity();
+  return min_value_ * std::ldexp(1.0, static_cast<int>(i));
+}
+
+void Histogram::ObserveAlways(double value) {
+  Shard& s = *shards_[ThisThreadShard()];
+  s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double cur = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(cur, cur + value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_)
+    total += s->count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0;
+  for (const auto& s : shards_)
+    total += s->sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(num_buckets_ + 1, 0);
+  for (const auto& s : shards_) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += s->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank: smallest bucket whose cumulative count reaches
+  // ceil(q·total) (at least 1).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= rank) return BucketBound(i);
+  }
+  return BucketBound(counts.size() - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s->buckets) b.store(0, std::memory_order_relaxed);
+    s->count.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_) {
+    if (e.name == name && e.labels == labels) return e.instrument.get();
+  }
+  counters_.push_back({name, labels, help, std::make_unique<Counter>()});
+  return counters_.back().instrument.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : gauges_) {
+    if (e.name == name && e.labels == labels) return e.instrument.get();
+  }
+  gauges_.push_back({name, labels, help, std::make_unique<Gauge>()});
+  return gauges_.back().instrument.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::string& help,
+                                         HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : histograms_) {
+    if (e.name == name && e.labels == labels) return e.instrument.get();
+  }
+  histograms_.push_back(
+      {name, labels, help, std::make_unique<Histogram>(options)});
+  return histograms_.back().instrument.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_) e.instrument->Reset();
+  for (auto& e : gauges_) e.instrument->Reset();
+  for (auto& e : histograms_) e.instrument->Reset();
+}
+
+namespace {
+
+// Orders entry indices so all samples of one family (same name) sit
+// together, families in first-registration order — the exposition
+// format forbids a family appearing twice.
+template <typename Entries>
+std::vector<size_t> FamilyOrder(const Entries& entries) {
+  std::vector<size_t> order;
+  order.reserve(entries.size());
+  std::vector<uint8_t> emitted(entries.size(), 0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (emitted[i]) continue;
+    for (size_t j = i; j < entries.size(); ++j) {
+      if (!emitted[j] && entries[j].name == entries[i].name) {
+        emitted[j] = 1;
+        order.push_back(j);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  std::string last;
+  auto header = [&](const std::string& name, const std::string& help,
+                    const char* type) {
+    if (name == last) return;
+    last = name;
+    if (!help.empty()) os << "# HELP " << name << " " << help << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+  };
+  for (size_t i : FamilyOrder(counters_)) {
+    const auto& e = counters_[i];
+    header(e.name, e.help, "counter");
+    os << e.name << RenderLabels(e.labels) << " " << e.instrument->Value()
+       << "\n";
+  }
+  last.clear();
+  for (size_t i : FamilyOrder(gauges_)) {
+    const auto& e = gauges_[i];
+    header(e.name, e.help, "gauge");
+    os << e.name << RenderLabels(e.labels) << " "
+       << FormatDouble(e.instrument->Value()) << "\n";
+  }
+  last.clear();
+  for (size_t i : FamilyOrder(histograms_)) {
+    const auto& e = histograms_[i];
+    header(e.name, e.help, "histogram");
+    const std::vector<uint64_t> counts = e.instrument->BucketCounts();
+    uint64_t cum = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      cum += counts[b];
+      os << e.name << "_bucket"
+         << RenderBucketLabels(e.labels,
+                               FormatDouble(e.instrument->BucketBound(b)))
+         << " " << cum << "\n";
+    }
+    os << e.name << "_sum" << RenderLabels(e.labels) << " "
+       << FormatDouble(e.instrument->Sum()) << "\n";
+    os << e.name << "_count" << RenderLabels(e.labels) << " " << cum << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& e : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << JsonLabels(e.labels) << ",\"value\":" << e.instrument->Value() << "}";
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& e : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << JsonLabels(e.labels)
+       << ",\"value\":" << JsonDouble(e.instrument->Value()) << "}";
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& e : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    const std::vector<uint64_t> counts = e.instrument->BucketCounts();
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"labels\":"
+       << JsonLabels(e.labels) << ",\"count\":" << e.instrument->Count()
+       << ",\"sum\":" << JsonDouble(e.instrument->Sum())
+       << ",\"p50\":" << JsonDouble(e.instrument->Quantile(0.5))
+       << ",\"p99\":" << JsonDouble(e.instrument->Quantile(0.99))
+       << ",\"buckets\":[";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"le\":" << JsonDouble(e.instrument->BucketBound(i))
+         << ",\"count\":" << counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace dlacep

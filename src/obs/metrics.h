@@ -1,0 +1,234 @@
+// Low-overhead metrics: named counters, gauges, and log-bucketed
+// histograms behind a process-global registry.
+//
+// Design constraints, in order:
+//
+//  1. The hot path (one worker marking one window) must pay roughly one
+//     relaxed atomic RMW per recorded fact. Counters and histogram
+//     buckets are therefore striped across kMetricShards cache-line
+//     aligned cells; each thread hashes to a stable shard, so
+//     concurrent workers touch distinct cache lines and never contend.
+//     Values are summed only on scrape, which is rare and slow-path.
+//
+//  2. Instruments are created once (registry lookup under a mutex) and
+//     then held by pointer. Lookups are not hot: callers cache the
+//     pointer — see obs/stages.h for the process-wide handles the
+//     pipeline uses. Registered instruments are never destroyed before
+//     process exit, so cached pointers stay valid forever.
+//
+//  3. Everything must compile away. Building with -DDLACEP_NO_METRICS=ON
+//     defines the macro of the same name and turns every mutation into
+//     an empty inline; the runtime kill switch (MetricsRegistry::
+//     SetEnabled(false)) covers the measured-overhead bench, which needs
+//     on/off rows from one binary.
+//
+// Histograms use log2 buckets exactly like runtime/stats.h's
+// LatencyHistogram: bucket i counts observations in
+// (min_value·2^(i-1), min_value·2^i], with an underflow first bucket and
+// a +Inf overflow last bucket. Quantile() is nearest-rank over bucket
+// counts and returns the bucket's upper bound, i.e. it is exact to one
+// bucket — the property tests/obs_test.cc pins down.
+
+#ifndef DLACEP_OBS_METRICS_H_
+#define DLACEP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dlacep {
+namespace obs {
+
+/// Number of stripes per counter/histogram. Threads hash to a stable
+/// stripe; 16 is comfortably above the worker counts the runtime uses.
+inline constexpr size_t kMetricShards = 16;
+
+/// Stable per-thread shard index in [0, kMetricShards).
+size_t ThisThreadShard();
+
+/// True when metric mutation is live. Compiled out entirely under
+/// DLACEP_NO_METRICS; otherwise a relaxed atomic read of the runtime
+/// kill switch.
+bool MetricsEnabled();
+
+/// Sorted key=value label set. Instruments are identified by
+/// (name, labels); the registry treats the pair as the primary key.
+using Labels = std::map<std::string, std::string>;
+
+namespace internal {
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> v{0};
+};
+}  // namespace internal
+
+/// Monotonic counter, striped across shards. Increment is one relaxed
+/// fetch_add on this thread's stripe.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+#ifndef DLACEP_NO_METRICS
+    if (!MetricsEnabled()) return;
+    shards_[ThisThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  /// Sum over all stripes (scrape path).
+  uint64_t Value() const;
+
+  /// Zeroes all stripes. Scrape-path only; racing increments may be
+  /// lost, which is fine for the test-reset use case.
+  void Reset();
+
+ private:
+  internal::ShardCell shards_[kMetricShards];
+};
+
+/// Point-in-time value. A single atomic<double>; Set is a relaxed
+/// store, Add is a CAS loop (atomic<double>::fetch_add is not portable
+/// pre-C++20 libstdc++ everywhere we build).
+class Gauge {
+ public:
+  void Set(double value) {
+#ifndef DLACEP_NO_METRICS
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  void Add(double delta);
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  /// Upper bound of the first (underflow) bucket. Defaults match
+  /// runtime/stats.h's LatencyHistogram: 1µs lower resolution bound.
+  double min_value = 1e-6;
+  /// Finite buckets; bucket i (0-based) has upper bound
+  /// min_value·2^i, plus one +Inf overflow bucket on top.
+  size_t num_buckets = 27;
+};
+
+/// Log2-bucketed histogram, striped like Counter. Observe is one
+/// relaxed fetch_add plus a frexp to pick the bucket.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void Observe(double value) {
+#ifndef DLACEP_NO_METRICS
+    if (!MetricsEnabled()) return;
+    ObserveAlways(value);
+#else
+    (void)value;
+#endif
+  }
+
+  /// Index of the bucket `value` lands in (exposed for tests).
+  size_t BucketIndex(double value) const;
+
+  /// Upper bound of finite bucket i; the last bucket's bound is +Inf.
+  double BucketBound(size_t i) const;
+
+  size_t num_buckets() const { return num_buckets_ + 1; }
+
+  /// Aggregated count of finite+overflow observations.
+  uint64_t Count() const;
+
+  /// Sum of observed values (for Prometheus `_sum`).
+  double Sum() const;
+
+  /// Aggregated per-bucket counts (scrape path).
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Nearest-rank quantile (q in [0,1]) over bucket counts; returns the
+  /// selected bucket's upper bound, so the estimate is within one
+  /// bucket of exact. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  void ObserveAlways(double value);
+
+  double min_value_;
+  size_t num_buckets_;  // finite buckets; +1 overflow stored on top
+  struct Shard {
+    explicit Shard(size_t n) : buckets(n) {}
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Process-global instrument registry. GetCounter/GetGauge/GetHistogram
+/// find-or-create by (name, labels) under a mutex and hand back a
+/// pointer that stays valid for the life of the process — cache it.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::string& help = "",
+                          HistogramOptions options = {});
+
+  /// Prometheus text exposition (HELP/TYPE + samples; histograms as
+  /// cumulative `_bucket{le=...}` plus `_sum`/`_count`).
+  std::string RenderPrometheus() const;
+
+  /// JSON object with the same content, embeddable in bench_json
+  /// reports: {"counters":[...],"gauges":[...],"histograms":[...]}.
+  std::string RenderJson() const;
+
+  /// Zeroes every registered instrument (instruments themselves stay
+  /// registered, so cached pointers remain valid). Test helper: the
+  /// registry is process-global while RuntimeStats is per-run.
+  void ResetValues();
+
+  /// Runtime kill switch for the measured-overhead bench. Mutations
+  /// become no-ops when disabled; scrape still works.
+  static void SetEnabled(bool enabled);
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::unique_ptr<T> instrument;
+  };
+
+  mutable std::mutex mu_;
+  // Deques-of-entries semantics via vector<unique_ptr>: pointers handed
+  // out never move.
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace dlacep
+
+#endif  // DLACEP_OBS_METRICS_H_

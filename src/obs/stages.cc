@@ -1,0 +1,224 @@
+#include "obs/stages.h"
+
+#include <string>
+
+namespace dlacep {
+namespace obs {
+
+namespace {
+
+constexpr char kStageLatency[] = "dlacep_stage_latency_seconds";
+constexpr char kStageHelp[] =
+    "Per-stage wall-clock latency of the DLACEP pipeline";
+
+Histogram* Stage(const char* stage) {
+  return MetricsRegistry::Global().GetHistogram(kStageLatency,
+                                                {{"stage", stage}},
+                                                kStageHelp);
+}
+
+constexpr char kEventsTotal[] = "dlacep_runtime_events_total";
+constexpr char kEventsHelp[] =
+    "Event accounting: relayed+filtered+dropped+quarantined == ingested";
+
+Counter* Events(const char* result) {
+  return MetricsRegistry::Global().GetCounter(kEventsTotal,
+                                              {{"result", result}},
+                                              kEventsHelp);
+}
+
+constexpr char kWindowsTotal[] = "dlacep_runtime_windows_total";
+constexpr char kWindowsHelp[] = "Window outcomes in the online runtime";
+
+Counter* Windows(const char* kind) {
+  return MetricsRegistry::Global().GetCounter(kWindowsTotal,
+                                              {{"kind", kind}},
+                                              kWindowsHelp);
+}
+
+constexpr char kHealthTotal[] = "dlacep_runtime_health_total";
+constexpr char kHealthHelp[] = "Health guard events in the online runtime";
+
+Counter* Health(const char* event) {
+  return MetricsRegistry::Global().GetCounter(kHealthTotal,
+                                              {{"event", event}},
+                                              kHealthHelp);
+}
+
+constexpr char kCepHelp[] = "CEP engine work counters";
+
+Counter* Cep(const char* what, const std::string& engine) {
+  return MetricsRegistry::Global().GetCounter(
+      std::string("dlacep_cep_") + what + "_total", {{"engine", engine}},
+      kCepHelp);
+}
+
+}  // namespace
+
+#define DLACEP_OBS_STAGE(fn, name)                    \
+  Histogram* fn() {                                   \
+    static Histogram* h = Stage(name);                \
+    return h;                                         \
+  }
+
+DLACEP_OBS_STAGE(StageQueueWait, "queue_wait")
+DLACEP_OBS_STAGE(StageFeatureBuild, "feature_build")
+DLACEP_OBS_STAGE(StageNnForwardInfer, "nn_forward_infer")
+DLACEP_OBS_STAGE(StageNnForwardTape, "nn_forward_tape")
+DLACEP_OBS_STAGE(StageNnGemm, "nn_gemm")
+DLACEP_OBS_STAGE(StageNnCell, "nn_cell")
+DLACEP_OBS_STAGE(StageWindowMark, "window_mark")
+DLACEP_OBS_STAGE(StageWindowMerge, "window_merge")
+DLACEP_OBS_STAGE(StageCepEval, "cep_eval")
+DLACEP_OBS_STAGE(StageCheckpointWrite, "checkpoint_write")
+
+#undef DLACEP_OBS_STAGE
+
+#define DLACEP_OBS_COUNTER(fn, maker, label) \
+  Counter* fn() {                            \
+    static Counter* c = maker(label);        \
+    return c;                                \
+  }
+
+DLACEP_OBS_COUNTER(EventsIngested, Events, "ingested")
+DLACEP_OBS_COUNTER(EventsDropped, Events, "dropped")
+DLACEP_OBS_COUNTER(EventsRelayed, Events, "relayed")
+DLACEP_OBS_COUNTER(EventsFiltered, Events, "filtered")
+DLACEP_OBS_COUNTER(EventsQuarantined, Events, "quarantined")
+
+DLACEP_OBS_COUNTER(WindowsClosed, Windows, "closed")
+DLACEP_OBS_COUNTER(WindowsBoosted, Windows, "boosted")
+DLACEP_OBS_COUNTER(WindowsShed, Windows, "shed")
+DLACEP_OBS_COUNTER(WindowsQuarantined, Windows, "quarantined")
+DLACEP_OBS_COUNTER(WindowsDegraded, Windows, "degraded")
+
+DLACEP_OBS_COUNTER(HealthViolations, Health, "violation")
+DLACEP_OBS_COUNTER(HealthDegrades, Health, "degrade")
+DLACEP_OBS_COUNTER(HealthRecoveries, Health, "recovery")
+DLACEP_OBS_COUNTER(ProbesRun, Health, "probe_run")
+DLACEP_OBS_COUNTER(ProbesPassed, Health, "probe_passed")
+
+#undef DLACEP_OBS_COUNTER
+
+Counter* CheckpointsWritten() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dlacep_runtime_checkpoints_total", {},
+      "Checkpoints written by the online runtime");
+  return c;
+}
+
+Counter* OverloadTransitions(int from, int to) {
+  // Levels are small (0..3 today); cache pointers so the overload
+  // controller's transition path stays lookup-free. Racy init is fine:
+  // the registry find-or-create is idempotent.
+  static constexpr int kMaxLevel = 8;
+  static std::atomic<Counter*> cache[kMaxLevel][kMaxLevel] = {};
+  auto make = [](int f, int t) {
+    return MetricsRegistry::Global().GetCounter(
+        "dlacep_overload_transitions_total",
+        {{"from", std::to_string(f)}, {"to", std::to_string(t)}},
+        "Overload controller level transitions");
+  };
+  if (from < 0 || from >= kMaxLevel || to < 0 || to >= kMaxLevel) {
+    return make(from, to);
+  }
+  Counter* c = cache[from][to].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    c = make(from, to);
+    cache[from][to].store(c, std::memory_order_release);
+  }
+  return c;
+}
+
+Counter* CepEvents(const std::string& engine) {
+  return Cep("events", engine);
+}
+Counter* CepPartialMatches(const std::string& engine) {
+  return Cep("partial_matches", engine);
+}
+Counter* CepPartialMatchesPruned(const std::string& engine) {
+  return Cep("partial_matches_pruned", engine);
+}
+Counter* CepTransitions(const std::string& engine) {
+  return Cep("transitions", engine);
+}
+Counter* CepMatches(const std::string& engine) {
+  return Cep("matches", engine);
+}
+
+#define DLACEP_OBS_GAUGE(fn, name, help)                          \
+  Gauge* fn() {                                                   \
+    static Gauge* g =                                             \
+        MetricsRegistry::Global().GetGauge(name, {}, help);       \
+    return g;                                                     \
+  }
+
+DLACEP_OBS_GAUGE(QueueDepth, "dlacep_queue_depth",
+                 "Events waiting in the ingest queue")
+DLACEP_OBS_GAUGE(QueueCapacity, "dlacep_queue_capacity",
+                 "Ingest queue capacity")
+DLACEP_OBS_GAUGE(OverloadLevel, "dlacep_overload_level",
+                 "Current overload controller level (0=normal)")
+DLACEP_OBS_GAUGE(HealthDegraded, "dlacep_health_degraded",
+                 "1 while the runtime is in degraded mode")
+DLACEP_OBS_GAUGE(WindowsInFlight, "dlacep_windows_in_flight",
+                 "Windows closed but not yet merged")
+
+#undef DLACEP_OBS_GAUGE
+
+void TouchStandardMetrics() {
+  StageQueueWait();
+  StageFeatureBuild();
+  StageNnForwardInfer();
+  StageNnForwardTape();
+  StageNnGemm();
+  StageNnCell();
+  StageWindowMark();
+  StageWindowMerge();
+  StageCepEval();
+  StageCheckpointWrite();
+
+  EventsIngested();
+  EventsDropped();
+  EventsRelayed();
+  EventsFiltered();
+  EventsQuarantined();
+
+  WindowsClosed();
+  WindowsBoosted();
+  WindowsShed();
+  WindowsQuarantined();
+  WindowsDegraded();
+
+  HealthViolations();
+  HealthDegrades();
+  HealthRecoveries();
+  ProbesRun();
+  ProbesPassed();
+  CheckpointsWritten();
+
+  // Adjacent level pairs plus the degraded jumps the health guard uses.
+  for (int level = 0; level < 3; ++level) {
+    OverloadTransitions(level, level + 1);
+    OverloadTransitions(level + 1, level);
+  }
+  OverloadTransitions(0, 3);
+  OverloadTransitions(3, 0);
+
+  for (const char* engine : {"nfa", "zstream-tree", "lazy"}) {
+    CepEvents(engine);
+    CepPartialMatches(engine);
+    CepPartialMatchesPruned(engine);
+    CepTransitions(engine);
+    CepMatches(engine);
+  }
+
+  QueueDepth();
+  QueueCapacity();
+  OverloadLevel();
+  HealthDegraded();
+  WindowsInFlight();
+}
+
+}  // namespace obs
+}  // namespace dlacep

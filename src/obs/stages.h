@@ -1,0 +1,98 @@
+// Well-known instrument handles for the DLACEP pipeline.
+//
+// Instrumented code never pays a registry lookup on the hot path: each
+// accessor below resolves its instrument once (function-local static)
+// and returns the cached pointer forever after. The full metric naming
+// scheme is documented in docs/ARCHITECTURE.md; the short version:
+//
+//   dlacep_stage_latency_seconds{stage=...}   per-stage latency histograms
+//   dlacep_runtime_events_total{result=...}   event accounting counters
+//   dlacep_runtime_windows_total{kind=...}    window outcome counters
+//   dlacep_runtime_health_total{event=...}    health guard counters
+//   dlacep_overload_transitions_total{from,to}
+//   dlacep_cep_*_total{engine=...}            CEP engine work counters
+//   dlacep_queue_depth / dlacep_overload_level / ... gauges
+//
+// TouchStandardMetrics() eagerly registers every family above so an
+// exposition scrape always contains the complete schema, even when a
+// run never exercised a path (e.g. the NN forward stages under the
+// pass-through filter).
+
+#ifndef DLACEP_OBS_STAGES_H_
+#define DLACEP_OBS_STAGES_H_
+
+#include "obs/metrics.h"
+
+namespace dlacep {
+namespace obs {
+
+// --- Stage latency histograms (dlacep_stage_latency_seconds) ---------
+Histogram* StageQueueWait();      ///< ingest push -> assembler pop
+Histogram* StageFeatureBuild();   ///< featurizer Encode
+Histogram* StageNnForwardInfer(); ///< frozen fast-path forward (per window)
+Histogram* StageNnForwardTape();  ///< tape forward (per window)
+Histogram* StageNnGemm();         ///< hoisted LSTM input-projection GEMM
+Histogram* StageNnCell();         ///< LSTM per-step recurrence loop
+Histogram* StageWindowMark();     ///< one window marked end-to-end
+Histogram* StageWindowMerge();    ///< one window merged (dedup + store)
+Histogram* StageCepEval();        ///< CEP engine Evaluate
+Histogram* StageCheckpointWrite();///< checkpoint serialization + write
+
+// --- Runtime counters ------------------------------------------------
+// dlacep_runtime_events_total{result=ingested|dropped|relayed|filtered|
+//                                    quarantined}
+Counter* EventsIngested();
+Counter* EventsDropped();
+Counter* EventsRelayed();
+Counter* EventsFiltered();
+Counter* EventsQuarantined();
+
+// dlacep_runtime_windows_total{kind=closed|boosted|shed|quarantined|
+//                                   degraded|timed_out}
+Counter* WindowsClosed();
+Counter* WindowsBoosted();
+Counter* WindowsShed();
+Counter* WindowsQuarantined();
+Counter* WindowsDegraded();
+
+// dlacep_runtime_health_total{event=violation|degrade|recovery|
+//                                   probe_run|probe_passed}
+Counter* HealthViolations();
+Counter* HealthDegrades();
+Counter* HealthRecoveries();
+Counter* ProbesRun();
+Counter* ProbesPassed();
+
+// dlacep_runtime_checkpoints_total
+Counter* CheckpointsWritten();
+
+// dlacep_overload_transitions_total{from="L",to="L"} — one counter per
+// (from, to) level pair, created on demand.
+Counter* OverloadTransitions(int from, int to);
+
+// --- CEP engine counters (labelled by engine name) -------------------
+// dlacep_cep_events_total / dlacep_cep_partial_matches_total /
+// dlacep_cep_partial_matches_pruned_total / dlacep_cep_transitions_total /
+// dlacep_cep_matches_total, each {engine="nfa"|"tree"|"lazy"}.
+Counter* CepEvents(const std::string& engine);
+Counter* CepPartialMatches(const std::string& engine);
+Counter* CepPartialMatchesPruned(const std::string& engine);
+Counter* CepTransitions(const std::string& engine);
+Counter* CepMatches(const std::string& engine);
+
+// --- Gauges ----------------------------------------------------------
+Gauge* QueueDepth();       ///< dlacep_queue_depth (events waiting)
+Gauge* QueueCapacity();    ///< dlacep_queue_capacity
+Gauge* OverloadLevel();    ///< dlacep_overload_level (0..3)
+Gauge* HealthDegraded();   ///< dlacep_health_degraded (0/1)
+Gauge* WindowsInFlight();  ///< dlacep_windows_in_flight
+
+/// Eagerly registers every family above (including the common overload
+/// transition pairs and all three CEP engine label values) so a scrape
+/// emits the complete schema regardless of which paths ran.
+void TouchStandardMetrics();
+
+}  // namespace obs
+}  // namespace dlacep
+
+#endif  // DLACEP_OBS_STAGES_H_

@@ -10,6 +10,8 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/stages.h"
+#include "obs/trace.h"
 
 namespace dlacep {
 
@@ -34,7 +36,16 @@ struct OnlineDlacep::RunState {
            const HealthConfig& health)
       : queue(queue_capacity), controller(overload), guard(health) {}
 
-  RingQueue<Event> queue;
+  // Queue element: the event plus its push timestamp, so queue-wait is
+  // measured exactly (the stamp travels with the event through the
+  // queue's own synchronization — no side-channel, no race, correct
+  // under drop_when_full). Stamping is skipped while metrics are off.
+  struct Arrival {
+    Event event;
+    double pushed_seconds = 0.0;
+  };
+
+  RingQueue<Arrival> queue;
   std::shared_ptr<const Schema> schema;
 
   // Assembler: arrivals not yet consumed by every window that needs
@@ -87,6 +98,7 @@ struct OnlineDlacep::RunState {
   std::unique_ptr<DriftMonitor> drift;
   double latency_ewma = 0.0;
   bool latency_seen = false;
+  size_t latency_samples = 0;  ///< observations offered (incl. discarded)
 
   // Checkpoint bookkeeping (assembler thread).
   uint64_t base_ingested = 0;  ///< events already accounted pre-restore
@@ -136,19 +148,32 @@ OnlineDlacep::OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
 }
 
 void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
+  obs::TraceSpan merge_span(obs::StageWindowMerge());
   const double now = state->watch.ElapsedSeconds();
   const double latency = std::max(0.0, now - window.close_seconds);
   state->stats.window_latency.Record(latency);
-  state->latency_ewma = state->latency_seen
-                            ? 0.8 * state->latency_ewma + 0.2 * latency
-                            : latency;
-  state->latency_seen = true;
+  // The first latency_warmup_windows observations never reach the EWMA:
+  // the warm-up window is routinely a cold-cache outlier, and because
+  // the EWMA seeds from its first observation, admitting it would hold
+  // the smoothed latency above the escalation bar for several windows —
+  // a spurious escalation from one slow window (overload.h).
+  if (state->latency_samples++ >= config_.overload.latency_warmup_windows) {
+    state->latency_ewma = state->latency_seen
+                              ? 0.8 * state->latency_ewma + 0.2 * latency
+                              : latency;
+    state->latency_seen = true;
+  }
 
   ++state->stats.windows_closed;
-  if (window.level == 1) ++state->stats.windows_boosted;
+  obs::WindowsClosed()->Increment();
+  if (window.level == 1) {
+    ++state->stats.windows_boosted;
+    obs::WindowsBoosted()->Increment();
+  }
   if (window.level >= OverloadController::kMaxLevel &&
       window.level != OverloadController::kDegradedLevel) {
     ++state->stats.windows_shed;
+    obs::WindowsShed()->Increment();
   }
 
   const size_t window_size = window.events->size();
@@ -158,15 +183,22 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
 
   if (degraded_window) {
     ++state->stats.windows_degraded;
+    obs::WindowsDegraded()->Increment();
     if (window.probe) {
       ++state->stats.probes_run;
+      obs::ProbesRun()->Increment();
       bool recovered = false;
       const bool passed = state->guard.ProbeHealthy(
           window.shadow_marks, window_size, latency, &recovered);
-      if (passed) ++state->stats.probes_passed;
+      if (passed) {
+        ++state->stats.probes_passed;
+        obs::ProbesPassed()->Increment();
+      }
       if (recovered) {
         state->controller.ExitDegraded();
         ++state->stats.health_recoveries;
+        obs::HealthRecoveries()->Increment();
+        obs::HealthDegraded()->Set(0.0);
         state->guard.ResetStreaks();
         state->degraded_since_probe = 0;
         DLACEP_LOG(Info) << "filter re-enabled after "
@@ -182,7 +214,9 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
     if (v != HealthViolation::kNone) {
       quarantine = true;
       ++state->stats.health_violations;
+      obs::HealthViolations()->Increment();
       ++state->stats.windows_quarantined;
+      obs::WindowsQuarantined()->Increment();
       DLACEP_LOG(Warning)
           << "window at " << window.begin << " quarantined ("
           << HealthViolationName(v) << "); degrading to exact CEP";
@@ -192,6 +226,8 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
                 static_cast<double>(state->queue.capacity()),
             latency);
         ++state->stats.health_degrades;
+        obs::HealthDegrades()->Increment();
+        obs::HealthDegraded()->Set(1.0);
       }
       state->guard.ResetStreaks();
       state->degraded_since_probe = 0;
@@ -217,7 +253,9 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
       if (window.marks[t] == 0) continue;
       const Event& event = (*window.events)[t];
       state->marked_ids.push_back(event.id);
-      state->seen.insert(event.id);
+      if (state->seen.insert(event.id).second) {
+        obs::EventsRelayed()->Increment();
+      }
       if (state->stored.insert(event.id).second) {
         state->marked_store.push_back(event);
       }
@@ -324,6 +362,8 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
       static_cast<double>(state->queue.size()) /
           static_cast<double>(state->queue.capacity()),
       state->latency_seen ? state->latency_ewma : 0.0);
+  obs::QueueDepth()->Set(static_cast<double>(state->queue.size()));
+  obs::OverloadLevel()->Set(static_cast<double>(level));
 
   // Probe scheduling is assembler-side (deterministic regardless of
   // thread count): every probe_period-th degraded window additionally
@@ -355,6 +395,7 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
 
   const double close_seconds = state->watch.ElapsedSeconds();
   ++state->in_flight;
+  obs::WindowsInFlight()->Set(static_cast<double>(state->in_flight));
   state->pending.emplace(
       seq, RunState::Pending{begin, level, close_seconds, events});
 
@@ -369,6 +410,7 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
     window.probe = probe;
     InferenceContext* ctx =
         contexts_[ThreadPool::CurrentWorkerIndex()].get();
+    obs::TraceSpan mark_span(obs::StageWindowMark());
     if (level == OverloadController::kDegradedLevel) {
       // Degrade-to-exact: relay everything; the exact CEP engine sees
       // the unfiltered window (recall 1.0). A probe window additionally
@@ -388,6 +430,7 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
           level == 1 ? config_.overload.threshold_boost : 0.0;
       window.marks = filter_->MarkOnline(*events, begin, ctx, boost);
     }
+    mark_span.Finish();
     {
       std::lock_guard<std::mutex> lock(state->done_mu);
       state->done.emplace(seq, std::move(window));
@@ -406,6 +449,7 @@ void OnlineDlacep::WriteCheckpointNow(RunState* state) {
   // window has merged (the snapshot has no notion of in-flight work).
   DrainMerges(state, 0);
 
+  obs::TraceSpan checkpoint_span(obs::StageCheckpointWrite());
   CheckpointState snap;
   snap.mark_size = mark_size_;
   snap.step_size = step_size_;
@@ -443,6 +487,7 @@ void OnlineDlacep::WriteCheckpointNow(RunState* state) {
   const Status status = SaveCheckpoint(snap, config_.checkpoint.dir);
   if (status.ok()) {
     ++state->stats.checkpoints_written;
+    obs::CheckpointsWritten()->Increment();
   } else {
     // A failed checkpoint degrades durability, not availability.
     DLACEP_LOG(Warning) << "checkpoint write failed: " << status.ToString();
@@ -498,7 +543,29 @@ Status OnlineDlacep::RestoreFrom(RunState* state, StreamSource* source) {
   state->stats.checkpoints_written = cs.checkpoints_written;
   state->stats.drift_flags = cs.drift_flags;
 
+  // Fold the restored baselines into the metric counters so a scrape
+  // equals RuntimeStats whether or not the run resumed from a
+  // checkpoint (relayed increments live on seen-insert; the restored
+  // seen set never re-inserts, so its baseline lands here).
+  obs::EventsIngested()->Increment(cs.appended);
+  obs::EventsDropped()->Increment(cs.events_dropped_queue);
+  obs::EventsRelayed()->Increment(cs.seen.size());
+  obs::WindowsClosed()->Increment(cs.windows_closed);
+  obs::WindowsBoosted()->Increment(cs.windows_boosted);
+  obs::WindowsShed()->Increment(cs.windows_shed);
+  obs::WindowsQuarantined()->Increment(cs.windows_quarantined);
+  obs::WindowsDegraded()->Increment(cs.windows_degraded);
+  obs::HealthViolations()->Increment(cs.health_violations);
+  obs::HealthDegrades()->Increment(cs.health_degrades);
+  obs::HealthRecoveries()->Increment(cs.health_recoveries);
+  obs::ProbesRun()->Increment(cs.probes_run);
+  obs::ProbesPassed()->Increment(cs.probes_passed);
+  obs::CheckpointsWritten()->Increment(cs.checkpoints_written);
+
   state->controller.RestoreLevel(cs.controller_level);
+  obs::OverloadLevel()->Set(static_cast<double>(cs.controller_level));
+  obs::HealthDegraded()->Set(
+      cs.controller_level == OverloadController::kDegradedLevel ? 1.0 : 0.0);
   state->guard.RestoreProbeRun(cs.probe_pass_run);
   state->degraded_since_probe = cs.degraded_since_probe;
 
@@ -553,20 +620,27 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   uint64_t dropped = 0;
   uint64_t read_errors = 0;
   uint64_t retries = 0;
+  obs::QueueCapacity()->Set(static_cast<double>(state.queue.capacity()));
   std::thread producer([&] {
-    Event event;
+    RunState::Arrival arrival;
     EventId next_id = state.appended;  // restored runs resume the id line
     int consecutive_failures = 0;
     for (;;) {
-      const Status read = source->Read(&event);
+      const Status read = source->Read(&arrival.event);
       if (read.ok()) {
         consecutive_failures = 0;
-        event.id = next_id++;
+        arrival.event.id = next_id++;
         ++ingested;
+        obs::EventsIngested()->Increment();
+        arrival.pushed_seconds =
+            obs::MetricsEnabled() ? state.watch.ElapsedSeconds() : 0.0;
         const bool accepted = config_.drop_when_full
-                                  ? state.queue.TryPush(event)
-                                  : state.queue.Push(event);
-        if (!accepted) ++dropped;
+                                  ? state.queue.TryPush(arrival)
+                                  : state.queue.Push(arrival);
+        if (!accepted) {
+          ++dropped;
+          obs::EventsDropped()->Increment();
+        }
         continue;
       }
       if (read.code() == StatusCode::kOutOfRange) break;  // clean end
@@ -591,9 +665,13 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   // Assembler loop: a full window closes by watermark the moment its
   // last event arrives — the running prefix of
   // CountWindows(appended, mark, step).
-  Event event;
-  while (state.queue.Pop(&event)) {
-    state.buffer.push_back(event);
+  RunState::Arrival arrival;
+  while (state.queue.Pop(&arrival)) {
+    if (arrival.pushed_seconds > 0.0) {
+      obs::StageQueueWait()->Observe(std::max(
+          0.0, state.watch.ElapsedSeconds() - arrival.pushed_seconds));
+    }
+    state.buffer.push_back(std::move(arrival.event));
     ++state.appended;
     while (state.appended >= state.next_begin + mark_size_) {
       CloseWindow(&state, state.next_begin,
@@ -642,6 +720,12 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   }
   state.stats.events_quarantined = quarantined_only;
   state.stats.events_filtered = state.appended - state.stored.size();
+  // Filtered and quarantined-only are set-complement quantities: they
+  // exist only once the run is over (a filtered event might still be
+  // marked by a later overlapping window), so they sync to counters
+  // here rather than incrementing live.
+  obs::EventsQuarantined()->Increment(state.stats.events_quarantined);
+  obs::EventsFiltered()->Increment(state.stats.events_filtered);
   state.stats.queue_capacity = state.queue.capacity();
   state.stats.queue_high_water = state.queue.high_water();
   state.stats.overload_escalations = state.controller.escalations();
@@ -661,6 +745,7 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
       extractor_.Extract(std::move(marked), &result->matches);
   DLACEP_CHECK_MSG(status.ok(), status.ToString());
   state.stats.extract_seconds = extract_watch.ElapsedSeconds();
+  obs::StageCepEval()->Observe(state.stats.extract_seconds);
   state.stats.matches = result->matches.size();
   state.stats.elapsed_seconds = state.watch.ElapsedSeconds();
 

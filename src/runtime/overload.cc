@@ -1,8 +1,21 @@
 #include "runtime/overload.h"
 
 #include "common/status.h"
+#include "obs/stages.h"
 
 namespace dlacep {
+
+namespace {
+
+// Every level change — pressure ladder, health degrade, probed exit —
+// funnels through here so the labelled transition counters and the
+// level gauge can never drift from the transitions_ log.
+void RecordTransition(int from, int to) {
+  obs::OverloadTransitions(from, to)->Increment();
+  obs::OverloadLevel()->Set(static_cast<double>(to));
+}
+
+}  // namespace
 
 OverloadController::OverloadController(const OverloadConfig& config)
     : config_(config) {
@@ -43,6 +56,7 @@ int OverloadController::Observe(double queue_fraction,
   if (next != level_) {
     transitions_.push_back(OverloadTransition{
         observations_ - 1, level_, next, queue_fraction, latency_seconds});
+    RecordTransition(level_, next);
     level_ = next;
     // A transition consumes the run that fired it, so the next level
     // change needs another full dwell period.
@@ -58,6 +72,7 @@ void OverloadController::ForceDegrade(double queue_fraction,
   transitions_.push_back(OverloadTransition{observations_, level_,
                                             kDegradedLevel, queue_fraction,
                                             latency_seconds});
+  RecordTransition(level_, kDegradedLevel);
   level_ = kDegradedLevel;
   ++degrades_;
   pressure_run_ = 0;
@@ -76,6 +91,7 @@ void OverloadController::ExitDegraded() {
   if (!degraded()) return;
   transitions_.push_back(
       OverloadTransition{observations_, level_, 0, 0.0, 0.0});
+  RecordTransition(level_, 0);
   level_ = 0;
   ++degrade_recoveries_;
   pressure_run_ = 0;

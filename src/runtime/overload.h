@@ -54,6 +54,15 @@ struct OverloadConfig {
   /// queue depth. 0 disables the latency signal.
   double latency_high_seconds = 0.0;
 
+  /// Merge-latency observations discarded before the EWMA the latency
+  /// signal reads is seeded. The first window of a run is routinely an
+  /// outlier (cold caches, first-touch allocations in every scratch
+  /// arena) and the EWMA seeds from its first observation — without a
+  /// warm-up discard a single slow warm-up window can carry the EWMA
+  /// over latency_high_seconds for several windows and fire a spurious
+  /// escalation (see tests/runtime_test.cc warm-up regressions).
+  size_t latency_warmup_windows = 1;
+
   /// Consecutive closed windows the signal must persist before a
   /// transition fires.
   size_t dwell_windows = 3;

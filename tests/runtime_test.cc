@@ -432,6 +432,87 @@ TEST(OverloadController, LatencySignalTriggersWithoutQueuePressure) {
   EXPECT_EQ(controller.Observe(0.0, 0.1), 0);
 }
 
+// ---------------------------------------------------------------------
+// Latency-EWMA warm-up: one slow first window must not escalate.
+
+/// Sleeps while marking windows with seq < slow_before — a warm-up
+/// outlier (seq 0 only) or sustained slowness (several windows).
+class SlowSeqFilter : public StreamFilter {
+ public:
+  SlowSeqFilter(std::atomic<uint64_t>* seq_counter, uint64_t slow_before,
+                std::chrono::milliseconds delay)
+      : seq_(seq_counter), slow_before_(slow_before), delay_(delay) {}
+
+  std::string name() const override { return "slow-seq"; }
+
+  std::vector<int> Mark(const EventStream&,
+                        WindowRange range) const override {
+    if (seq_->fetch_add(1) < slow_before_) {
+      std::this_thread::sleep_for(delay_);
+    }
+    return std::vector<int>(range.size(), 1);
+  }
+
+ private:
+  std::atomic<uint64_t>* seq_;
+  uint64_t slow_before_;
+  std::chrono::milliseconds delay_;
+};
+
+// Latency-signal-only config: the queue can never signal pressure
+// (high_watermark above any possible fill fraction), so escalations in
+// these tests come from the window-latency EWMA alone.
+OnlineConfig LatencySignalOnlyConfig() {
+  OnlineConfig config;
+  config.num_threads = 1;  // in-order inline marking: window latencies
+                           // are exactly the per-window mark costs
+  config.overload.enabled = true;
+  config.overload.high_watermark = 2.0;
+  config.overload.latency_high_seconds = 0.05;
+  config.overload.dwell_windows = 1;
+  return config;
+}
+
+TEST(OnlineOverload, SingleSlowWarmupWindowDoesNotEscalate) {
+  const EventStream stream = SmallStream(600, 67);
+  const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 2, 8);
+  // Only window 0 is slow (250ms >> the 50ms trip point): the classic
+  // cold-cache warm-up outlier. Before the warm-up discard the EWMA
+  // seeded from this first observation and, with dwell_windows=1, fired
+  // a spurious escalation a healthy steady state then had to undo.
+  std::atomic<uint64_t> seq{0};
+  SlowSeqFilter filter(&seq, /*slow_before=*/1,
+                       std::chrono::milliseconds(250));
+  OnlineConfig config = LatencySignalOnlyConfig();
+  ASSERT_EQ(config.overload.latency_warmup_windows, 1u);  // the default
+  OnlineDlacep online(pattern, &filter, config);
+  ReplaySource source(&stream);
+  const OnlineResult result = online.Run(&source);
+
+  EXPECT_EQ(result.stats.overload_escalations, 0u)
+      << "a single warm-up outlier seeded the latency EWMA";
+  EXPECT_EQ(result.stats.overload_level_at_exit, 0);
+  EXPECT_TRUE(result.stats.transitions.empty());
+  EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
+}
+
+TEST(OnlineOverload, SustainedSlownessStillEscalatesPastWarmup) {
+  const EventStream stream = SmallStream(600, 71);
+  const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 2, 8);
+  // Six consecutive slow windows: the warm-up discard skips only the
+  // first, so the EWMA seeds from window 1 and the latency signal must
+  // still fire — the fix ignores one outlier, not the signal.
+  std::atomic<uint64_t> seq{0};
+  SlowSeqFilter filter(&seq, /*slow_before=*/6,
+                       std::chrono::milliseconds(100));
+  OnlineDlacep online(pattern, &filter, LatencySignalOnlyConfig());
+  ReplaySource source(&stream);
+  const OnlineResult result = online.Run(&source);
+
+  EXPECT_GE(result.stats.overload_escalations, 1u);
+  EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
+}
+
 TEST(OnlineOverload, DisabledControllerStaysLossyButLevelZero) {
   const EventStream stream = SmallStream(2000, 19);
   const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 2, 8);

@@ -44,6 +44,8 @@
 #include "dlacep/shedding_filter.h"
 #include "dlacep/window_filter.h"
 #include "nn/serialize.h"
+#include "obs/export.h"
+#include "obs/stages.h"
 #include "pattern/parser.h"
 #include "runtime/fault_injection.h"
 #include "runtime/online.h"
@@ -115,6 +117,9 @@ int Usage() {
                " [--train F.csv]\n"
                "  (online filter KINDs: pass | type-shed | random-shed |"
                " oracle | event | window)\n"
+               "  observability flags (replay/serve):\n"
+               "       [--metrics_out FILE(.prom|.json)]"
+               " [--metrics_every SEC]\n"
                "  fault-tolerance flags (replay/serve):\n"
                "       [--health 0|1] [--deadline SEC] [--anomaly_streak N]\n"
                "       [--probe_period N] [--probe_passes N]\n"
@@ -400,11 +405,28 @@ int StreamOnline(const Args& args, const Pattern& pattern,
     }
   }
 
+  // --metrics_out FILE exposes the obs registry: Prometheus text (or the
+  // unified bench JSON schema for *.json paths), rewritten every
+  // --metrics_every SEC while streaming and once more at exit. Touching
+  // the standard families first makes every scrape schema-complete even
+  // for stages this run never executes.
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (args.Has("metrics_out")) {
+    obs::TouchStandardMetrics();
+    exporter = std::make_unique<obs::MetricsExporter>(
+        args.Get("metrics_out"), args.GetDouble("metrics_every", 0.0));
+  }
+
   OnlineDlacep online(pattern, filter.value().filter, config);
   OnlineResult result;
   const Status run_status = online.Run(source.get(), &result);
   if (!run_status.ok()) {
     std::fprintf(stderr, "%s\n", run_status.ToString().c_str());
+    return 1;
+  }
+  if (exporter != nullptr && !exporter->Flush()) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 args.Get("metrics_out").c_str());
     return 1;
   }
   std::printf("pattern : %s\n", pattern.ToString().c_str());
