@@ -1,5 +1,6 @@
 #include "dlacep/event_filter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/stages.h"
@@ -79,6 +80,85 @@ std::vector<int> EventNetworkFilter::MarkFeaturesAt(
   frozen_.head_fwd.Forward(h, &emissions_f);
   frozen_.head_bwd.Forward(h, &emissions_b);
   return Threshold(crf_.Marginals(emissions_f, emissions_b), threshold);
+}
+
+void EventNetworkFilter::MarkFeaturesBatchAt(
+    std::span<const Matrix> features, InferenceContext* ctx,
+    std::span<const double> thresholds, std::vector<int>* marks) const {
+  const size_t batch = features.size();
+  if (batch == 0) return;
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+
+  std::vector<size_t> offsets(batch + 1, 0);
+  for (size_t w = 0; w < batch; ++w) {
+    offsets[w + 1] = offsets[w] + features[w].rows();
+  }
+  Matrix& x_all = c->Acquire(offsets[batch], features[0].cols());
+  for (size_t w = 0; w < batch; ++w) {
+    std::copy_n(features[w].data(), features[w].rows() * features[w].cols(),
+                x_all.data() + offsets[w] * x_all.cols());
+  }
+
+  const Matrix& h = frozen_.stack.ForwardBatch(c, x_all, offsets);
+  // The emission heads are row-local dot products (MatMulTransBInto),
+  // so one stacked call over the slab equals per-window heads bit for
+  // bit.
+  Matrix& emissions_f = c->Acquire(offsets[batch], 2);
+  Matrix& emissions_b = c->Acquire(offsets[batch], 2);
+  frozen_.head_fwd.ForwardBatch(h, &emissions_f);
+  frozen_.head_bwd.ForwardBatch(h, &emissions_b);
+
+  // The CRF chains stay per-window: slice each window's emissions back
+  // out and decode against its own threshold (batched windows may carry
+  // different overload boosts).
+  for (size_t w = 0; w < batch; ++w) {
+    const size_t t_len = offsets[w + 1] - offsets[w];
+    Matrix& ef = c->Acquire(t_len, 2);
+    Matrix& eb = c->Acquire(t_len, 2);
+    std::copy_n(emissions_f.data() + offsets[w] * 2, t_len * 2, ef.data());
+    std::copy_n(emissions_b.data() + offsets[w] * 2, t_len * 2, eb.data());
+    marks[w] = Threshold(crf_.Marginals(ef, eb), thresholds[w]);
+  }
+}
+
+void EventNetworkFilter::MarkBatchWith(const EventStream& stream,
+                                       std::span<const WindowRange> windows,
+                                       InferenceContext* ctx,
+                                       std::vector<int>* marks) const {
+  if (windows.empty()) return;
+  std::vector<Matrix> features;
+  features.reserve(windows.size());
+  {
+    obs::TraceSpan feature_span(obs::StageFeatureBuild());
+    for (const WindowRange& range : windows) {
+      features.push_back(
+          featurizer_->Encode(stream.View(range.begin, range.size())));
+    }
+  }
+  const std::vector<double> thresholds(windows.size(), event_threshold_);
+  MarkFeaturesBatchAt(features, ctx, thresholds, marks);
+}
+
+void EventNetworkFilter::MarkBatchOnline(std::span<const OnlineWindow> windows,
+                                         InferenceContext* ctx,
+                                         std::vector<int>* marks) const {
+  if (windows.empty()) return;
+  std::vector<Matrix> features;
+  std::vector<double> thresholds;
+  features.reserve(windows.size());
+  thresholds.reserve(windows.size());
+  {
+    obs::TraceSpan feature_span(obs::StageFeatureBuild());
+    for (const OnlineWindow& w : windows) {
+      features.push_back(
+          featurizer_->Encode(w.events->View(0, w.events->size())));
+      thresholds.push_back(event_threshold_ + w.threshold_boost);
+    }
+  }
+  MarkFeaturesBatchAt(features, ctx, thresholds, marks);
 }
 
 std::vector<int> EventNetworkFilter::MarkFeaturesWith(

@@ -32,6 +32,13 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
   std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
                               InferenceContext* ctx,
                               double threshold_boost) const override;
+  void MarkBatchWith(const EventStream& stream,
+                     std::span<const WindowRange> windows,
+                     InferenceContext* ctx,
+                     std::vector<int>* marks) const override;
+  void MarkBatchOnline(std::span<const OnlineWindow> windows,
+                       InferenceContext* ctx,
+                       std::vector<int>* marks) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
   std::vector<int> MarkFeaturesWith(const Matrix& features,
                                     InferenceContext* ctx) const override;
@@ -54,6 +61,13 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
   std::vector<int> MarkFeaturesAt(const Matrix& features,
                                   InferenceContext* ctx,
                                   double threshold) const;
+  /// Batched MarkFeaturesAt: stacks the feature matrices batch-major,
+  /// runs the trunk + emission heads once over the slab, then decodes
+  /// each window's CRF chain against its own threshold.
+  void MarkFeaturesBatchAt(std::span<const Matrix> features,
+                           InferenceContext* ctx,
+                           std::span<const double> thresholds,
+                           std::vector<int>* marks) const;
   void Refreeze();
 
   const Featurizer* featurizer_;  ///< not owned

@@ -5,6 +5,7 @@
 #ifndef DLACEP_DLACEP_FILTER_H_
 #define DLACEP_DLACEP_FILTER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,16 @@ class InferenceContext;
 /// online runtime's HealthGuard recognizes the sentinel, quarantines the
 /// window (relaying it unfiltered), and flips into degraded mode.
 inline constexpr int kInvalidMark = -1;
+
+/// One window of a MarkBatchOnline() micro-batch: the events the online
+/// runtime materialized for it, its position in the full stream, and
+/// the overload threshold boost in force when it closed (windows inside
+/// one batch may have closed under different overload levels).
+struct OnlineWindow {
+  const EventStream* events = nullptr;
+  size_t stream_begin = 0;
+  double threshold_boost = 0.0;
+};
 
 class StreamFilter {
  public:
@@ -73,6 +84,38 @@ class StreamFilter {
     (void)stream_begin;
     (void)threshold_boost;
     return MarkWith(window, WindowRange{0, window.size()}, ctx);
+  }
+
+  /// Marks a micro-batch of assembler windows in one call, writing
+  /// windows.size() mark vectors to `marks[0..B)` in window order. The
+  /// default is a per-window MarkWith loop — exact legacy semantics for
+  /// filters with nothing to batch (oracle, pass-through, shedding).
+  /// Network filters override it to stack the windows' feature matrices
+  /// batch-major and run the trunk once as matrix-matrix work
+  /// (nn/infer.h ForwardBatch); batched marks must equal the per-window
+  /// marks byte for byte. Same const/re-entrancy contract as Mark();
+  /// `ctx` must not be shared across concurrent calls.
+  virtual void MarkBatchWith(const EventStream& stream,
+                             std::span<const WindowRange> windows,
+                             InferenceContext* ctx,
+                             std::vector<int>* marks) const {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      marks[i] = MarkWith(stream, windows[i], ctx);
+    }
+  }
+
+  /// Batched twin of MarkOnline for the online runtime's
+  /// batch-collection stage. The default loops MarkOnline — which keeps
+  /// position-salted filters (random shedding) exactly deterministic —
+  /// and network filters override it to batch the trunk forward while
+  /// still applying each window's own threshold boost.
+  virtual void MarkBatchOnline(std::span<const OnlineWindow> windows,
+                               InferenceContext* ctx,
+                               std::vector<int>* marks) const {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      marks[i] = MarkOnline(*windows[i].events, windows[i].stream_begin, ctx,
+                            windows[i].threshold_boost);
+    }
   }
 };
 

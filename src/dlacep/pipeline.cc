@@ -1,5 +1,8 @@
 #include "dlacep/pipeline.h"
 
+#include <algorithm>
+#include <span>
+
 #include "common/logging.h"
 #include "dlacep/event_filter.h"
 #include "dlacep/oracle_filter.h"
@@ -61,11 +64,29 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
   while (contexts_.size() < workers) {
     contexts_.push_back(std::make_unique<InferenceContext>());
   }
-  ParallelForWorker(pool, windows.size(), [&](size_t worker, size_t i) {
-    obs::TraceSpan mark_span(obs::StageWindowMark());
-    window_marks[i] =
-        filter.MarkWith(stream, windows[i], contexts_[worker].get());
-  });
+  const size_t batch_size = config_.batch_size > 1 ? config_.batch_size : 1;
+  if (batch_size == 1) {
+    ParallelForWorker(pool, windows.size(), [&](size_t worker, size_t i) {
+      obs::TraceSpan mark_span(obs::StageWindowMark());
+      window_marks[i] =
+          filter.MarkWith(stream, windows[i], contexts_[worker].get());
+    });
+  } else {
+    // Micro-batched filtration: consecutive windows are grouped into
+    // fixed chunks of batch_size (tail chunk smaller) and each chunk is
+    // one MarkBatchWith call — the NN trunk sees matrix-matrix work.
+    // Chunk boundaries depend only on batch_size, never on the worker
+    // count, so marks stay byte-identical across num_threads.
+    const size_t num_batches = (windows.size() + batch_size - 1) / batch_size;
+    ParallelForWorker(pool, num_batches, [&](size_t worker, size_t bi) {
+      obs::TraceSpan mark_span(obs::StageWindowMark());
+      const size_t begin = bi * batch_size;
+      const size_t count = std::min(batch_size, windows.size() - begin);
+      filter.MarkBatchWith(
+          stream, std::span<const WindowRange>(windows.data() + begin, count),
+          contexts_[worker].get(), window_marks.data() + begin);
+    });
+  }
 
   // Deterministic merge in window order: the concatenated mark sequence
   // is identical to what the sequential loop produced, regardless of
@@ -82,11 +103,20 @@ PipelineResult DlacepPipeline::Evaluate(const EventStream& stream) {
     for (size_t t = 0; t < marks.size(); ++t) {
       if (marks[t] == 0) continue;
       const size_t pos = windows[i].begin + t;
-      marked.push_back(&stream[pos]);
       result.marked_ids.push_back(stream[pos].id);
       if (!seen[pos]) {
         seen[pos] = 1;
         ++result.marked_events;
+        // First covering window only: with the default overlapping
+        // geometry (mark = 2w, step = w) each position used to be
+        // relayed once per covering window, roughly doubling the
+        // extractor's input. The extractor sorts by id and drops
+        // duplicates before evaluating (extractor.cc), so feeding it
+        // deduplicated events changes neither the match set nor the
+        // engine work counters — only the wasted copies
+        // (tests/dlacep_pipeline_test.cc pins this). marked_ids stays
+        // duplicate-inclusive by contract.
+        marked.push_back(&stream[pos]);
       }
     }
   }

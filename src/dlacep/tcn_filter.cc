@@ -1,5 +1,6 @@
 #include "dlacep/tcn_filter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/stages.h"
@@ -81,6 +82,52 @@ std::vector<int> TcnEventFilter::MarkFeaturesWith(
 std::vector<int> TcnEventFilter::MarkFeatures(
     const Matrix& features) const {
   return MarkFeaturesWith(features, nullptr);
+}
+
+void TcnEventFilter::MarkBatchWith(const EventStream& stream,
+                                   std::span<const WindowRange> windows,
+                                   InferenceContext* ctx,
+                                   std::vector<int>* marks) const {
+  if (windows.empty()) return;
+  std::vector<Matrix> features;
+  features.reserve(windows.size());
+  {
+    obs::TraceSpan feature_span(obs::StageFeatureBuild());
+    for (const WindowRange& range : windows) {
+      features.push_back(
+          featurizer_->Encode(stream.View(range.begin, range.size())));
+    }
+  }
+  const size_t batch = windows.size();
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+
+  std::vector<size_t> offsets(batch + 1, 0);
+  for (size_t w = 0; w < batch; ++w) {
+    offsets[w + 1] = offsets[w] + features[w].rows();
+  }
+  Matrix& x_all = c->Acquire(offsets[batch], features[0].cols());
+  for (size_t w = 0; w < batch; ++w) {
+    std::copy_n(features[w].data(), features[w].rows() * features[w].cols(),
+                x_all.data() + offsets[w] * x_all.cols());
+  }
+
+  const Matrix& h = frozen_.backbone.ForwardBatch(c, x_all, offsets);
+  Matrix& emissions_f = c->Acquire(offsets[batch], 2);
+  Matrix& emissions_b = c->Acquire(offsets[batch], 2);
+  frozen_.head_fwd.ForwardBatch(h, &emissions_f);
+  frozen_.head_bwd.ForwardBatch(h, &emissions_b);
+
+  for (size_t w = 0; w < batch; ++w) {
+    const size_t t_len = offsets[w + 1] - offsets[w];
+    Matrix& ef = c->Acquire(t_len, 2);
+    Matrix& eb = c->Acquire(t_len, 2);
+    std::copy_n(emissions_f.data() + offsets[w] * 2, t_len * 2, ef.data());
+    std::copy_n(emissions_b.data() + offsets[w] * 2, t_len * 2, eb.data());
+    marks[w] = Threshold(crf_.Marginals(ef, eb));
+  }
 }
 
 std::vector<int> TcnEventFilter::MarkFeaturesTape(

@@ -28,6 +28,16 @@ class TcnEventFilter : public TrainableFilter, public SequenceModel {
                         WindowRange range) const override;
   std::vector<int> MarkWith(const EventStream& stream, WindowRange range,
                             InferenceContext* ctx) const override;
+  /// Batched marking: the TCN trunk runs once over the stacked feature
+  /// slab (loop-level fusion — see TcnInfer::ForwardBatch), the heads
+  /// run as one slab-wide GEMM, and the CRF decodes per window. No
+  /// MarkBatchOnline override: this filter keeps the base class's
+  /// MarkOnline loop, matching its per-window MarkOnline (no threshold
+  /// boost support either way).
+  void MarkBatchWith(const EventStream& stream,
+                     std::span<const WindowRange> windows,
+                     InferenceContext* ctx,
+                     std::vector<int>* marks) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
   std::vector<int> MarkFeaturesWith(const Matrix& features,
                                     InferenceContext* ctx) const override;

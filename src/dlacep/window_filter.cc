@@ -97,6 +97,85 @@ std::vector<int> MarksForProbability(bool applicable, double probability,
 
 }  // namespace
 
+void WindowNetworkFilter::MarkFeaturesBatchAt(
+    std::span<const Matrix> features, InferenceContext* ctx,
+    std::span<const double> boosts, std::vector<int>* marks) const {
+  const size_t batch = features.size();
+  if (batch == 0) return;
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+
+  std::vector<size_t> offsets(batch + 1, 0);
+  for (size_t w = 0; w < batch; ++w) {
+    offsets[w + 1] = offsets[w] + features[w].rows();
+  }
+  Matrix& x_all = c->Acquire(offsets[batch], features[0].cols());
+  for (size_t w = 0; w < batch; ++w) {
+    std::copy_n(features[w].data(), features[w].rows() * features[w].cols(),
+                x_all.data() + offsets[w] * x_all.cols());
+  }
+
+  const Matrix& h = frozen_.stack.ForwardBatch(c, x_all, offsets);
+  // Per-window column max pooling into one B×2H matrix, so the 1-unit
+  // head runs as a single B-row GEMM (row-local → bit-identical logits).
+  Matrix& pooled = c->Acquire(batch, h.cols());
+  for (size_t w = 0; w < batch; ++w) {
+    for (size_t j = 0; j < h.cols(); ++j) {
+      double best = h(offsets[w], j);
+      for (size_t i = offsets[w] + 1; i < offsets[w + 1]; ++i) {
+        best = std::max(best, h(i, j));
+      }
+      pooled(w, j) = best;
+    }
+  }
+  Matrix& logits = c->Acquire(batch, 1);
+  frozen_.head.ForwardBatch(pooled, &logits);
+  for (size_t w = 0; w < batch; ++w) {
+    const double p = 1.0 / (1.0 + std::exp(-logits(w, 0)));
+    marks[w] = MarksForProbability(IsApplicable(p, boosts[w]), p,
+                                   features[w].rows());
+  }
+}
+
+void WindowNetworkFilter::MarkBatchWith(const EventStream& stream,
+                                        std::span<const WindowRange> windows,
+                                        InferenceContext* ctx,
+                                        std::vector<int>* marks) const {
+  if (windows.empty()) return;
+  std::vector<Matrix> features;
+  features.reserve(windows.size());
+  {
+    obs::TraceSpan feature_span(obs::StageFeatureBuild());
+    for (const WindowRange& range : windows) {
+      features.push_back(
+          featurizer_->Encode(stream.View(range.begin, range.size())));
+    }
+  }
+  const std::vector<double> boosts(windows.size(), 0.0);
+  MarkFeaturesBatchAt(features, ctx, boosts, marks);
+}
+
+void WindowNetworkFilter::MarkBatchOnline(
+    std::span<const OnlineWindow> windows, InferenceContext* ctx,
+    std::vector<int>* marks) const {
+  if (windows.empty()) return;
+  std::vector<Matrix> features;
+  std::vector<double> boosts;
+  features.reserve(windows.size());
+  boosts.reserve(windows.size());
+  {
+    obs::TraceSpan feature_span(obs::StageFeatureBuild());
+    for (const OnlineWindow& w : windows) {
+      features.push_back(
+          featurizer_->Encode(w.events->View(0, w.events->size())));
+      boosts.push_back(w.threshold_boost);
+    }
+  }
+  MarkFeaturesBatchAt(features, ctx, boosts, marks);
+}
+
 std::vector<int> WindowNetworkFilter::MarkFeaturesWith(
     const Matrix& features, InferenceContext* ctx) const {
   const double p = ProbabilityWith(features, ctx);

@@ -31,6 +31,13 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
   std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
                               InferenceContext* ctx,
                               double threshold_boost) const override;
+  void MarkBatchWith(const EventStream& stream,
+                     std::span<const WindowRange> windows,
+                     InferenceContext* ctx,
+                     std::vector<int>* marks) const override;
+  void MarkBatchOnline(std::span<const OnlineWindow> windows,
+                       InferenceContext* ctx,
+                       std::vector<int>* marks) const override;
   std::vector<int> MarkFeatures(const Matrix& features) const override;
   std::vector<int> MarkFeaturesWith(const Matrix& features,
                                     InferenceContext* ctx) const override;
@@ -63,6 +70,14 @@ class WindowNetworkFilter : public TrainableFilter, public SequenceModel {
  private:
   Var Logit(Tape* tape, const Matrix& features) const;
   double ProbabilityWith(const Matrix& features, InferenceContext* ctx) const;
+  /// Batched marking core: one trunk ForwardBatch over the stacked
+  /// feature slab, per-window max pooling into a B×2H matrix, a single
+  /// B-row head GEMM, then each window's sigmoid + threshold (with its
+  /// own boost).
+  void MarkFeaturesBatchAt(std::span<const Matrix> features,
+                           InferenceContext* ctx,
+                           std::span<const double> boosts,
+                           std::vector<int>* marks) const;
   void Refreeze();
 
   const Featurizer* featurizer_;  ///< not owned

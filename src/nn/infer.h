@@ -25,6 +25,22 @@
 //    context per thread: contexts are not synchronized, the frozen
 //    weights they read are shared and immutable.
 //
+//  * `ForwardBatch` entry points run B windows per call on one stacked
+//    batch-major feature slab: the rows of window b occupy
+//    [offsets[b], offsets[b+1]) of an ΣT×D input, `offsets` being the
+//    B+1 exclusive prefix sums of the window lengths (offsets[0] = 0).
+//    Batching converts the per-window matrix-vector work — the LSTM
+//    recurrence above all — into matrix-matrix calls on the same
+//    register-tiled kernels (one B×H·H×4H GEMM per time step instead
+//    of B separate 1×H·H×4H products), and amortizes the hoisted input
+//    projection into a single ΣT-row GEMM. Dense and TCN forwards are
+//    row-local, so their batched results are the per-window results
+//    bit for bit; the LSTM's stacked GEMMs may reassociate additions
+//    across row-block boundaries, so batched activations match the
+//    per-window path to <= 1e-9, not bitwise — thresholded marks stay
+//    byte-identical (the same contract the tape/fast split already
+//    relies on).
+//
 // The tape forward remains the golden reference: both paths must agree
 // to <= 1e-9 elementwise (tests/infer_equivalence_test.cc).
 
@@ -32,6 +48,7 @@
 #define DLACEP_NN_INFER_H_
 
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "nn/layers.h"
@@ -94,6 +111,14 @@ struct DenseInfer {
   Matrix b;   ///< 1×out
   /// out must be pre-shaped N×out_dim; fully overwritten.
   void Forward(const Matrix& x, Matrix* out) const;
+  /// Batched forward over a stacked slab. Dense is row-local (every
+  /// output row is a dot product of its own input row), so this IS
+  /// Forward on the concatenated rows — bit-identical to B separate
+  /// per-window calls. Kept as a named entry point so call sites read
+  /// batch-shaped.
+  void ForwardBatch(const Matrix& x_all, Matrix* out_all) const {
+    Forward(x_all, out_all);
+  }
 };
 
 /// Frozen LSTM cell. The input projection for the whole sequence is
@@ -116,6 +141,16 @@ struct LstmInfer {
   /// path). Scratch (gates, h, c) comes from `ctx`.
   void ForwardInto(InferenceContext* ctx, const Matrix& x, bool reverse,
                    Matrix* out, size_t col) const;
+  /// Batched recurrence over B windows stacked in x_all (ΣT×in, window
+  /// b at rows [offsets[b], offsets[b+1]), all lengths > 0). The B
+  /// hidden/cell states advance in lockstep, so the recurrent term is
+  /// one B×H·H×4H GEMM per time step; windows shorter than the batch
+  /// maximum simply stop participating (their gate rows are zeroed so
+  /// the shared GEMM stays finite, and their cell update is skipped).
+  /// Output rows land at the same offsets in out_all (ΣT×C).
+  void ForwardBatchInto(InferenceContext* ctx, const Matrix& x_all,
+                        std::span<const size_t> offsets, bool reverse,
+                        Matrix* out_all, size_t col) const;
 };
 
 /// Frozen BiLSTM: forward and backward cells writing the two halves of
@@ -125,6 +160,9 @@ struct BiLstmInfer {
   LstmInfer bwd;
   /// out must be pre-shaped T×2H; fully overwritten.
   void Forward(InferenceContext* ctx, const Matrix& x, Matrix* out) const;
+  /// Batched twin of Forward over a stacked slab (see ForwardBatchInto).
+  void ForwardBatch(InferenceContext* ctx, const Matrix& x_all,
+                    std::span<const size_t> offsets, Matrix* out_all) const;
 };
 
 /// Frozen stacked BiLSTM. Returns the last layer's T×2H activation,
@@ -132,6 +170,12 @@ struct BiLstmInfer {
 struct StackedBiLstmInfer {
   std::vector<BiLstmInfer> layers;
   const Matrix& Forward(InferenceContext* ctx, const Matrix& x) const;
+  /// Batched forward over B windows stacked in x_all (batch-major, B+1
+  /// prefix-sum `offsets`). Returns the last layer's ΣT×2H slab; window
+  /// b's activation occupies rows [offsets[b], offsets[b+1]). Observes
+  /// the batch-size histogram (obs::NnBatchWindows).
+  const Matrix& ForwardBatch(InferenceContext* ctx, const Matrix& x_all,
+                             std::span<const size_t> offsets) const;
 };
 
 /// Frozen TCN: centered dilated Conv1D + bias + ReLU per layer, with
@@ -146,6 +190,14 @@ struct TcnInfer {
   std::vector<Layer> layers;
   /// Returns the last layer's T×hidden activation (lives in `ctx`).
   const Matrix& Forward(InferenceContext* ctx, const Matrix& x) const;
+  /// Batched forward over B stacked windows. Convolutions are
+  /// position-local, so batching here is loop-level fusion over the
+  /// slab with window-local boundary clamps: one pass keeps the layer
+  /// weights cache-warm across all B windows, and every output row is
+  /// the same arithmetic as the per-window Forward. Returns the last
+  /// layer's ΣT×hidden slab. Observes the batch-size histogram.
+  const Matrix& ForwardBatch(InferenceContext* ctx, const Matrix& x_all,
+                             std::span<const size_t> offsets) const;
 };
 
 // Freeze-time repacking: snapshot the layer's current parameter values

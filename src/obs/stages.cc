@@ -66,6 +66,7 @@ DLACEP_OBS_STAGE(StageFeatureBuild, "feature_build")
 DLACEP_OBS_STAGE(StageNnForwardInfer, "nn_forward_infer")
 DLACEP_OBS_STAGE(StageNnForwardTape, "nn_forward_tape")
 DLACEP_OBS_STAGE(StageNnGemm, "nn_gemm")
+DLACEP_OBS_STAGE(StageNnGemmBatched, "nn_gemm_batched")
 DLACEP_OBS_STAGE(StageNnCell, "nn_cell")
 DLACEP_OBS_STAGE(StageWindowMark, "window_mark")
 DLACEP_OBS_STAGE(StageWindowMerge, "window_merge")
@@ -146,6 +147,16 @@ Counter* CepMatches(const std::string& engine) {
   return Cep("matches", engine);
 }
 
+Histogram* NnBatchWindows() {
+  // Buckets 1, 2, 4, ... — batch sizes are small powers of two in
+  // practice, and the geometric ladder keeps the histogram compact.
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "dlacep_nn_batch_windows", {},
+      "Windows per batched NN trunk forward",
+      HistogramOptions{/*min_value=*/1.0, /*num_buckets=*/12});
+  return h;
+}
+
 #define DLACEP_OBS_GAUGE(fn, name, help)                          \
   Gauge* fn() {                                                   \
     static Gauge* g =                                             \
@@ -172,6 +183,7 @@ void TouchStandardMetrics() {
   StageNnForwardInfer();
   StageNnForwardTape();
   StageNnGemm();
+  StageNnGemmBatched();
   StageNnCell();
   StageWindowMark();
   StageWindowMerge();
@@ -212,6 +224,8 @@ void TouchStandardMetrics() {
     CepTransitions(engine);
     CepMatches(engine);
   }
+
+  NnBatchWindows();
 
   QueueDepth();
   QueueCapacity();

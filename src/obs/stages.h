@@ -32,8 +32,9 @@ Histogram* StageFeatureBuild();   ///< featurizer Encode
 Histogram* StageNnForwardInfer(); ///< frozen fast-path forward (per window)
 Histogram* StageNnForwardTape();  ///< tape forward (per window)
 Histogram* StageNnGemm();         ///< hoisted LSTM input-projection GEMM
+Histogram* StageNnGemmBatched();  ///< cross-window batched projection GEMM
 Histogram* StageNnCell();         ///< LSTM per-step recurrence loop
-Histogram* StageWindowMark();     ///< one window marked end-to-end
+Histogram* StageWindowMark();     ///< one window (or micro-batch) marked
 Histogram* StageWindowMerge();    ///< one window merged (dedup + store)
 Histogram* StageCepEval();        ///< CEP engine Evaluate
 Histogram* StageCheckpointWrite();///< checkpoint serialization + write
@@ -79,6 +80,13 @@ Counter* CepPartialMatches(const std::string& engine);
 Counter* CepPartialMatchesPruned(const std::string& engine);
 Counter* CepTransitions(const std::string& engine);
 Counter* CepMatches(const std::string& engine);
+
+// --- Batched inference -----------------------------------------------
+/// dlacep_nn_batch_windows — windows per batched trunk forward
+/// (geometric buckets from 1), observed once per ForwardBatch call.
+/// Batch size 1 means the batched entry point ran on a single window;
+/// the legacy per-window Forward never observes this histogram.
+Histogram* NnBatchWindows();
 
 // --- Gauges ----------------------------------------------------------
 Gauge* QueueDepth();       ///< dlacep_queue_depth (events waiting)

@@ -80,6 +80,20 @@ struct OnlineDlacep::RunState {
   };
   std::map<size_t, Pending> pending;
 
+  // Batch-collection stage (assembler thread only, batch_size > 1):
+  // closed level-0/1 windows waiting to be dispatched together as one
+  // MarkBatchOnline task. Each entry already owns a dispatch sequence
+  // and a Pending shadow — buffering delays the task submission, never
+  // the sequencing, so merge order is identical to solo dispatch.
+  struct BatchedWindow {
+    size_t seq = 0;
+    size_t begin = 0;
+    int level = 0;
+    double close_seconds = 0.0;
+    std::shared_ptr<EventStream> events;
+  };
+  std::vector<BatchedWindow> batch;
+
   // Merge products. marked_store is a deque so the Event addresses
   // handed to the extractor stay stable as it grows. `stored` dedups
   // the store across overlapping windows; `seen` holds ids relayed by a
@@ -271,6 +285,10 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
 }
 
 void OnlineDlacep::DrainMerges(RunState* state, size_t target_in_flight) {
+  // A buffered-but-undispatched window still counts as in flight, and
+  // the merge line may point straight at it. If this call is going to
+  // wait, dispatch the partial batch first so the wait can terminate.
+  if (state->in_flight > target_in_flight) FlushBatch(state);
   const double deadline =
       config_.health.enabled ? config_.health.mark_deadline_seconds : 0.0;
   // Block until enough windows have retired, merging strictly in
@@ -399,6 +417,19 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
   state->pending.emplace(
       seq, RunState::Pending{begin, level, close_seconds, events});
 
+  // Batch-collection stage: normal and boosted windows (level 0/1) are
+  // batchable — the network filter applies the boost per window inside
+  // MarkBatchOnline. Degraded, probe, and shed windows dispatch solo:
+  // their marking is trivial or intentionally separate, and keeping
+  // them out of the buffer means a degraded run behaves exactly like
+  // batch_size = 1.
+  if (config_.batch_size > 1 && level < OverloadController::kMaxLevel) {
+    state->batch.push_back(
+        RunState::BatchedWindow{seq, begin, level, close_seconds, events});
+    if (state->batch.size() >= config_.batch_size) FlushBatch(state);
+    return;
+  }
+
   auto task = [this, state, seq, begin, level, probe, close_seconds,
                events] {
     if (config_.worker_window_hook) config_.worker_window_hook(seq);
@@ -434,6 +465,46 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
     {
       std::lock_guard<std::mutex> lock(state->done_mu);
       state->done.emplace(seq, std::move(window));
+    }
+    state->done_cv.notify_one();
+  };
+  if (pool_ != nullptr) {
+    pool_->Submit(std::move(task));
+  } else {
+    task();
+  }
+}
+
+void OnlineDlacep::FlushBatch(RunState* state) {
+  if (state->batch.empty()) return;
+  std::vector<RunState::BatchedWindow> batch;
+  batch.swap(state->batch);
+  auto task = [this, state, batch = std::move(batch)] {
+    std::vector<OnlineWindow> windows;
+    windows.reserve(batch.size());
+    for (const RunState::BatchedWindow& w : batch) {
+      if (config_.worker_window_hook) config_.worker_window_hook(w.seq);
+      windows.push_back(OnlineWindow{
+          w.events.get(), w.begin,
+          w.level == 1 ? config_.overload.threshold_boost : 0.0});
+    }
+    std::vector<std::vector<int>> marks(batch.size());
+    InferenceContext* ctx =
+        contexts_[ThreadPool::CurrentWorkerIndex()].get();
+    obs::TraceSpan mark_span(obs::StageWindowMark());
+    filter_->MarkBatchOnline(windows, ctx, marks.data());
+    mark_span.Finish();
+    {
+      std::lock_guard<std::mutex> lock(state->done_mu);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        DoneWindow window;
+        window.begin = batch[i].begin;
+        window.level = batch[i].level;
+        window.close_seconds = batch[i].close_seconds;
+        window.events = batch[i].events;
+        window.marks = std::move(marks[i]);
+        state->done.emplace(batch[i].seq, std::move(window));
+      }
     }
     state->done_cv.notify_one();
   };
@@ -664,9 +735,31 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
 
   // Assembler loop: a full window closes by watermark the moment its
   // last event arrives — the running prefix of
-  // CountWindows(appended, mark, step).
+  // CountWindows(appended, mark, step). With a partial micro-batch
+  // buffered and a flush timer configured, the pop is bounded by the
+  // oldest buffered window's deadline so a quiet stream can't hold a
+  // window past batch_timeout_ms.
   RunState::Arrival arrival;
-  while (state.queue.Pop(&arrival)) {
+  const double batch_timeout = config_.batch_timeout_ms * 1e-3;
+  for (;;) {
+    bool got = false;
+    if (state.batch.empty() || batch_timeout <= 0.0) {
+      got = state.queue.Pop(&arrival);
+    } else {
+      const double wait_s = state.batch.front().close_seconds +
+                            batch_timeout - state.watch.ElapsedSeconds();
+      if (wait_s <= 0.0) {
+        FlushBatch(&state);
+        continue;
+      }
+      bool timed_out = false;
+      got = state.queue.PopFor(&arrival, wait_s, &timed_out);
+      if (!got && timed_out) {
+        FlushBatch(&state);
+        continue;
+      }
+    }
+    if (!got) break;
     if (arrival.pushed_seconds > 0.0) {
       obs::StageQueueWait()->Observe(std::max(
           0.0, state.watch.ElapsedSeconds() - arrival.pushed_seconds));

@@ -108,6 +108,24 @@ struct OnlineConfig {
   size_t mark_size = 0;
   size_t step_size = 0;
 
+  /// Windows marked per filter call. 1 = dispatch each closed window as
+  /// its own task (the exact legacy path, default). >1: closed windows
+  /// at overload level 0/1 accumulate in an assembler-side micro-batch
+  /// that is dispatched as one MarkBatchOnline task when it reaches
+  /// batch_size, when the oldest buffered window turns batch_timeout_ms
+  /// old, or when the merge line would otherwise block on a buffered
+  /// window. Shed/degraded/probe windows always dispatch solo — their
+  /// marking is not batchable work. Merge order is unchanged (windows
+  /// retire strictly by dispatch sequence), so results stay
+  /// byte-identical to batch_size = 1.
+  size_t batch_size = 1;
+  /// Maximum age (milliseconds) of the oldest buffered window before a
+  /// partial batch is flushed anyway — the cap on the latency a window
+  /// can pay for batching below capacity. <= 0 disables the timer:
+  /// partial batches then flush only on a full batch, merge pressure,
+  /// or end of stream.
+  double batch_timeout_ms = 2.0;
+
   OverloadConfig overload;
   DriftConfig drift;
   HealthConfig health;
@@ -177,6 +195,10 @@ class OnlineDlacep {
   struct RunState;
 
   void CloseWindow(RunState* state, size_t begin, size_t end);
+  /// Dispatches the buffered micro-batch (if any) as one worker task
+  /// that marks every window with MarkBatchOnline and retires them as
+  /// individual DoneWindows under their own dispatch sequences.
+  void FlushBatch(RunState* state);
   void MergeOne(RunState* state, DoneWindow window);
   /// Merges every completed window that is next in window order;
   /// blocks until `target_in_flight` or fewer windows remain pending.

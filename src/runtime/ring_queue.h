@@ -17,6 +17,7 @@
 #ifndef DLACEP_RUNTIME_RING_QUEUE_H_
 #define DLACEP_RUNTIME_RING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -64,6 +65,28 @@ class RingQueue {
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;  // closed and drained
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Pop bounded by a timeout: blocks at most `seconds` for an element.
+  /// Returns true with *out on success; on false, *timed_out
+  /// distinguishes an expired wait (true — the queue may still produce
+  /// later) from closed-and-drained (false — same terminal condition as
+  /// Pop returning false). The online assembler uses this while a
+  /// partial micro-batch is buffered, so a quiet stream can't hold the
+  /// batch past its flush deadline.
+  bool PopFor(T* out, double seconds, bool* timed_out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    *timed_out =
+        !not_empty_.wait_for(lock, std::chrono::duration<double>(seconds),
+                             [&] { return size_ > 0 || closed_; });
+    if (*timed_out) return false;
     if (size_ == 0) return false;  // closed and drained
     *out = std::move(ring_[head_]);
     head_ = (head_ + 1) % ring_.size();

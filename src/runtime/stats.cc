@@ -1,5 +1,8 @@
 #include "runtime/stats.h"
 
+#include <bit>
+#include <cmath>
+
 #include "common/string_util.h"
 
 namespace dlacep {
@@ -8,16 +11,28 @@ double LatencyHistogram::BucketBound(size_t i) {
   return 1e-6 * static_cast<double>(uint64_t{1} << i);
 }
 
+size_t LatencyHistogram::BucketFor(double seconds) {
+  if (seconds <= BucketBound(0)) return 0;
+  // Past every finite bound (also shields the integer cast below from
+  // overflow on absurd inputs): overflow bucket.
+  if (seconds > BucketBound(kBuckets - 2)) return kBuckets - 1;
+  // The bit width of the truncated microsecond value lands within one
+  // bucket of the answer; 1e-6 is not exactly representable, so the
+  // bound checks below — the same expressions the historical linear
+  // scan evaluated — settle ties. Each loop runs at most once.
+  const auto micros = static_cast<uint64_t>(seconds * 1e6);
+  size_t bucket = micros == 0
+                      ? 0
+                      : static_cast<size_t>(std::bit_width(micros)) - 1;
+  if (bucket > kBuckets - 1) bucket = kBuckets - 1;
+  while (bucket > 0 && seconds <= BucketBound(bucket - 1)) --bucket;
+  while (bucket < kBuckets - 1 && seconds > BucketBound(bucket)) ++bucket;
+  return bucket;
+}
+
 void LatencyHistogram::Record(double seconds) {
   if (seconds < 0.0) seconds = 0.0;
-  size_t bucket = kBuckets - 1;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    if (seconds <= BucketBound(i)) {
-      bucket = i;
-      break;
-    }
-  }
-  ++buckets_[bucket];
+  ++buckets_[BucketFor(seconds)];
   ++count_;
   if (seconds > max_seconds_) max_seconds_ = seconds;
 }
@@ -26,13 +41,17 @@ double LatencyHistogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
-  // Rank of the percentile sample (1-based, nearest-rank definition).
-  const uint64_t rank = static_cast<uint64_t>(
-      p / 100.0 * static_cast<double>(count_) + 0.5);
+  // 1-based nearest-rank: the ceiling keeps rank >= 1 for every p, so
+  // small p can no longer round down to rank 0 and report bucket 0's
+  // bound when bucket 0 is empty.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
     seen += buckets_[i];
-    if (seen >= rank && buckets_[i] > 0) return BucketBound(i);
     if (seen >= rank) return BucketBound(i);
   }
   return BucketBound(kBuckets - 1);

@@ -19,10 +19,10 @@
 namespace dlacep {
 
 /// Fixed-bucket latency histogram: geometric bucket upper bounds
-/// doubling from 1µs, so Record() is O(buckets) with no allocation
-/// (safe on the merge hot path) and percentiles are one cumulative
-/// scan. Single-writer; readers see a consistent snapshot only after
-/// the run finished.
+/// doubling from 1µs, so Record() is O(1) with no allocation (safe on
+/// the merge hot path) and percentiles are one cumulative scan.
+/// Single-writer; readers see a consistent snapshot only after the run
+/// finished.
 class LatencyHistogram {
  public:
   /// 1µs · 2^26 ≈ 67s — anything slower lands in the last bucket.
@@ -33,13 +33,22 @@ class LatencyHistogram {
   uint64_t count() const { return count_; }
   double max_seconds() const { return max_seconds_; }
 
-  /// Upper bound (seconds) of the bucket containing percentile `p` in
-  /// [0, 100]. Returns 0 when empty.
+  /// Upper bound (seconds) of the bucket a sample of `seconds` lands
+  /// in: the first i with seconds <= BucketBound(i), else the overflow
+  /// bucket. O(1) via the bit width of the microsecond value; exposed
+  /// so tests can pin its boundary behavior against the definition
+  /// above.
+  static size_t BucketFor(double seconds);
+
+  /// Upper bound (seconds) of bucket i.
+  static double BucketBound(size_t i);
+
+  /// Upper bound (seconds) of the bucket containing the nearest-rank
+  /// percentile sample for `p` in [0, 100]. Returns 0 when empty. The
+  /// returned bound always belongs to a non-empty bucket.
   double Percentile(double p) const;
 
  private:
-  static double BucketBound(size_t i);
-
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   double max_seconds_ = 0.0;

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "cep/oracle.h"
 #include "dlacep/acep.h"
 #include "dlacep/analysis.h"
 #include "dlacep/event_filter.h"
+#include "dlacep/extractor.h"
 #include "dlacep/oracle_filter.h"
 #include "dlacep/pipeline.h"
 #include "dlacep/window_filter.h"
@@ -224,6 +227,84 @@ TEST(Pipeline, FilteringRatioCountsRelayedBlanks) {
   // Overlapping assembler windows re-mark interior events: the raw mark
   // vector is longer than the deduplicated count.
   EXPECT_GT(result.marked_ids.size(), result.marked_events);
+}
+
+// Regression: with the default overlapping geometry (mark = 2w, step =
+// w) the merge loop used to relay every covering window's copy of a
+// marked event into the extractor feed — roughly doubling the
+// extractor's input. The extractor sorts by id and drops duplicates
+// before evaluating, so deduplicating at the merge changes neither the
+// match set nor the engine work counters; this test feeds the
+// historical duplicate-inclusive list to a reference extractor and
+// checks the pipeline (deduped feed) agrees on all of it.
+TEST(Pipeline, MergeDedupsExtractorInputWithoutChangingResults) {
+  const EventStream stream = SmallStream(400, 78);
+  const Pattern pattern = TypeOnlySeq(stream.schema_ptr(), 8);
+  DlacepConfig config;  // paper-default overlap: every interior event
+                        // is covered by two windows
+  DlacepPipeline pipeline(pattern, std::make_unique<PassThroughFilter>(),
+                          config);
+  const PipelineResult result = pipeline.Evaluate(stream);
+
+  // The merged mark sequence stays duplicate-inclusive by contract —
+  // only the extractor feed is deduplicated.
+  ASSERT_GT(result.marked_ids.size(), result.marked_events);
+
+  std::map<EventId, const Event*> by_id;
+  for (const Event& e : stream.events()) by_id[e.id] = &e;
+  std::vector<const Event*> duplicated;
+  duplicated.reserve(result.marked_ids.size());
+  for (const EventId id : result.marked_ids) {
+    duplicated.push_back(by_id.at(id));
+  }
+  CepExtractor reference(pattern);
+  MatchSet ref_matches;
+  ASSERT_TRUE(reference.Extract(std::move(duplicated), &ref_matches).ok());
+
+  EXPECT_EQ(result.matches.size(), ref_matches.size());
+  EXPECT_EQ(result.matches.IntersectionSize(ref_matches),
+            ref_matches.size());
+  EXPECT_EQ(result.cep_stats.events_processed,
+            reference.stats().events_processed);
+  EXPECT_EQ(result.cep_stats.partial_matches,
+            reference.stats().partial_matches);
+}
+
+// Micro-batched filtration (config.batch_size > 1) must reproduce the
+// per-window path byte for byte, at every thread count: batch chunk
+// boundaries depend only on batch_size, never on the worker count.
+TEST(Pipeline, BatchedEvaluateMatchesPerWindowAcrossThreads) {
+  const EventStream train = SmallStream(600, 79);
+  const EventStream test = SmallStream(400, 80);
+  const Pattern pattern = TypeOnlySeq(train.schema_ptr(), 8);
+
+  DlacepConfig base;
+  base.network.hidden_dim = 8;
+  base.network.num_layers = 1;
+  base.train.max_epochs = 2;
+
+  auto run = [&](size_t batch_size, size_t threads) {
+    DlacepConfig config = base;  // seeded: retraining is deterministic
+    config.batch_size = batch_size;
+    config.num_threads = threads;
+    BuiltDlacep built =
+        BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
+    return built.pipeline->Evaluate(test);
+  };
+
+  const PipelineResult ref = run(1, 1);
+  for (size_t threads : {1u, 4u}) {
+    for (size_t batch_size : {3u, 8u}) {
+      const PipelineResult got = run(batch_size, threads);
+      EXPECT_EQ(got.marked_ids, ref.marked_ids)
+          << "batch_size=" << batch_size << " threads=" << threads;
+      EXPECT_EQ(got.marked_events, ref.marked_events)
+          << "batch_size=" << batch_size << " threads=" << threads;
+      EXPECT_EQ(got.matches.size(), ref.matches.size());
+      EXPECT_EQ(got.matches.IntersectionSize(ref.matches),
+                ref.matches.size());
+    }
+  }
 }
 
 // Property: for NEG-free patterns DLACEP can never invent a match,

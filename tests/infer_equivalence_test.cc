@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "dlacep/event_filter.h"
@@ -88,6 +90,112 @@ TEST(InferEquivalence, TcnMatchesTape) {
 }
 
 // ---------------------------------------------------------------------
+// Batched inference: ForwardBatch over a ragged stacked slab must match
+// per-window Forward row for row. Dense/TCN are row-local, so their
+// batched path is the same arithmetic; the stacked LSTM's lockstep
+// GEMMs reassociate sums across windows, so the contract there is the
+// suite-wide 1e-9 — the same tolerance the tape/fast split carries.
+
+std::vector<size_t> PrefixOffsets(const std::vector<size_t>& lens) {
+  std::vector<size_t> offsets(1, 0);
+  for (size_t len : lens) offsets.push_back(offsets.back() + len);
+  return offsets;
+}
+
+Matrix StackWindows(const std::vector<Matrix>& windows) {
+  size_t total = 0;
+  for (const Matrix& w : windows) total += w.rows();
+  const size_t cols = windows[0].cols();
+  Matrix all(total, cols);
+  size_t row = 0;
+  for (const Matrix& w : windows) {
+    std::copy_n(w.data(), w.rows() * cols, all.data() + row * cols);
+    row += w.rows();
+  }
+  return all;
+}
+
+// Ragged on purpose: a length-1 window, a tail shorter than the batch
+// max, and a repeat length — the shapes the lockstep recurrence has to
+// retire early.
+const std::vector<size_t> kRaggedLens = {7, 1, 64, 3, 7};
+
+TEST(InferEquivalence, StackedBiLstmBatchMatchesSingle) {
+  for (uint64_t seed : {11u, 12u}) {
+    Rng rng(seed);
+    StackedBiLstm stack("s", 4, 6, 2, &rng);
+    const StackedBiLstmInfer frozen = Freeze(stack);
+
+    std::vector<Matrix> windows;
+    for (size_t t : kRaggedLens) {
+      windows.push_back(Matrix::Randn(t, 4, 1.0, &rng));
+    }
+    std::vector<Matrix> refs;
+    InferenceContext single;
+    for (const Matrix& x : windows) {
+      single.Reset();
+      refs.push_back(frozen.Forward(&single, x));  // copy out of the arena
+    }
+
+    const Matrix x_all = StackWindows(windows);
+    const std::vector<size_t> offsets = PrefixOffsets(kRaggedLens);
+    InferenceContext ctx;
+    ctx.Reset();
+    const Matrix& out = frozen.ForwardBatch(&ctx, x_all, offsets);
+    ASSERT_EQ(out.rows(), x_all.rows());
+    for (size_t w = 0; w < kRaggedLens.size(); ++w) {
+      const Matrix& ref = refs[w];
+      ASSERT_EQ(ref.cols(), out.cols());
+      for (size_t r = 0; r < ref.rows(); ++r) {
+        for (size_t c = 0; c < ref.cols(); ++c) {
+          EXPECT_NEAR(out(offsets[w] + r, c), ref(r, c), kTol)
+              << "seed " << seed << " window " << w << " (" << r << ","
+              << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(InferEquivalence, TcnBatchMatchesSingle) {
+  for (uint64_t seed : {21u, 22u}) {
+    Rng rng(seed);
+    Tcn tcn("t", 3, 5, 2, 3, &rng);
+    const TcnInfer frozen = Freeze(tcn);
+
+    std::vector<Matrix> windows;
+    for (size_t t : kRaggedLens) {
+      windows.push_back(Matrix::Randn(t, 3, 1.0, &rng));
+    }
+    std::vector<Matrix> refs;
+    InferenceContext single;
+    for (const Matrix& x : windows) {
+      single.Reset();
+      refs.push_back(frozen.Forward(&single, x));
+    }
+
+    const Matrix x_all = StackWindows(windows);
+    const std::vector<size_t> offsets = PrefixOffsets(kRaggedLens);
+    InferenceContext ctx;
+    ctx.Reset();
+    const Matrix& out = frozen.ForwardBatch(&ctx, x_all, offsets);
+    ASSERT_EQ(out.rows(), x_all.rows());
+    for (size_t w = 0; w < kRaggedLens.size(); ++w) {
+      const Matrix& ref = refs[w];
+      for (size_t r = 0; r < ref.rows(); ++r) {
+        for (size_t c = 0; c < ref.cols(); ++c) {
+          // Position-local loop fusion — expected bit-identical, asserted
+          // at kTol so an FP-contraction build setting can't flake it.
+          EXPECT_NEAR(out(offsets[w] + r, c), ref(r, c), kTol)
+              << "seed " << seed << " window " << w << " (" << r << ","
+              << c << ")";
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Filter-level mark equivalence: fast path vs tape path, random models ×
 // sequence lengths × all three filter types.
 
@@ -127,6 +235,39 @@ class InferFilterEquivalence : public ::testing::Test {
       EXPECT_EQ(filter.MarkFeaturesTape(features),
                 filter.MarkFeaturesWith(features, &shared))
           << "reused-arena pass, T " << t;
+    }
+  }
+
+  /// Batched marks must equal per-window MarkWith marks exactly — for
+  /// every grouping of the same window set (batch sizes 1, 2, 3, 8 over
+  /// ten windows leave ragged tails of every flavor), all through ONE
+  /// shared arena so buffer recycling across batch shapes is covered.
+  void CheckFilterBatch(const StreamFilter& filter) {
+    std::vector<WindowRange> windows;
+    size_t begin = 0;
+    for (size_t size : {16u, 1u, 64u, 7u, 16u, 3u, 33u, 16u, 9u, 5u}) {
+      windows.push_back(WindowRange{begin, begin + size});
+      begin += size / 2 + 1;  // overlapping, like the assembler's 2W/W
+    }
+    InferenceContext single;
+    std::vector<std::vector<int>> expected(windows.size());
+    for (size_t i = 0; i < windows.size(); ++i) {
+      expected[i] = filter.MarkWith(stream_, windows[i], &single);
+    }
+    InferenceContext shared;
+    for (size_t batch : {1u, 2u, 3u, 8u}) {
+      std::vector<std::vector<int>> got(windows.size());
+      for (size_t b = 0; b < windows.size(); b += batch) {
+        const size_t count = std::min(batch, windows.size() - b);
+        filter.MarkBatchWith(
+            stream_,
+            std::span<const WindowRange>(windows.data() + b, count),
+            &shared, got.data() + b);
+      }
+      for (size_t i = 0; i < windows.size(); ++i) {
+        EXPECT_EQ(expected[i], got[i])
+            << "batch " << batch << " window " << i;
+      }
     }
   }
 
@@ -175,6 +316,80 @@ TEST_F(InferFilterEquivalence, WindowNetworkFilter) {
                   filter.WindowProbabilityTape(features), kTol)
           << "T " << t;
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batched marking: MarkBatchWith must reproduce per-window MarkWith
+// marks exactly for every batch grouping, across all three filter
+// types (the TCN filter overrides MarkBatchWith; MarkBatchOnline there
+// exercises the base-class per-window loop).
+
+TEST_F(InferFilterEquivalence, EventNetworkFilterBatchMarks) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    NetworkConfig network;
+    network.hidden_dim = 6 + seed % 5;
+    network.num_layers = 1 + seed % 2;
+    network.seed = seed;
+    EventNetworkFilter filter(&featurizer_, network, 0.5);
+    CheckFilterBatch(filter);
+  }
+}
+
+TEST_F(InferFilterEquivalence, TcnEventFilterBatchMarks) {
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    NetworkConfig network;
+    network.hidden_dim = 6 + seed % 5;
+    network.num_layers = 1 + seed % 2;
+    network.seed = seed;
+    TcnEventFilter filter(&featurizer_, network, 0.5);
+    CheckFilterBatch(filter);
+  }
+}
+
+TEST_F(InferFilterEquivalence, WindowNetworkFilterBatchMarks) {
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    NetworkConfig network;
+    network.hidden_dim = 6 + seed % 5;
+    network.num_layers = 1 + seed % 2;
+    network.seed = seed;
+    WindowNetworkFilter filter(&featurizer_, network, 0.5);
+    CheckFilterBatch(filter);
+  }
+}
+
+// MarkBatchOnline with per-window threshold boosts must match the
+// per-window MarkOnline it batches (the level-1 overload regime rides
+// this path; the pass-through base default must also hold).
+TEST_F(InferFilterEquivalence, EventNetworkFilterBatchOnlineBoosts) {
+  NetworkConfig network;
+  network.hidden_dim = 8;
+  network.num_layers = 2;
+  network.seed = 71;
+  EventNetworkFilter filter(&featurizer_, network, 0.5);
+
+  std::vector<OnlineWindow> windows;
+  std::vector<std::shared_ptr<EventStream>> slices;
+  size_t begin = 0;
+  for (size_t size : {16u, 7u, 33u, 1u, 16u}) {
+    auto slice = std::make_shared<EventStream>(stream_.Slice(begin, size));
+    slices.push_back(slice);
+    windows.push_back(
+        OnlineWindow{slice.get(), 0, begin % 2 == 0 ? 0.0 : 0.2});
+    begin += size / 2 + 1;
+  }
+  InferenceContext single;
+  std::vector<std::vector<int>> expected(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    expected[i] = filter.MarkOnline(*windows[i].events,
+                                    windows[i].stream_begin, &single,
+                                    windows[i].threshold_boost);
+  }
+  InferenceContext shared;
+  std::vector<std::vector<int>> got(windows.size());
+  filter.MarkBatchOnline(windows, &shared, got.data());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(expected[i], got[i]) << "window " << i;
   }
 }
 

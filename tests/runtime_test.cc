@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -107,6 +108,85 @@ TEST(RingQueue, CloseUnblocksPendingPush) {
   queue.Close();
   producer.join();
   EXPECT_FALSE(push_result.load());
+}
+
+// ---------------------------------------------------------------------
+// LatencyHistogram.
+
+// The linear scan Record() historically ran per sample — the definition
+// of bucket placement. The O(1) BucketFor must agree with it
+// everywhere, most importantly exactly on bucket bounds, where the
+// bit-width guess needs its adjust loops (1µs·2^i is not exactly
+// representable in binary floating point).
+size_t LinearScanBucket(double seconds) {
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (seconds <= LatencyHistogram::BucketBound(i)) return i;
+  }
+  return LatencyHistogram::kBuckets - 1;
+}
+
+TEST(LatencyHistogram, BucketForMatchesLinearScanEverywhere) {
+  EXPECT_EQ(LatencyHistogram::BucketFor(0.0), LinearScanBucket(0.0));
+  EXPECT_EQ(LatencyHistogram::BucketFor(-1.0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1e9),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1e300),
+            LatencyHistogram::kBuckets - 1);
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const double bound = LatencyHistogram::BucketBound(i);
+    const double probes[] = {bound,
+                             std::nextafter(bound, 0.0),
+                             std::nextafter(bound, 1e18),
+                             bound * 0.75,
+                             bound * 1.5};
+    for (double s : probes) {
+      EXPECT_EQ(LatencyHistogram::BucketFor(s), LinearScanBucket(s))
+          << "bucket " << i << " s=" << s;
+    }
+  }
+}
+
+TEST(LatencyHistogram, PercentileUsesCeilNearestRank) {
+  LatencyHistogram h;
+  h.Record(1.5e-6);  // one fast sample
+  for (int i = 0; i < 99; ++i) h.Record(0.9);  // 99 slow ones
+  const double fast =
+      LatencyHistogram::BucketBound(LatencyHistogram::BucketFor(1.5e-6));
+  const double slow =
+      LatencyHistogram::BucketBound(LatencyHistogram::BucketFor(0.9));
+  // Nearest rank of p=1% over 100 samples is ceil(1) = 1 — the single
+  // fast sample. The old round-half-up arithmetic produced rank 0 and
+  // walked off the front of the histogram.
+  EXPECT_EQ(h.Percentile(1.0), fast);
+  EXPECT_EQ(h.Percentile(0.0), fast);    // clamped to rank 1
+  EXPECT_EQ(h.Percentile(1.001), slow);  // ceil rounds up to rank 2
+  EXPECT_EQ(h.Percentile(50.0), slow);
+  EXPECT_EQ(h.Percentile(100.0), slow);
+  EXPECT_EQ(h.Percentile(200.0), slow);  // out-of-range p clamps
+}
+
+TEST(LatencyHistogram, PercentileSkipsEmptyBuckets) {
+  LatencyHistogram h;
+  h.Record(1e-6);  // bucket 0
+  h.Record(1.0);   // a high bucket; everything in between stays empty
+  const double fast = LatencyHistogram::BucketBound(0);
+  const double slow =
+      LatencyHistogram::BucketBound(LatencyHistogram::BucketFor(1.0));
+  EXPECT_EQ(h.Percentile(50.0), fast);  // rank 1 of 2
+  EXPECT_EQ(h.Percentile(51.0), slow);  // rank 2 of 2
+  // Every answer must be a non-empty bucket's bound — never one of the
+  // empty buckets between the two samples.
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_TRUE(v == fast || v == slow) << "p=" << p << " -> " << v;
+  }
+}
+
+TEST(LatencyHistogram, PercentileOfEmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(100.0), 0.0);
 }
 
 // ---------------------------------------------------------------------
@@ -248,6 +328,123 @@ TEST(OnlineEquality, EmptyStream) {
   EXPECT_TRUE(result.marked_ids.empty());
   EXPECT_EQ(result.stats.windows_closed, 0u);
   EXPECT_TRUE(result.stats.Accounted());
+}
+
+// ---------------------------------------------------------------------
+// Micro-batched filtration (batch_size > 1): the batch-collection stage
+// may only delay WHEN a window is marked, never change its marks or its
+// merge position, so every (threads × batch_size) cell must stay
+// byte-identical to the per-window batch pipeline.
+
+void CheckOnlineBatchedMatchesBatch(const EqualityCase& c,
+                                    const PipelineResult& batch) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    for (size_t batch_size : {2u, 4u, 7u}) {
+      OnlineConfig config;
+      config.num_threads = threads;
+      config.queue_capacity = 64;
+      config.mark_size = c.mark_size;
+      config.step_size = c.step_size;
+      config.overload.enabled = false;
+      config.batch_size = batch_size;
+      // Generous timeout: with an unthrottled ReplaySource batches fill
+      // before the timer can split them.
+      config.batch_timeout_ms = 250.0;
+      OnlineDlacep online(*c.pattern, c.filter, config);
+      ReplaySource source(c.stream);
+      const OnlineResult result = online.Run(&source);
+
+      EXPECT_EQ(result.marked_ids, batch.marked_ids)
+          << "threads=" << threads << " batch_size=" << batch_size;
+      EXPECT_EQ(result.marked_events, batch.marked_events)
+          << "threads=" << threads << " batch_size=" << batch_size;
+      ExpectSameMatches(result.matches, batch.matches);
+      EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
+      EXPECT_EQ(result.stats.events_dropped_queue, 0u);
+      EXPECT_EQ(result.stats.overload_escalations, 0u);
+    }
+  }
+}
+
+TEST(OnlineBatching, PassThroughFilterMatchesBatchPipeline) {
+  const EventStream stream = SmallStream(600, 11);
+  const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 3, 12);
+  PassThroughFilter filter;
+  EqualityCase c{&stream, &pattern, &filter};
+  CheckOnlineBatchedMatchesBatch(
+      c, BatchReference(c, std::make_unique<PassThroughFilter>()));
+}
+
+TEST(OnlineBatching, TrainedEventNetworkFilterMatchesBatchPipeline) {
+  const EventStream train = SmallStream(900, 61);
+  const EventStream test = SmallStream(500, 62);
+  const Pattern pattern = AscendingSeqPattern(train.schema_ptr(), 2, 8);
+
+  DlacepConfig config;
+  config.network.hidden_dim = 6;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 2;
+  BuiltDlacep built =
+      BuildDlacep(pattern, train, FilterKind::kEventNetwork, config);
+  const PipelineResult batch = built.pipeline->Evaluate(test);
+
+  EqualityCase c{&test, &pattern, &built.pipeline->filter()};
+  CheckOnlineBatchedMatchesBatch(c, batch);
+}
+
+TEST(OnlineBatching, PartialBatchFlushesAtEndOfStream) {
+  const EventStream stream = SmallStream(300, 71);
+  const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 2, 7);
+  PassThroughFilter filter;
+  EqualityCase c{&stream, &pattern, &filter, /*mark_size=*/11,
+                 /*step_size=*/4};
+  const PipelineResult batch =
+      BatchReference(c, std::make_unique<PassThroughFilter>());
+
+  // batch_size larger than the whole window count and the flush timer
+  // disabled: nothing can dispatch until merge pressure / end of stream
+  // forces it. The run must still terminate and match byte for byte.
+  OnlineConfig config;
+  config.mark_size = c.mark_size;
+  config.step_size = c.step_size;
+  config.overload.enabled = false;
+  config.batch_size = 1000;
+  config.batch_timeout_ms = 0.0;
+  for (size_t threads : {1u, 4u}) {
+    config.num_threads = threads;
+    OnlineDlacep online(pattern, &filter, config);
+    ReplaySource source(&stream);
+    const OnlineResult result = online.Run(&source);
+    EXPECT_EQ(result.marked_ids, batch.marked_ids) << "threads=" << threads;
+    ExpectSameMatches(result.matches, batch.matches);
+    EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
+  }
+}
+
+TEST(OnlineBatching, TimeoutFlushesPartialBatchInMergeOrder) {
+  const EventStream stream = SmallStream(240, 81);
+  const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 2, 8);
+  PassThroughFilter filter;
+  EqualityCase c{&stream, &pattern, &filter};
+  const PipelineResult batch =
+      BatchReference(c, std::make_unique<PassThroughFilter>());
+
+  // Throttle the source so windows close slower than the flush timer:
+  // every batch is flushed by timeout while partial, which exercises the
+  // timed-pop path without changing any result (flush timing only picks
+  // the grouping; merge order is pinned by dispatch sequence).
+  OnlineConfig config;
+  config.num_threads = 2;
+  config.overload.enabled = false;
+  config.batch_size = 8;
+  config.batch_timeout_ms = 1.0;
+  OnlineDlacep online(pattern, &filter, config);
+  ReplaySource source(&stream, /*events_per_second=*/4000.0);
+  const OnlineResult result = online.Run(&source);
+  EXPECT_EQ(result.marked_ids, batch.marked_ids);
+  EXPECT_EQ(result.marked_events, batch.marked_events);
+  ExpectSameMatches(result.matches, batch.matches);
+  EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
 }
 
 // ---------------------------------------------------------------------

@@ -103,17 +103,20 @@ int Usage() {
                "  dlacep compare --query Q --train F.csv --test G.csv\n"
                "       [--filter event|window] [--hidden N] [--layers N]"
                " [--epochs N]\n"
-               "       [--threshold P] [--num_threads N]"
+               "       [--threshold P] [--num_threads N] [--batch_size N]"
                " [--save model.bin | --load model.bin]\n"
                "  dlacep replay --query Q --data F.csv [--filter KIND]\n"
                "       [--rate EV_PER_SEC] [--queue_capacity N]"
                " [--num_threads N]\n"
+               "       [--batch_size N] [--batch_timeout_ms MS]\n"
                "       [--drop 0|1] [--overload 0|1] [--train F.csv]\n"
                "  dlacep serve --query Q [--events N] [--symbols N]"
                " [--seed S]\n"
                "       [--filter KIND] [--rate EV_PER_SEC]"
                " [--queue_capacity N]\n"
-               "       [--num_threads N] [--drop 0|1] [--overload 0|1]"
+               "       [--num_threads N] [--batch_size N]"
+               " [--batch_timeout_ms MS]\n"
+               "       [--drop 0|1] [--overload 0|1]"
                " [--train F.csv]\n"
                "  (online filter KINDs: pass | type-shed | random-shed |"
                " oracle | event | window)\n"
@@ -238,6 +241,7 @@ int Compare(const Args& args) {
   config.event_threshold = args.GetDouble("threshold", 0.35);
   config.window_threshold = config.event_threshold;
   config.num_threads = static_cast<size_t>(args.GetInt("num_threads", 1));
+  config.batch_size = static_cast<size_t>(args.GetInt("batch_size", 1));
   const FilterKind kind = args.Get("filter", "event") == "window"
                               ? FilterKind::kWindowNetwork
                               : FilterKind::kEventNetwork;
@@ -364,6 +368,8 @@ OnlineConfig MakeOnlineConfig(const Args& args) {
   config.checkpoint.every_events =
       static_cast<uint64_t>(args.GetInt("checkpoint_every", 0));
   config.checkpoint.restore = args.GetInt("restore", 0) != 0;
+  config.batch_size = static_cast<size_t>(args.GetInt("batch_size", 1));
+  config.batch_timeout_ms = args.GetDouble("batch_timeout_ms", 2.0);
   return config;
 }
 
