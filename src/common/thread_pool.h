@@ -25,6 +25,13 @@ namespace dlacep {
 /// 1 if the runtime cannot tell), any other value is taken literally.
 size_t ResolveNumThreads(size_t requested);
 
+/// Pins the calling thread to `core` (a hardware-concurrency index).
+/// Best-effort: returns true on success, false when the platform has no
+/// affinity API or the kernel refuses (cgroup cpusets, core out of
+/// range). Callers must treat a false return as advisory — the sharded
+/// runtime counts it in ShardStats and keeps running unpinned.
+bool PinCurrentThreadToCore(size_t core);
+
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);

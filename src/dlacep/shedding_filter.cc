@@ -30,10 +30,16 @@ std::vector<int> RandomSheddingFilter::Mark(const EventStream&,
 std::vector<int> RandomSheddingFilter::MarkOnline(
     const EventStream& window, size_t stream_begin, InferenceContext*,
     double) const {
-  // Detached window copies are 0-based; the global position carries the
-  // per-window salt, keeping online marks byte-identical to the batch
-  // path's Mark(stream, {stream_begin, ...}).
-  return MarkCount(window.size(), stream_begin);
+  // The salt keys on the window's head arrival id, not on the position
+  // the caller's assembler happens to pass: arrival ids are assigned at
+  // ingest and travel with the detached window, so shed decisions are a
+  // pure function of window content — identical across shard counts,
+  // dispatch orders, and thread counts. With a lossless producer the
+  // head id equals the window's global stream position, so this stays
+  // byte-identical to the batch path's Mark(stream, {stream_begin, ...}).
+  return MarkCount(window.size(), window.size() > 0
+                                      ? static_cast<size_t>(window[0].id)
+                                      : stream_begin);
 }
 
 TypeSheddingFilter::TypeSheddingFilter(const Pattern& pattern) {

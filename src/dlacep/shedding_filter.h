@@ -39,6 +39,11 @@ class RandomSheddingFilter : public StreamFilter {
   /// directly so detached window copies keep their global salt.
   std::vector<int> MarkCount(size_t count, size_t stream_begin) const;
 
+  /// Salts by the window's head arrival id (a shard-stable key carried
+  /// by the detached window itself), NOT by the stream_begin the caller
+  /// passes — so shed decisions cannot depend on dispatch order or
+  /// shard count. Equal to the batch Mark() whenever ids equal stream
+  /// positions (every lossless run).
   std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
                               InferenceContext* ctx,
                               double threshold_boost) const override;

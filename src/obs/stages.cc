@@ -147,6 +147,56 @@ Counter* CepMatches(const std::string& engine) {
   return Cep("matches", engine);
 }
 
+namespace {
+
+// Shard label values are small dense integers; cache the resolved
+// instruments for the first kMaxCachedShards like OverloadTransitions
+// does, so the per-dispatch gauge set stays lookup-free. Racy init is
+// fine: registry find-or-create is idempotent.
+constexpr size_t kMaxCachedShards = 32;
+
+template <typename T, typename Make>
+T* CachedShardInstrument(std::atomic<T*>* cache, size_t shard,
+                         const Make& make) {
+  if (shard >= kMaxCachedShards) return make(shard);
+  T* instrument = cache[shard].load(std::memory_order_acquire);
+  if (instrument == nullptr) {
+    instrument = make(shard);
+    cache[shard].store(instrument, std::memory_order_release);
+  }
+  return instrument;
+}
+
+}  // namespace
+
+Counter* ShardWindowsMarked(size_t shard) {
+  static std::atomic<Counter*> cache[kMaxCachedShards] = {};
+  return CachedShardInstrument(cache, shard, [](size_t s) {
+    return MetricsRegistry::Global().GetCounter(
+        "dlacep_shard_windows_total", {{"shard", std::to_string(s)}},
+        "Windows marked per shard in the sharded runtime");
+  });
+}
+
+Gauge* ShardRingDepth(size_t shard) {
+  static std::atomic<Gauge*> cache[kMaxCachedShards] = {};
+  return CachedShardInstrument(cache, shard, [](size_t s) {
+    return MetricsRegistry::Global().GetGauge(
+        "dlacep_shard_ring_depth", {{"shard", std::to_string(s)}},
+        "Windows waiting in a shard's work ring");
+  });
+}
+
+Histogram* ShardMarkLatency(size_t shard) {
+  static std::atomic<Histogram*> cache[kMaxCachedShards] = {};
+  return CachedShardInstrument(cache, shard, [](size_t s) {
+    return MetricsRegistry::Global().GetHistogram(
+        "dlacep_shard_mark_latency_seconds",
+        {{"shard", std::to_string(s)}},
+        "Per-filter-call wall time on a shard worker");
+  });
+}
+
 Histogram* NnBatchWindows() {
   // Buckets 1, 2, 4, ... — batch sizes are small powers of two in
   // practice, and the geometric ladder keeps the histogram compact.

@@ -81,6 +81,18 @@ Counter* CepPartialMatchesPruned(const std::string& engine);
 Counter* CepTransitions(const std::string& engine);
 Counter* CepMatches(const std::string& engine);
 
+// --- Sharded runtime (labelled {shard="k"}) --------------------------
+// dlacep_shard_windows_total{shard}: windows marked by shard k.
+// dlacep_shard_ring_depth{shard}: work-ring depth, set by the router at
+// each dispatch.
+// dlacep_shard_mark_latency_seconds{shard}: wall time of each filter
+// call (solo window or micro-batch) on shard k.
+// Small shard indices resolve through a lock-free cache; larger ones
+// fall back to the registry lookup.
+Counter* ShardWindowsMarked(size_t shard);
+Gauge* ShardRingDepth(size_t shard);
+Histogram* ShardMarkLatency(size_t shard);
+
 // --- Batched inference -----------------------------------------------
 /// dlacep_nn_batch_windows — windows per batched trunk forward
 /// (geometric buckets from 1), observed once per ForwardBatch call.

@@ -24,6 +24,13 @@ namespace {
 constexpr int kMaxSourceRetries = 8;
 constexpr double kSourceBackoffBaseSeconds = 1e-3;
 
+// Burst sizes for the sharded runtime: the router pops up to this many
+// arrivals per ingest-queue lock, and a shard worker pops up to this
+// many window tasks per work-ring lock. Bursts amortize the mutex
+// atomics and futex wakeups; correctness never depends on the values.
+constexpr size_t kRouterIngestBurst = 64;
+constexpr size_t kShardWorkBurst = 16;
+
 }  // namespace
 
 /// Per-Run mutable state. Threading contract: the producer thread only
@@ -77,8 +84,38 @@ struct OnlineDlacep::RunState {
     int level = 0;
     double close_seconds = 0.0;
     std::shared_ptr<EventStream> events;
+    size_t shard = 0;  ///< owner shard (sharded mode): where to pop from
   };
   std::map<size_t, Pending> pending;
+
+  // --- Sharded mode ---------------------------------------------------
+  // One closed window forwarded to its owner shard (the exchange
+  // stage). The level/probe decisions were already taken by the router
+  // at close time; the worker only marks.
+  struct WindowTask {
+    size_t seq = 0;
+    size_t begin = 0;
+    int level = 0;
+    bool probe = false;
+    double close_seconds = 0.0;
+    std::shared_ptr<EventStream> events;
+  };
+  // One finished window on a shard's completion ring. A shard's worker
+  // is FIFO over its work ring, so these come off sequence-ordered per
+  // shard — the property the cross-shard merge relies on.
+  struct SeqDone {
+    size_t seq = 0;
+    DoneWindow window;
+  };
+  struct Shard {
+    Shard(size_t work_capacity, size_t done_capacity)
+        : work(work_capacity), done(done_capacity) {}
+    RingQueue<WindowTask> work;  ///< router -> worker (SPSC)
+    RingQueue<SeqDone> done;     ///< worker -> router (SPSC)
+    ShardStats stats;            ///< single-writer fields, read post-join
+    std::thread thread;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
 
   // Batch-collection stage (assembler thread only, batch_size > 1):
   // closed level-0/1 windows waiting to be dispatched together as one
@@ -150,11 +187,22 @@ OnlineDlacep::OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
   step_size_ = config_.step_size != 0 ? config_.step_size : w;
   DLACEP_CHECK_GT(mark_size_, 0u);
   DLACEP_CHECK_GT(step_size_, 0u);
-  workers_ = ResolveNumThreads(config_.num_threads);
-  if (workers_ > 1) pool_ = std::make_unique<ThreadPool>(workers_);
-  const size_t context_slots = pool_ != nullptr ? workers_ : 1;
-  for (size_t i = 0; i < context_slots; ++i) {
-    contexts_.push_back(std::make_unique<InferenceContext>());
+  num_shards_ = config_.num_shards;
+  if (num_shards_ > 0) {
+    // Sharded runtime: one worker thread (spawned per Run) and one
+    // scratch arena per shard; no shared pool.
+    workers_ = num_shards_;
+    hash_ring_ = std::make_unique<ConsistentHashRing>(num_shards_);
+    for (size_t i = 0; i < num_shards_; ++i) {
+      contexts_.push_back(std::make_unique<InferenceContext>());
+    }
+  } else {
+    workers_ = ResolveNumThreads(config_.num_threads);
+    if (workers_ > 1) pool_ = std::make_unique<ThreadPool>(workers_);
+    const size_t context_slots = pool_ != nullptr ? workers_ : 1;
+    for (size_t i = 0; i < context_slots; ++i) {
+      contexts_.push_back(std::make_unique<InferenceContext>());
+    }
   }
   max_in_flight_ = config_.max_windows_in_flight != 0
                        ? config_.max_windows_in_flight
@@ -285,6 +333,10 @@ void OnlineDlacep::MergeOne(RunState* state, DoneWindow window) {
 }
 
 void OnlineDlacep::DrainMerges(RunState* state, size_t target_in_flight) {
+  if (num_shards_ > 0) {
+    DrainMergesSharded(state, target_in_flight);
+    return;
+  }
   // A buffered-but-undispatched window still counts as in flight, and
   // the merge line may point straight at it. If this call is going to
   // wait, dispatch the partial batch first so the wait can terminate.
@@ -367,6 +419,182 @@ void OnlineDlacep::DrainMerges(RunState* state, size_t target_in_flight) {
   }
 }
 
+void OnlineDlacep::DrainMergesSharded(RunState* state,
+                                      size_t target_in_flight) {
+  const double deadline =
+      config_.health.enabled ? config_.health.mark_deadline_seconds : 0.0;
+  // The merge line is the global dispatch sequence; the owner shard of
+  // the next sequence was recorded at dispatch. Anything popped below
+  // the line is the late result of a previously abandoned window —
+  // stale, discard.
+  while (state->in_flight > target_in_flight) {
+    auto pit = state->pending.find(state->next_merge);
+    DLACEP_CHECK(pit != state->pending.end());
+    RunState::Shard& shard = *state->shards[pit->second.shard];
+    DoneWindow window;
+    bool have = false;
+    for (;;) {
+      RunState::SeqDone done;
+      if (deadline <= 0.0) {
+        if (!shard.done.Pop(&done)) break;  // ring closed (shutdown)
+      } else {
+        const double wait_s = pit->second.close_seconds + deadline -
+                              state->watch.ElapsedSeconds();
+        if (wait_s <= 0.0) break;  // overdue: abandon below
+        bool timed_out = false;
+        if (!shard.done.PopFor(&done, wait_s, &timed_out)) {
+          if (timed_out) continue;  // recomputes wait_s, then abandons
+          break;                    // ring closed (shutdown)
+        }
+      }
+      if (done.seq < state->next_merge) continue;  // stale late result
+      // A shard's completions are sequence-increasing and every lower
+      // sequence it owns has already merged or been discarded, so the
+      // first live completion is exactly the merge line.
+      DLACEP_CHECK_EQ(done.seq, state->next_merge);
+      window = std::move(done.window);
+      have = true;
+      break;
+    }
+    if (!have) {
+      // Deadline abandon: synthesize the quarantined stand-in from the
+      // router's shadow, exactly as the pool path does.
+      const RunState::Pending& p = pit->second;
+      window.begin = p.begin;
+      window.level = p.level;
+      window.close_seconds = p.close_seconds;
+      window.events = p.events;
+      window.timed_out = true;
+    }
+    state->pending.erase(pit);
+    ++state->next_merge;
+    --state->in_flight;
+    MergeOne(state, std::move(window));
+  }
+  // Opportunistically retire whatever the owner shard of the merge line
+  // has already finished, so merge latency tracks worker completion.
+  while (state->in_flight > 0) {
+    auto pit = state->pending.find(state->next_merge);
+    DLACEP_CHECK(pit != state->pending.end());
+    RunState::Shard& shard = *state->shards[pit->second.shard];
+    DoneWindow window;
+    bool have = false;
+    RunState::SeqDone done;
+    while (shard.done.TryPop(&done)) {
+      if (done.seq < state->next_merge) continue;  // stale late result
+      DLACEP_CHECK_EQ(done.seq, state->next_merge);
+      window = std::move(done.window);
+      have = true;
+      break;
+    }
+    if (!have) break;
+    state->pending.erase(pit);
+    ++state->next_merge;
+    --state->in_flight;
+    MergeOne(state, std::move(window));
+  }
+}
+
+void OnlineDlacep::ShardLoop(RunState* state, size_t shard_index) {
+  RunState::Shard& shard = *state->shards[shard_index];
+  if (config_.pin_shard_threads) {
+    const size_t cores = ResolveNumThreads(0);
+    shard.stats.pinned = PinCurrentThreadToCore(shard_index % cores);
+  }
+  InferenceContext* ctx = contexts_[shard_index].get();
+  const size_t batch_cap = config_.batch_size > 1 ? config_.batch_size : 1;
+  std::vector<RunState::WindowTask> burst;
+  std::vector<RunState::SeqDone> finished;
+  for (;;) {
+    burst.clear();
+    if (shard.work.PopBurst(&burst, kShardWorkBurst) == 0) break;
+    finished.clear();
+    finished.reserve(burst.size());
+    size_t i = 0;
+    while (i < burst.size()) {
+      // Shard-side micro-batching: adjacent level-0/1 windows in the
+      // burst mark through one MarkBatchOnline call (the PR 6 batch
+      // collector, moved shard-local — a busy shard's backlog batches
+      // naturally, an idle shard marks solo with no added latency).
+      // Shed, degraded, and probe windows always mark solo, mirroring
+      // the pool path's batch-collection rule.
+      const RunState::WindowTask& head = burst[i];
+      const bool batchable = batch_cap > 1 &&
+                             head.level < OverloadController::kMaxLevel &&
+                             !head.probe;
+      size_t j = i + 1;
+      if (batchable) {
+        while (j < burst.size() && j - i < batch_cap &&
+               burst[j].level < OverloadController::kMaxLevel &&
+               !burst[j].probe) {
+          ++j;
+        }
+      }
+      Stopwatch mark_watch;
+      obs::TraceSpan mark_span(obs::StageWindowMark());
+      if (batchable && j - i > 1) {
+        std::vector<OnlineWindow> windows;
+        windows.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          const RunState::WindowTask& t = burst[k];
+          if (config_.worker_window_hook) config_.worker_window_hook(t.seq);
+          windows.push_back(OnlineWindow{
+              t.events.get(), t.begin,
+              t.level == 1 ? config_.overload.threshold_boost : 0.0});
+        }
+        std::vector<std::vector<int>> marks(j - i);
+        filter_->MarkBatchOnline(windows, ctx, marks.data());
+        for (size_t k = i; k < j; ++k) {
+          RunState::WindowTask& t = burst[k];
+          DoneWindow window;
+          window.begin = t.begin;
+          window.level = t.level;
+          window.close_seconds = t.close_seconds;
+          window.events = std::move(t.events);
+          window.marks = std::move(marks[k - i]);
+          finished.push_back(RunState::SeqDone{t.seq, std::move(window)});
+        }
+      } else {
+        RunState::WindowTask& t = burst[i];
+        if (config_.worker_window_hook) config_.worker_window_hook(t.seq);
+        DoneWindow window;
+        window.begin = t.begin;
+        window.level = t.level;
+        window.close_seconds = t.close_seconds;
+        window.events = t.events;
+        window.probe = t.probe;
+        if (t.level == OverloadController::kDegradedLevel) {
+          window.marks.assign(t.events->size(), 1);
+          if (t.probe) {
+            window.shadow_marks =
+                filter_->MarkOnline(*t.events, t.begin, ctx, 0.0);
+          }
+        } else if (t.level >= OverloadController::kMaxLevel) {
+          const StreamFilter& shed =
+              config_.overload.shedding == SheddingPolicy::kRandom
+                  ? static_cast<const StreamFilter&>(random_shed_)
+                  : static_cast<const StreamFilter&>(type_shed_);
+          window.marks = shed.MarkOnline(*t.events, t.begin, ctx, 0.0);
+        } else {
+          const double boost =
+              t.level == 1 ? config_.overload.threshold_boost : 0.0;
+          window.marks = filter_->MarkOnline(*t.events, t.begin, ctx, boost);
+        }
+        finished.push_back(RunState::SeqDone{t.seq, std::move(window)});
+      }
+      mark_span.Finish();
+      shard.stats.mark_seconds += mark_watch.ElapsedSeconds();
+      shard.stats.windows_marked += j - i;
+      ++shard.stats.filter_calls;
+      obs::ShardWindowsMarked(shard_index)->Increment(j - i);
+      obs::ShardMarkLatency(shard_index)
+          ->Observe(mark_watch.ElapsedSeconds());
+      i = j;
+    }
+    shard.done.PushBurst(finished.data(), finished.size());
+  }
+}
+
 void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
   DrainMerges(state, max_in_flight_ - 1);
 
@@ -414,6 +642,27 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
   const double close_seconds = state->watch.ElapsedSeconds();
   ++state->in_flight;
   obs::WindowsInFlight()->Set(static_cast<double>(state->in_flight));
+
+  if (num_shards_ > 0) {
+    // Exchange stage: the detached window is forwarded whole to the
+    // shard that owns its head symbol. Occupancy is bounded by
+    // in_flight (capped at max_in_flight_ - 1 by the DrainMerges
+    // above), so the push lands without blocking unless deadline
+    // abandons have piled extra tasks onto a wedged shard — then
+    // blocking here is the intended backpressure.
+    const size_t owner = hash_ring_->ShardFor(WindowRoutingSymbol(*events));
+    state->pending.emplace(seq, RunState::Pending{begin, level,
+                                                  close_seconds, events,
+                                                  owner});
+    RunState::Shard& shard = *state->shards[owner];
+    RunState::WindowTask task{seq,   begin, level,
+                              probe, close_seconds, std::move(events)};
+    const bool accepted = shard.work.Push(std::move(task));
+    DLACEP_CHECK(accepted);
+    ++shard.stats.windows_routed;
+    obs::ShardRingDepth(owner)->Set(static_cast<double>(shard.work.size()));
+    return;
+  }
   state->pending.emplace(
       seq, RunState::Pending{begin, level, close_seconds, events});
 
@@ -680,6 +929,26 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
     DLACEP_RETURN_IF_ERROR(RestoreFrom(&state, source));
   }
 
+  // Sharded mode: spawn the shard workers before any window can close.
+  // Without deadline abandons, ring occupancy is bounded by
+  // in_flight <= max_in_flight_, so pushes never block. Abandoned
+  // windows leave in_flight while their task/late-result still occupies
+  // a ring, so capacity carries 2x slack; if a ring still fills behind
+  // a wedged shard, the push blocking IS the backpressure (the merge
+  // line keeps advancing via abandons and drains the ring on its next
+  // visit).
+  if (num_shards_ > 0) {
+    const size_t ring_capacity = 2 * (max_in_flight_ + 1);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      state.shards.push_back(
+          std::make_unique<RunState::Shard>(ring_capacity, ring_capacity));
+    }
+    for (size_t s = 0; s < num_shards_; ++s) {
+      state.shards[s]->thread =
+          std::thread(&OnlineDlacep::ShardLoop, this, &state, s);
+    }
+  }
+
   // Producer: pull, stamp the arrival id BEFORE the queue (a dropped
   // event leaves an id gap, keeping the count-window constraint
   // anchored to real arrivals, §4.4), push. Transient read failures
@@ -739,27 +1008,7 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   // buffered and a flush timer configured, the pop is bounded by the
   // oldest buffered window's deadline so a quiet stream can't hold a
   // window past batch_timeout_ms.
-  RunState::Arrival arrival;
-  const double batch_timeout = config_.batch_timeout_ms * 1e-3;
-  for (;;) {
-    bool got = false;
-    if (state.batch.empty() || batch_timeout <= 0.0) {
-      got = state.queue.Pop(&arrival);
-    } else {
-      const double wait_s = state.batch.front().close_seconds +
-                            batch_timeout - state.watch.ElapsedSeconds();
-      if (wait_s <= 0.0) {
-        FlushBatch(&state);
-        continue;
-      }
-      bool timed_out = false;
-      got = state.queue.PopFor(&arrival, wait_s, &timed_out);
-      if (!got && timed_out) {
-        FlushBatch(&state);
-        continue;
-      }
-    }
-    if (!got) break;
+  auto ingest = [&](RunState::Arrival& arrival) {
     if (arrival.pushed_seconds > 0.0) {
       obs::StageQueueWait()->Observe(std::max(
           0.0, state.watch.ElapsedSeconds() - arrival.pushed_seconds));
@@ -775,6 +1024,43 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
             config_.checkpoint.every_events) {
       WriteCheckpointNow(&state);
       state.last_checkpoint = state.appended;
+    }
+  };
+  if (num_shards_ > 0) {
+    // Router loop: burst-pop arrivals so the ingest queue's lock and
+    // wakeup cost amortize across kRouterIngestBurst events. Shard-side
+    // micro-batching replaces the assembler-side batch collector, so
+    // there is no flush timer to honor here.
+    std::vector<RunState::Arrival> arrivals;
+    arrivals.reserve(kRouterIngestBurst);
+    for (;;) {
+      arrivals.clear();
+      if (state.queue.PopBurst(&arrivals, kRouterIngestBurst) == 0) break;
+      for (RunState::Arrival& arrival : arrivals) ingest(arrival);
+    }
+  } else {
+    RunState::Arrival arrival;
+    const double batch_timeout = config_.batch_timeout_ms * 1e-3;
+    for (;;) {
+      bool got = false;
+      if (state.batch.empty() || batch_timeout <= 0.0) {
+        got = state.queue.Pop(&arrival);
+      } else {
+        const double wait_s = state.batch.front().close_seconds +
+                              batch_timeout - state.watch.ElapsedSeconds();
+        if (wait_s <= 0.0) {
+          FlushBatch(&state);
+          continue;
+        }
+        bool timed_out = false;
+        got = state.queue.PopFor(&arrival, wait_s, &timed_out);
+        if (!got && timed_out) {
+          FlushBatch(&state);
+          continue;
+        }
+      }
+      if (!got) break;
+      ingest(arrival);
     }
   }
 
@@ -795,7 +1081,12 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   DrainMerges(&state, 0);
   // All windows are merged, but the worker that produced the last one
   // may still be inside its done_cv.notify_one() — drain the pool so no
-  // task can touch RunState after Run returns.
+  // task can touch RunState after Run returns. In sharded mode, close
+  // the work rings (the workers exit once drained) and join.
+  for (auto& shard : state.shards) shard->work.Close();
+  for (auto& shard : state.shards) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
   if (pool_ != nullptr) pool_->Wait();
   producer.join();
 
@@ -821,6 +1112,10 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   obs::EventsFiltered()->Increment(state.stats.events_filtered);
   state.stats.queue_capacity = state.queue.capacity();
   state.stats.queue_high_water = state.queue.high_water();
+  for (auto& shard : state.shards) {
+    shard->stats.work_high_water = shard->work.high_water();
+    state.stats.shards.push_back(shard->stats);
+  }
   state.stats.overload_escalations = state.controller.escalations();
   state.stats.overload_recoveries = state.controller.recoveries();
   state.stats.overload_level_at_exit = state.controller.level();

@@ -23,6 +23,21 @@
 //   extracted MatchSet are byte-identical to DlacepPipeline::Evaluate
 //   on the same stream, for every num_threads setting.
 //
+// SHARDED MODE (OnlineConfig::num_shards >= 1): the assembler thread
+// becomes a router. Window close stays global and serial (the count
+// geometry is a property of the whole stream), but the marking work is
+// sharded: every closed window is detached and forwarded — the
+// exchange stage — through consistent hashing on its head symbol to an
+// owner shard, each shard being a core-pinned worker thread with its
+// own SPSC work/completion rings and InferenceContext. The router then
+// runs the deterministic cross-shard merge: completions retire
+// strictly by dispatch sequence (the owner of the next sequence is
+// recorded at dispatch; a shard's completion ring is FIFO and hence
+// sequence-ordered), so the correctness contract above holds verbatim
+// at every shard count. Overload, health, probe, and checkpoint
+// decisions all stay on the router, which is what keeps them
+// independent of the shard count.
+//
 // An OverloadController watches ingest-queue depth and end-to-end
 // window latency and degrades with hysteresis — raised filter
 // threshold first, then the shedding fallback — recovering when
@@ -72,6 +87,7 @@
 #include "runtime/health.h"
 #include "runtime/overload.h"
 #include "runtime/ring_queue.h"
+#include "runtime/shard.h"
 #include "runtime/source.h"
 #include "runtime/stats.h"
 
@@ -125,6 +141,24 @@ struct OnlineConfig {
   /// partial batches then flush only on a full batch, merge pressure,
   /// or end of stream.
   double batch_timeout_ms = 2.0;
+
+  /// 0 (default): the single-queue worker-pool runtime above. N >= 1:
+  /// the thread-per-core sharded runtime — the assembler thread becomes
+  /// a router that closes windows globally (same watermark geometry)
+  /// and forwards each closed window, via consistent hashing on the
+  /// window's head symbol, to one of N shard workers. Each shard owns a
+  /// single-producer/single-consumer work ring, a completion ring, its
+  /// own nn::InferenceContext, and one worker thread pinned to a core
+  /// (best-effort). The router merges completions strictly by dispatch
+  /// sequence, so marks, matches, and accounting are byte-identical to
+  /// num_shards = 0 and to batch Evaluate at every shard count.
+  /// num_threads is ignored in sharded mode (parallelism = N).
+  size_t num_shards = 0;
+
+  /// Sharded mode: pin shard worker k to core (k mod hardware
+  /// concurrency). Failures (no affinity API, cgroup cpuset) are
+  /// recorded in ShardStats and otherwise ignored.
+  bool pin_shard_threads = true;
 
   OverloadConfig overload;
   DriftConfig drift;
@@ -206,6 +240,16 @@ class OnlineDlacep {
   /// a synthesized quarantined DoneWindow takes its place so a wedged
   /// worker can never stall the merge line.
   void DrainMerges(RunState* state, size_t target_in_flight);
+  /// Sharded-mode DrainMerges: the owner shard of the next sequence is
+  /// known from the pending map, and a shard's completion ring is
+  /// sequence-ordered (its worker is FIFO), so the cross-shard merge
+  /// pops exactly the owner's ring per step — same deadline-abandon and
+  /// stale-result semantics as the pool path.
+  void DrainMergesSharded(RunState* state, size_t target_in_flight);
+  /// Shard worker body: burst-pops window tasks from the shard's work
+  /// ring, marks them (micro-batching adjacent batchable windows when
+  /// batch_size > 1), and burst-pushes completions.
+  void ShardLoop(RunState* state, size_t shard_index);
   /// Quiesces in-flight windows and atomically persists a checkpoint.
   void WriteCheckpointNow(RunState* state);
   /// Seeds a fresh RunState from the checkpoint in config_.checkpoint.
@@ -217,10 +261,15 @@ class OnlineDlacep {
   size_t mark_size_;
   size_t step_size_;
   size_t workers_;
+  size_t num_shards_;
   size_t max_in_flight_;
   std::unique_ptr<ThreadPool> pool_;
-  /// One scratch arena per worker (slot 0 doubles as the inline path's
-  /// arena), reused across windows and runs.
+  /// Sharded mode: the symbol → owner-shard map (null when
+  /// num_shards_ == 0).
+  std::unique_ptr<ConsistentHashRing> hash_ring_;
+  /// One scratch arena per worker — pool slot 0 doubles as the inline
+  /// path's arena; in sharded mode slot k belongs to shard k — reused
+  /// across windows and runs.
   std::vector<std::unique_ptr<InferenceContext>> contexts_;
   /// Level-2 fallbacks, built once from the pattern/config.
   TypeSheddingFilter type_shed_;

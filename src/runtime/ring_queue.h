@@ -13,6 +13,15 @@
 // Pop(). Close() wakes everyone: pending Push/TryPush fail, Pop drains
 // the remaining events and then returns false. The queue also tracks
 // its high-water mark, the overload controller's primary signal.
+//
+// Burst variants (PushBurst/TryPushBurst/PopBurst) move many elements
+// per lock acquisition and per condition-variable signal, so the
+// sharded runtime's router and shard workers pay the mutex atomics and
+// futex wakeups once per burst instead of once per element. The
+// per-shard work and completion rings are RingQueues used in
+// single-producer/single-consumer mode — the router is the only pusher
+// of a shard's work ring and the shard worker its only popper (and
+// vice versa for the completion ring).
 
 #ifndef DLACEP_RUNTIME_RING_QUEUE_H_
 #define DLACEP_RUNTIME_RING_QUEUE_H_
@@ -61,6 +70,46 @@ class RingQueue {
     return true;
   }
 
+  /// Blocking burst push: enqueues values[0..count) in order, waiting
+  /// for space as needed but taking the lock and signalling the
+  /// consumer once per chunk of freed capacity instead of once per
+  /// element. Returns the number of values accepted — count unless the
+  /// queue was closed mid-burst (the accepted prefix is still
+  /// delivered; the rest is discarded).
+  size_t PushBurst(T* values, size_t count) {
+    size_t pushed = 0;
+    while (pushed < count) {
+      size_t chunk = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock,
+                       [&] { return size_ < ring_.size() || closed_; });
+        if (closed_) break;
+        while (pushed < count && size_ < ring_.size()) {
+          Enqueue(std::move(values[pushed++]));
+          ++chunk;
+        }
+      }
+      if (chunk > 0) not_empty_.notify_one();
+    }
+    return pushed;
+  }
+
+  /// Non-blocking burst push: accepts the longest prefix that fits.
+  /// Returns the number accepted (0 when full or closed).
+  size_t TryPushBurst(T* values, size_t count) {
+    size_t pushed = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return 0;
+      while (pushed < count && size_ < ring_.size()) {
+        Enqueue(std::move(values[pushed++]));
+      }
+    }
+    if (pushed > 0) not_empty_.notify_one();
+    return pushed;
+  }
+
   /// Blocking pop. Returns false once the queue is closed AND drained.
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
@@ -72,6 +121,43 @@ class RingQueue {
     lock.unlock();
     not_full_.notify_one();
     return true;
+  }
+
+  /// Non-blocking pop. Returns false when the queue is currently empty
+  /// (closed or not) — the sharded merge uses this to opportunistically
+  /// retire completions without ever waiting on a shard.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (size_ == 0) return false;
+      *out = std::move(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+      --size_;
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Blocking burst pop: waits for at least one element (or close),
+  /// then appends up to max_count elements to *out under a single lock
+  /// acquisition. Returns the number popped; 0 means closed AND
+  /// drained, the same terminal condition as Pop() returning false.
+  size_t PopBurst(std::vector<T>* out, size_t max_count) {
+    size_t popped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+      while (popped < max_count && size_ > 0) {
+        out->push_back(std::move(ring_[head_]));
+        head_ = (head_ + 1) % ring_.size();
+        --size_;
+        ++popped;
+      }
+    }
+    // A burst frees many slots at once; every blocked producer may have
+    // room now.
+    if (popped > 0) not_full_.notify_all();
+    return popped;
   }
 
   /// Pop bounded by a timeout: blocks at most `seconds` for an element.

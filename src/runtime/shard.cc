@@ -1,0 +1,66 @@
+#include "runtime/shard.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace dlacep {
+
+namespace {
+
+// splitmix64 — the same fixed-point finalizer the shedding salt uses;
+// deterministic and well-mixed for the small sequential inputs (shard
+// ids, vnode ordinals, type ids) we feed it.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(size_t num_shards,
+                                       size_t vnodes_per_shard)
+    : num_shards_(num_shards) {
+  DLACEP_CHECK_GT(num_shards, 0u);
+  DLACEP_CHECK_GT(vnodes_per_shard, 0u);
+  ring_.reserve(num_shards * vnodes_per_shard);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (size_t vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      // A shard's vnode positions depend only on (shard, vnode), so
+      // growing the ring adds points without moving existing ones —
+      // the minimal-remap property.
+      const uint64_t hash =
+          Mix64((static_cast<uint64_t>(shard) << 32) |
+                static_cast<uint64_t>(vnode));
+      ring_.push_back(Point{hash, static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.shard < b.shard;
+            });
+}
+
+size_t ConsistentHashRing::ShardFor(TypeId symbol) const {
+  const uint64_t key =
+      Mix64(static_cast<uint64_t>(static_cast<int64_t>(symbol)) ^
+            0xd1b54a32d192ed03ULL);
+  // Successor vnode clockwise from the key, wrapping past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Point& p, uint64_t k) { return p.hash < k; });
+  if (it == ring_.end()) it = ring_.begin();
+  return static_cast<size_t>(it->shard);
+}
+
+TypeId WindowRoutingSymbol(const EventStream& window) {
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (!window[i].is_blank()) return window[i].type;
+  }
+  return kBlankType;
+}
+
+}  // namespace dlacep

@@ -113,6 +113,22 @@ std::string RuntimeStats::ToString() const {
                      static_cast<unsigned long long>(source_retries),
                      source_aborted ? ", ABORTED" : "");
   }
+  if (!shards.empty()) {
+    size_t pinned = 0;
+    for (const ShardStats& s : shards) pinned += s.pinned ? 1 : 0;
+    out += StrFormat("shards          : %zu (pinned %zu/%zu)\n",
+                     shards.size(), pinned, shards.size());
+    for (size_t i = 0; i < shards.size(); ++i) {
+      const ShardStats& s = shards[i];
+      out += StrFormat(
+          "  shard %zu: routed %llu, marked %llu, filter calls %llu, "
+          "mark %.3fs, ring high-water %zu\n",
+          i, static_cast<unsigned long long>(s.windows_routed),
+          static_cast<unsigned long long>(s.windows_marked),
+          static_cast<unsigned long long>(s.filter_calls), s.mark_seconds,
+          s.work_high_water);
+    }
+  }
   if (checkpoints_written > 0) {
     out += StrFormat("checkpoints     : %llu written\n",
                      static_cast<unsigned long long>(checkpoints_written));

@@ -63,6 +63,19 @@ struct OverloadTransition {
   double latency_seconds = 0.0;
 };
 
+/// Per-shard accounting in the sharded runtime (num_shards >= 1).
+/// Single-writer fields: `windows_routed` and `work_high_water` come
+/// from the router, the rest from the shard's worker thread; the
+/// snapshot is read only after the shard threads join.
+struct ShardStats {
+  uint64_t windows_routed = 0;  ///< closed windows forwarded here
+  uint64_t windows_marked = 0;  ///< windows the worker finished marking
+  uint64_t filter_calls = 0;    ///< solo marks + micro-batch calls
+  double mark_seconds = 0.0;    ///< wall time inside the filter
+  size_t work_high_water = 0;   ///< deepest the work ring ever got
+  bool pinned = false;          ///< core affinity applied successfully
+};
+
 /// End-of-run snapshot of the online runtime.
 struct RuntimeStats {
   // Event accounting (see the contract above).
@@ -102,6 +115,11 @@ struct RuntimeStats {
   uint64_t checkpoints_written = 0;
 
   uint64_t drift_flags = 0;  ///< drift monitor firings (see drift.h)
+
+  /// One entry per shard when the sharded runtime ran (empty for the
+  /// legacy pool runtime). Sums to the global window counters: every
+  /// closed window is routed to exactly one shard.
+  std::vector<ShardStats> shards;
 
   /// Watermark-close → merged-marks latency per window.
   LatencyHistogram window_latency;

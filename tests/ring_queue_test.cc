@@ -108,6 +108,118 @@ TEST(RingQueueShutdown, BlockingProducersDrainLosslesslyThroughClose) {
   EXPECT_LE(queue.high_water(), queue.capacity());
 }
 
+// ---------------------------------------------------------------------
+// Burst variants (the sharded runtime's router/worker hot path).
+
+TEST(RingQueueBurst, PushBurstPopBurstFifoThroughTinyQueue) {
+  RingQueue<int> queue(2);
+  constexpr int kCount = 500;
+  std::thread producer([&] {
+    std::vector<int> burst(kCount);
+    for (int i = 0; i < kCount; ++i) burst[i] = i;
+    // One call delivers the whole burst through a capacity-2 queue:
+    // PushBurst blocks chunk by chunk, it never truncates while open.
+    EXPECT_EQ(queue.PushBurst(burst.data(), burst.size()),
+              static_cast<size_t>(kCount));
+    queue.Close();
+  });
+  std::vector<int> out;
+  int expected = 0;
+  while (queue.PopBurst(&out, 16) > 0) {
+    for (int v : out) EXPECT_EQ(v, expected++);
+    out.clear();
+  }
+  EXPECT_EQ(expected, kCount);
+  producer.join();
+}
+
+TEST(RingQueueBurst, TryPushBurstAcceptsExactlyWhatFits) {
+  RingQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(0));
+  ASSERT_TRUE(queue.TryPush(1));
+  int burst[] = {2, 3, 4, 5, 6};
+  EXPECT_EQ(queue.TryPushBurst(burst, 5), 2u);  // only two slots left
+  EXPECT_EQ(queue.TryPushBurst(burst + 2, 3), 0u);  // full: nothing
+  int out = -1;
+  for (int want = 0; want < 4; ++want) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, want);  // the accepted prefix, in order
+  }
+  EXPECT_EQ(queue.TryPushBurst(burst + 2, 3), 3u);
+  queue.Close();
+  EXPECT_EQ(queue.TryPushBurst(burst, 5), 0u);  // closed: nothing
+}
+
+TEST(RingQueueBurst, PopBurstHonorsMaxAndDrainsAfterClose) {
+  RingQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> out;
+  EXPECT_EQ(queue.PopBurst(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  queue.Close();
+  EXPECT_EQ(queue.PopBurst(&out, 16), 2u);  // drains the remainder
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.PopBurst(&out, 16), 0u);  // closed AND drained
+}
+
+TEST(RingQueueBurst, TryPopNeverBlocks) {
+  RingQueue<int> queue(2);
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(&out));  // empty, open
+  ASSERT_TRUE(queue.TryPush(7));
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 7);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPop(&out));  // empty, closed
+}
+
+TEST(RingQueueBurst, CloseUnblocksPopBurstOnEmptyQueue) {
+  RingQueue<int> queue(4);
+  std::atomic<size_t> popped{1};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    popped = queue.PopBurst(&out, 8);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(popped.load(), 0u);
+}
+
+TEST(RingQueueBurst, CloseUnblocksPushBurstAndKeepsAcceptedPrefix) {
+  // The shutdown race: a producer mid-PushBurst is blocked on a full
+  // queue when Close() lands. It must wake, report how much of the
+  // burst was accepted, and that accepted prefix must drain losslessly
+  // and in order — nothing past it may ever appear.
+  RingQueue<int> queue(2);
+  ASSERT_TRUE(queue.TryPush(-2));
+  ASSERT_TRUE(queue.TryPush(-1));  // full before the burst starts
+  constexpr size_t kBurst = 64;
+  std::vector<int> burst(kBurst);
+  for (size_t i = 0; i < kBurst; ++i) burst[i] = static_cast<int>(i);
+  std::atomic<size_t> pushed{kBurst + 1};
+  std::thread producer(
+      [&] { pushed = queue.PushBurst(burst.data(), burst.size()); });
+  // Drain a handful so the burst makes progress, then close under it.
+  int out = 0;
+  for (int want = -2; want < 4; ++want) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, want);
+  }
+  queue.Close();
+  producer.join();
+  std::vector<int> drained;
+  while (queue.Pop(&out)) drained.push_back(out);
+  // 6 popped pre-close, 2 of them pre-existing: the burst can never
+  // have completed through a capacity-2 queue.
+  EXPECT_GE(pushed.load(), 4u);
+  EXPECT_LT(pushed.load(), kBurst);
+  ASSERT_EQ(drained.size(), pushed.load() - 4);
+  for (size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i], static_cast<int>(i + 4));
+  }
+}
+
 TEST(RingQueueShutdown, CloseIsIdempotentUnderConcurrentCallers) {
   RingQueue<int> queue(4);
   ASSERT_TRUE(queue.TryPush(42));

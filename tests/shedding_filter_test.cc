@@ -106,6 +106,35 @@ TEST(RandomSheddingFilter, DetachedWindowKeepsGlobalSalt) {
   EXPECT_NE(filter.MarkCount(30, 40), filter.MarkCount(30, 41));
 }
 
+TEST(RandomSheddingFilter, OnlineSaltKeysOnHeadArrivalIdNotCallerPosition) {
+  // Regression for the sharded runtime: MarkOnline must salt by the
+  // window's OWN head arrival id, never by the stream_begin the caller
+  // happens to pass — shed decisions may not depend on dispatch order
+  // or shard count, only on window content.
+  const EventStream stream = SmallStream(200, 9);
+  const RandomSheddingFilter filter(0.5, 31);
+  const WindowRange range{40, 70};
+  const EventStream window = stream.Slice(range.begin, range.size());
+
+  const std::vector<int> expected = filter.MarkCount(range.size(), 40);
+  ASSERT_EQ(window[0].id, 40u);  // the salt the window itself carries
+  for (size_t caller_begin : {0u, 40u, 41u, 1000u}) {
+    EXPECT_EQ(filter.MarkOnline(window, caller_begin, nullptr, 0.0),
+              expected)
+        << "caller stream_begin " << caller_begin
+        << " leaked into the shed salt";
+  }
+
+  // Windows with different head ids draw different salts (content,
+  // not caller, differentiates them)...
+  const EventStream other = stream.Slice(41, range.size());
+  EXPECT_NE(filter.MarkOnline(other, 40, nullptr, 0.0), expected);
+  // ...and an empty window falls back to the caller's position.
+  const EventStream empty = stream.Slice(0, 0);
+  EXPECT_EQ(filter.MarkOnline(empty, 17, nullptr, 0.0),
+            filter.MarkCount(0, 17));
+}
+
 // ---------------------------------------------------------------------
 // TypeSheddingFilter recall.
 

@@ -7,15 +7,22 @@
 //       Evaluate a PQL query exactly and print matches + statistics.
 //   compare   --query Q --train F.csv --test G.csv
 //             [--filter event|window] [--hidden N] [--layers N]
-//             [--epochs N] [--num_threads N]
+//             [--epochs N] [--num_threads N] [--shards N]
 //             [--save model.bin | --load model.bin]
 //       Train (or load) a DLACEP filter on the training stream and
-//       compare DLACEP against exact CEP on the test stream.
+//       compare DLACEP against exact CEP on the test stream. With
+//       --shards N the trained filter additionally streams the test
+//       set through the sharded online runtime and the match sets are
+//       cross-checked.
 //   replay    --query Q --data F.csv [--filter KIND] [--rate R]
-//             [--queue_capacity N] [--num_threads N] [--drop 0|1]
+//             [--queue_capacity N] [--num_threads N | --shards N]
+//             [--drop 0|1]
 //       Stream a CSV through the online runtime (bounded ingest queue,
-//       sharded window workers, overload control) and print
-//       RuntimeStats at exit.
+//       worker pool or thread-per-core shards, overload control) and
+//       print RuntimeStats at exit. --shards N >= 1 selects the sharded
+//       runtime (consistent-hash routing, per-shard rings, core
+//       pinning; --pin 0 disables the pinning); output is byte-identical
+//       to --num_threads mode at any N.
 //   serve     --query Q [--events N] [--symbols N] [--seed S]
 //             [--filter KIND] [--rate R] [--queue_capacity N] ...
 //       Like replay, but the source is live stock-market simulation.
@@ -104,18 +111,19 @@ int Usage() {
                "       [--filter event|window] [--hidden N] [--layers N]"
                " [--epochs N]\n"
                "       [--threshold P] [--num_threads N] [--batch_size N]"
-               " [--save model.bin | --load model.bin]\n"
+               " [--shards N]\n"
+               "       [--save model.bin | --load model.bin]\n"
                "  dlacep replay --query Q --data F.csv [--filter KIND]\n"
                "       [--rate EV_PER_SEC] [--queue_capacity N]"
-               " [--num_threads N]\n"
+               " [--num_threads N | --shards N [--pin 0|1]]\n"
                "       [--batch_size N] [--batch_timeout_ms MS]\n"
                "       [--drop 0|1] [--overload 0|1] [--train F.csv]\n"
                "  dlacep serve --query Q [--events N] [--symbols N]"
                " [--seed S]\n"
                "       [--filter KIND] [--rate EV_PER_SEC]"
                " [--queue_capacity N]\n"
-               "       [--num_threads N] [--batch_size N]"
-               " [--batch_timeout_ms MS]\n"
+               "       [--num_threads N | --shards N [--pin 0|1]]"
+               " [--batch_size N] [--batch_timeout_ms MS]\n"
                "       [--drop 0|1] [--overload 0|1]"
                " [--train F.csv]\n"
                "  (online filter KINDs: pass | type-shed | random-shed |"
@@ -284,6 +292,41 @@ int Compare(const Args& args) {
   std::printf("filtering ratio : %.1f%%\n",
               result.dlacep.filtering_ratio() * 100);
   std::printf("throughput gain : %.2fx\n", result.throughput_gain());
+
+  // --shards N: stream the test set through the sharded online runtime
+  // with the same trained filter and cross-check it against the batch
+  // matches — the byte-equality contract, exercised end to end from the
+  // CLI.
+  const long shards = args.GetInt("shards", 0);
+  if (shards > 0) {
+    const Status online_ok = OnlineDlacep::ValidateForOnline(pattern.value());
+    if (!online_ok.ok()) {
+      std::fprintf(stderr, "--shards: %s\n", online_ok.ToString().c_str());
+      return 1;
+    }
+    OnlineConfig online_config;
+    online_config.num_shards = static_cast<size_t>(shards);
+    online_config.batch_size = config.batch_size;
+    online_config.overload.enabled = false;  // lossless, like the batch run
+    OnlineDlacep online(pattern.value(), &built.pipeline->filter(),
+                        online_config);
+    ReplaySource source(&test.value());
+    const OnlineResult streamed = online.Run(&source);
+    const bool identical =
+        streamed.matches.size() == result.dlacep.matches.size() &&
+        streamed.matches.IntersectionSize(result.dlacep.matches) ==
+            result.dlacep.matches.size();
+    std::printf("\nsharded replay  : %ld shards\n", shards);
+    std::printf("  events/sec    : %.0f\n",
+                streamed.stats.elapsed_seconds > 0
+                    ? static_cast<double>(test.value().size()) /
+                          streamed.stats.elapsed_seconds
+                    : 0.0);
+    std::printf("  accounted     : %s\n",
+                streamed.stats.Accounted() ? "yes" : "NO");
+    std::printf("  matches equal : %s\n", identical ? "yes" : "NO");
+    if (!identical || !streamed.stats.Accounted()) return 1;
+  }
   return 0;
 }
 
@@ -370,6 +413,8 @@ OnlineConfig MakeOnlineConfig(const Args& args) {
   config.checkpoint.restore = args.GetInt("restore", 0) != 0;
   config.batch_size = static_cast<size_t>(args.GetInt("batch_size", 1));
   config.batch_timeout_ms = args.GetDouble("batch_timeout_ms", 2.0);
+  config.num_shards = static_cast<size_t>(args.GetInt("shards", 0));
+  config.pin_shard_threads = args.GetInt("pin", 1) != 0;
   return config;
 }
 
