@@ -161,6 +161,81 @@ void EventNetworkFilter::MarkBatchOnline(std::span<const OnlineWindow> windows,
   MarkFeaturesBatchAt(features, ctx, thresholds, marks);
 }
 
+void EventNetworkFilter::MarkOnlineMultiHead(
+    const EventStream& window, InferenceContext* ctx,
+    std::span<const double> thresholds,
+    std::vector<std::vector<int>>* marks) const {
+  obs::TraceSpan feature_span(obs::StageFeatureBuild());
+  Matrix features = featurizer_->Encode(window.View(0, window.size()));
+  feature_span.Finish();
+
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+  const Matrix& h = frozen_.stack.Forward(c, features);
+  Matrix& emissions_f = c->Acquire(features.rows(), 2);
+  Matrix& emissions_b = c->Acquire(features.rows(), 2);
+  frozen_.head_fwd.Forward(h, &emissions_f);
+  frozen_.head_bwd.Forward(h, &emissions_b);
+  const Matrix marginals = crf_.Marginals(emissions_f, emissions_b);
+  marks->resize(thresholds.size());
+  for (size_t q = 0; q < thresholds.size(); ++q) {
+    (*marks)[q] = Threshold(marginals, thresholds[q]);
+  }
+}
+
+void EventNetworkFilter::MarkBatchOnlineMultiHead(
+    std::span<const OnlineWindow> windows, InferenceContext* ctx,
+    std::span<const double> thresholds,
+    std::vector<std::vector<std::vector<int>>>* marks) const {
+  const size_t batch = windows.size();
+  marks->assign(batch, {});
+  if (batch == 0) return;
+  std::vector<Matrix> features;
+  features.reserve(batch);
+  {
+    obs::TraceSpan feature_span(obs::StageFeatureBuild());
+    for (const OnlineWindow& w : windows) {
+      features.push_back(
+          featurizer_->Encode(w.events->View(0, w.events->size())));
+    }
+  }
+
+  obs::TraceSpan forward_span(obs::StageNnForwardInfer());
+  InferenceContext local;
+  InferenceContext* c = ctx != nullptr ? ctx : &local;
+  c->Reset();
+  std::vector<size_t> offsets(batch + 1, 0);
+  for (size_t w = 0; w < batch; ++w) {
+    offsets[w + 1] = offsets[w] + features[w].rows();
+  }
+  Matrix& x_all = c->Acquire(offsets[batch], features[0].cols());
+  for (size_t w = 0; w < batch; ++w) {
+    std::copy_n(features[w].data(), features[w].rows() * features[w].cols(),
+                x_all.data() + offsets[w] * x_all.cols());
+  }
+  const Matrix& h = frozen_.stack.ForwardBatch(c, x_all, offsets);
+  Matrix& emissions_f = c->Acquire(offsets[batch], 2);
+  Matrix& emissions_b = c->Acquire(offsets[batch], 2);
+  frozen_.head_fwd.ForwardBatch(h, &emissions_f);
+  frozen_.head_bwd.ForwardBatch(h, &emissions_b);
+
+  for (size_t w = 0; w < batch; ++w) {
+    const size_t t_len = offsets[w + 1] - offsets[w];
+    Matrix& ef = c->Acquire(t_len, 2);
+    Matrix& eb = c->Acquire(t_len, 2);
+    std::copy_n(emissions_f.data() + offsets[w] * 2, t_len * 2, ef.data());
+    std::copy_n(emissions_b.data() + offsets[w] * 2, t_len * 2, eb.data());
+    const Matrix marginals = crf_.Marginals(ef, eb);
+    (*marks)[w].resize(thresholds.size());
+    for (size_t q = 0; q < thresholds.size(); ++q) {
+      (*marks)[w][q] =
+          Threshold(marginals, thresholds[q] + windows[w].threshold_boost);
+    }
+  }
+}
+
 std::vector<int> EventNetworkFilter::MarkFeaturesWith(
     const Matrix& features, InferenceContext* ctx) const {
   return MarkFeaturesAt(features, ctx, event_threshold_);

@@ -39,6 +39,24 @@ class EventNetworkFilter : public TrainableFilter, public SequenceModel {
   void MarkBatchOnline(std::span<const OnlineWindow> windows,
                        InferenceContext* ctx,
                        std::vector<int>* marks) const override;
+  /// Multi-head decoding for the serving layer (src/serve): featurize
+  /// and run the trunk + CRF-marginal pass once, then decode the shared
+  /// marginals against one threshold per registered query. (*marks)[q]
+  /// equals MarkOnline(window, ., ctx, thresholds[q] - event_threshold)
+  /// bit for bit — the trunk forward is query-independent.
+  void MarkOnlineMultiHead(const EventStream& window, InferenceContext* ctx,
+                           std::span<const double> thresholds,
+                           std::vector<std::vector<int>>* marks) const;
+  /// Batched multi-head: trunk + emission heads run once over the
+  /// ForwardBatch slab (as MarkBatchOnline), then each window's
+  /// marginals decode against every query threshold, the window's
+  /// overload boost added to each. (*marks)[w][q] is window w under
+  /// query q's threshold.
+  void MarkBatchOnlineMultiHead(
+      std::span<const OnlineWindow> windows, InferenceContext* ctx,
+      std::span<const double> thresholds,
+      std::vector<std::vector<std::vector<int>>>* marks) const;
+  double event_threshold() const { return event_threshold_; }
   std::vector<int> MarkFeatures(const Matrix& features) const override;
   std::vector<int> MarkFeaturesWith(const Matrix& features,
                                     InferenceContext* ctx) const override;

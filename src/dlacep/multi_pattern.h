@@ -53,6 +53,18 @@ class MultiPatternDlacep {
 
   const BinaryMetrics& test_metrics() const { return test_metrics_; }
   size_t num_patterns() const { return patterns_.size(); }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  size_t max_window() const { return max_window_; }
+
+  /// The shared filter network, for serving layers that drive it
+  /// directly (src/serve registers it as the multi-head trunk). Owned
+  /// by this object; valid for its lifetime.
+  const EventNetworkFilter* filter() const { return filter_.get(); }
+
+  /// Windows marked per filter call in Evaluate (mirrors
+  /// DlacepConfig::batch_size). Exposed so equivalence tests can sweep
+  /// batch sizes without retraining a second system.
+  void set_batch_size(size_t batch_size) { config_.batch_size = batch_size; }
 
  private:
   std::vector<Pattern> patterns_;

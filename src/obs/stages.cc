@@ -207,6 +207,63 @@ Histogram* NnBatchWindows() {
   return h;
 }
 
+Gauge* RegistryQueries() {
+  static Gauge* g = MetricsRegistry::Global().GetGauge(
+      "dlacep_registry_queries", {},
+      "Queries currently registered in the serving registry");
+  return g;
+}
+
+Counter* RegistrySnapshots() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dlacep_registry_snapshots_total", {},
+      "Registry snapshot swaps (one per register/unregister)");
+  return c;
+}
+
+// Per-query instruments are labelled by the registered query name —
+// dynamic label values, so these go through the registry's
+// find-or-create every call. They are touched once per run at result
+// publication, not on the hot path.
+Counter* QueryMatches(const std::string& query) {
+  return MetricsRegistry::Global().GetCounter(
+      "dlacep_query_matches_total", {{"query", query}},
+      "Matches extracted per registered query");
+}
+
+Counter* QueryMarkedEvents(const std::string& query) {
+  return MetricsRegistry::Global().GetCounter(
+      "dlacep_query_marked_events_total", {{"query", query}},
+      "Deduplicated marked events per registered query");
+}
+
+namespace {
+
+constexpr char kServeEnginesTotal[] = "dlacep_serve_engines_total";
+constexpr char kServeEnginesHelp[] =
+    "Shared-CEP plan outcomes per query evaluation";
+
+Counter* ServeEngines(const char* result) {
+  return MetricsRegistry::Global().GetCounter(kServeEnginesTotal,
+                                              {{"result", result}},
+                                              kServeEnginesHelp);
+}
+
+}  // namespace
+
+#define DLACEP_OBS_COUNTER(fn, maker, label) \
+  Counter* fn() {                            \
+    static Counter* c = maker(label);        \
+    return c;                                \
+  }
+
+DLACEP_OBS_COUNTER(ServeEnginesRun, ServeEngines, "run")
+DLACEP_OBS_COUNTER(ServeEnginesShared, ServeEngines, "shared")
+DLACEP_OBS_COUNTER(ServeEnginesGuardPruned, ServeEngines, "guard_pruned")
+DLACEP_OBS_COUNTER(ServeEnginesTypePruned, ServeEngines, "type_pruned")
+
+#undef DLACEP_OBS_COUNTER
+
 #define DLACEP_OBS_GAUGE(fn, name, help)                          \
   Gauge* fn() {                                                   \
     static Gauge* g =                                             \
@@ -276,6 +333,13 @@ void TouchStandardMetrics() {
   }
 
   NnBatchWindows();
+
+  RegistryQueries();
+  RegistrySnapshots();
+  ServeEnginesRun();
+  ServeEnginesShared();
+  ServeEnginesGuardPruned();
+  ServeEnginesTypePruned();
 
   QueueDepth();
   QueueCapacity();

@@ -100,6 +100,23 @@ Histogram* ShardMarkLatency(size_t shard);
 /// the legacy per-window Forward never observes this histogram.
 Histogram* NnBatchWindows();
 
+// --- Multi-query serving (src/serve) ---------------------------------
+// dlacep_registry_queries: queries currently registered.
+// dlacep_registry_snapshots_total: snapshot swaps (one per mutation).
+// dlacep_query_matches_total{query} / dlacep_query_marked_events_total
+// {query}: per-query serving results, labelled by the registered name.
+// dlacep_serve_engines_total{result=run|shared|guard_pruned|type_pruned}:
+// shared-CEP plan outcomes — how many per-query engine evaluations
+// actually ran vs. were served from a structural twin or pruned.
+Gauge* RegistryQueries();
+Counter* RegistrySnapshots();
+Counter* QueryMatches(const std::string& query);
+Counter* QueryMarkedEvents(const std::string& query);
+Counter* ServeEnginesRun();
+Counter* ServeEnginesShared();
+Counter* ServeEnginesGuardPruned();
+Counter* ServeEnginesTypePruned();
+
 // --- Gauges ----------------------------------------------------------
 Gauge* QueueDepth();       ///< dlacep_queue_depth (events waiting)
 Gauge* QueueCapacity();    ///< dlacep_queue_capacity

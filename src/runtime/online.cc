@@ -1124,16 +1124,26 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
   state.stats.source_retries = retries;
   state.stats.source_aborted = aborted;
 
-  extractor_.ResetStats();
-  Stopwatch extract_watch;
-  std::vector<const Event*> marked;
-  marked.reserve(state.marked_store.size());
-  for (const Event& e : state.marked_store) marked.push_back(&e);
-  const Status status =
-      extractor_.Extract(std::move(marked), &result->matches);
-  DLACEP_CHECK_MSG(status.ok(), status.ToString());
-  state.stats.extract_seconds = extract_watch.ElapsedSeconds();
-  obs::StageCepEval()->Observe(state.stats.extract_seconds);
+  if (config_.collect_relayed) {
+    result->relayed_events.assign(state.marked_store.begin(),
+                                  state.marked_store.end());
+    result->quarantined_ids.assign(state.quarantined_ids.begin(),
+                                   state.quarantined_ids.end());
+    std::sort(result->quarantined_ids.begin(),
+              result->quarantined_ids.end());
+  }
+  if (!config_.skip_extraction) {
+    extractor_.ResetStats();
+    Stopwatch extract_watch;
+    std::vector<const Event*> marked;
+    marked.reserve(state.marked_store.size());
+    for (const Event& e : state.marked_store) marked.push_back(&e);
+    const Status status =
+        extractor_.Extract(std::move(marked), &result->matches);
+    DLACEP_CHECK_MSG(status.ok(), status.ToString());
+    state.stats.extract_seconds = extract_watch.ElapsedSeconds();
+    obs::StageCepEval()->Observe(state.stats.extract_seconds);
+  }
   state.stats.matches = result->matches.size();
   state.stats.elapsed_seconds = state.watch.ElapsedSeconds();
 

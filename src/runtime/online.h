@@ -160,6 +160,16 @@ struct OnlineConfig {
   /// recorded in ShardStats and otherwise ignored.
   bool pin_shard_threads = true;
 
+  /// Serve-layer hooks (src/serve). collect_relayed copies the
+  /// deduplicated relayed events (merge order) and the sorted
+  /// quarantined id set into OnlineResult so a caller can run its own
+  /// extraction over them. skip_extraction skips the built-in
+  /// single-pattern CEP pass entirely — the multi-query server
+  /// evaluates shared sub-plans itself. Both default off: the runtime
+  /// behaves exactly as before.
+  bool collect_relayed = false;
+  bool skip_extraction = false;
+
   OverloadConfig overload;
   DriftConfig drift;
   HealthConfig health;
@@ -180,6 +190,12 @@ struct OnlineResult {
   /// PipelineResult::marked_ids.
   std::vector<EventId> marked_ids;
   size_t marked_events = 0;  ///< deduplicated (== stats.events_relayed)
+  /// OnlineConfig::collect_relayed: the deduplicated relayed events in
+  /// deterministic merge order, and the sorted ids that reached the
+  /// store through a quarantined window (recall-1.0 events a per-query
+  /// extraction must always include). Empty unless requested.
+  std::vector<Event> relayed_events;
+  std::vector<EventId> quarantined_ids;
   RuntimeStats stats;
 
   double filtering_ratio() const {

@@ -1,0 +1,236 @@
+#include "serve/plan.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dlacep {
+namespace serve {
+
+namespace {
+
+void RenderNode(const PatternNode& node, std::ostringstream* out) {
+  switch (node.kind) {
+    case OpKind::kPrimitive:
+      *out << "P[";
+      for (size_t i = 0; i < node.types.size(); ++i) {
+        if (i > 0) *out << ",";
+        *out << node.types[i];
+      }
+      *out << "]v" << node.var;
+      return;
+    case OpKind::kKleene:
+      *out << "KC{" << node.min_reps << "," << node.max_reps << "}";
+      break;
+    case OpKind::kSeq:
+      *out << "SEQ";
+      break;
+    case OpKind::kConj:
+      *out << "CONJ";
+      break;
+    case OpKind::kDisj:
+      *out << "DISJ";
+      break;
+    case OpKind::kNeg:
+      *out << "NEG";
+      break;
+  }
+  *out << "(";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) *out << ",";
+    RenderNode(*node.children[i], out);
+  }
+  *out << ")";
+}
+
+/// Mandatory primitive positions: every match must bind at least one
+/// event at each. NEG children can't demand presence and DISJ only
+/// demands one of its branches, so both contribute nothing.
+void CollectRequired(const PatternNode& node,
+                     std::vector<std::vector<TypeId>>* out) {
+  switch (node.kind) {
+    case OpKind::kPrimitive:
+      if (!node.types.empty()) out->push_back(node.types);
+      return;
+    case OpKind::kSeq:
+    case OpKind::kConj:
+      for (const auto& child : node.children) CollectRequired(*child, out);
+      return;
+    case OpKind::kKleene:
+      if (node.min_reps >= 1 && !node.children.empty()) {
+        CollectRequired(*node.children[0], out);
+      }
+      return;
+    case OpKind::kDisj:
+    case OpKind::kNeg:
+      return;
+  }
+}
+
+/// A group is guard-eligible when its pattern is a SEQ of 3+ positions
+/// whose first two are plain primitives bound to vars 0 and 1 (the
+/// layout every Table-1/2 SEQ template uses). A 2-position SEQ is its
+/// own prefix — a guard would just duplicate the engine run.
+bool GuardEligible(const Pattern& pattern) {
+  const PatternNode& root = pattern.root();
+  if (root.kind != OpKind::kSeq || root.children.size() < 3) return false;
+  const PatternNode& p0 = *root.children[0];
+  const PatternNode& p1 = *root.children[1];
+  return p0.kind == OpKind::kPrimitive && p1.kind == OpKind::kPrimitive &&
+         p0.var == 0 && p1.var == 1;
+}
+
+/// Conditions fully determined by the first two SEQ positions.
+std::vector<const Condition*> PrefixConditions(const Pattern& pattern) {
+  std::vector<const Condition*> prefix;
+  for (const auto& condition : pattern.conditions()) {
+    bool in_prefix = true;
+    for (VarId v : condition->Vars()) in_prefix &= v == 0 || v == 1;
+    if (in_prefix) prefix.push_back(condition.get());
+  }
+  return prefix;
+}
+
+/// Name-free rendering of the first two positions plus their
+/// conditions: queries with equal prefix keys share one witness guard.
+std::string PrefixKey(const Pattern& pattern) {
+  std::ostringstream out;
+  RenderNode(*pattern.root().children[0], &out);
+  out << "|";
+  RenderNode(*pattern.root().children[1], &out);
+  std::vector<std::string> conds;
+  for (const Condition* condition : PrefixConditions(pattern)) {
+    conds.push_back(condition->ToString(nullptr));
+  }
+  std::sort(conds.begin(), conds.end());
+  for (const std::string& c : conds) out << "|" << c;
+  return out.str();
+}
+
+Pattern MakeGuard(const Pattern& pattern, size_t max_window) {
+  const PatternNode& root = pattern.root();
+  std::vector<std::unique_ptr<PatternNode>> children;
+  children.push_back(root.children[0]->Clone());
+  children.push_back(root.children[1]->Clone());
+  std::vector<std::unique_ptr<Condition>> conditions;
+  for (const Condition* condition : PrefixConditions(pattern)) {
+    conditions.push_back(condition->Clone());
+  }
+  std::vector<VarInfo> vars(pattern.vars().begin(),
+                            pattern.vars().begin() + 2);
+  return Pattern(pattern.schema_ptr(),
+                 PatternNode::Compose(OpKind::kSeq, std::move(children)),
+                 std::move(conditions), std::move(vars),
+                 WindowSpec::Count(max_window));
+}
+
+}  // namespace
+
+std::string StructuralKey(const Pattern& pattern, EngineKind engine) {
+  std::ostringstream out;
+  RenderNode(pattern.root(), &out);
+  if (!pattern.conditions().empty()) {
+    out << " WHERE ";
+    for (size_t i = 0; i < pattern.conditions().size(); ++i) {
+      if (i > 0) out << " AND ";
+      out << pattern.conditions()[i]->ToString(nullptr);
+    }
+  }
+  out << " WITHIN "
+      << (pattern.window().kind == WindowKind::kCount ? "#" : "t")
+      << pattern.window().size;
+  out << " ENGINE " << EngineKindName(engine);
+  return out.str();
+}
+
+SharedCepPlan BuildSharedCepPlan(std::span<const PlanQuery> queries) {
+  SharedCepPlan plan;
+
+  // Structural twins: map canonical key -> group.
+  std::map<std::string, size_t> by_key;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const std::string key = StructuralKey(*queries[q].pattern,
+                                          queries[q].engine);
+    auto [it, inserted] = by_key.emplace(key, plan.groups.size());
+    if (inserted) {
+      SharedGroup group;
+      group.members.push_back(q);
+      CollectRequired(queries[q].pattern->root(), &group.required_types);
+      plan.groups.push_back(std::move(group));
+    } else {
+      plan.groups[it->second].members.push_back(q);
+      ++plan.structural_duplicates;
+    }
+  }
+
+  // Prefix guards: one witness pattern per distinct 2-prefix, sized by
+  // the widest member window so it is sound for every sharer.
+  struct GuardBucket {
+    std::vector<size_t> groups;
+    size_t max_window = 0;
+  };
+  std::map<std::string, GuardBucket> buckets;
+  for (size_t g = 0; g < plan.groups.size(); ++g) {
+    const Pattern& pattern =
+        *queries[plan.groups[g].members[0]].pattern;
+    if (!GuardEligible(pattern)) continue;
+    if (pattern.window().kind != WindowKind::kCount) continue;
+    GuardBucket& bucket = buckets[PrefixKey(pattern)];
+    bucket.groups.push_back(g);
+    bucket.max_window =
+        std::max(bucket.max_window, pattern.window().count_size());
+  }
+  for (auto& [key, bucket] : buckets) {
+    const int guard_index = static_cast<int>(plan.guards.size());
+    const Pattern& exemplar =
+        *queries[plan.groups[bucket.groups[0]].members[0]].pattern;
+    plan.guards.push_back(MakeGuard(exemplar, bucket.max_window));
+    for (size_t g : bucket.groups) plan.groups[g].guard = guard_index;
+  }
+  return plan;
+}
+
+bool SeqPrefixWitness(const Pattern& guard,
+                      std::span<const Event* const> events) {
+  const PatternNode& root = guard.root();
+  DLACEP_CHECK(root.kind == OpKind::kSeq && root.children.size() == 2);
+  const std::vector<TypeId>& types0 = root.children[0]->types;
+  const std::vector<TypeId>& types1 = root.children[1]->types;
+  const double span = guard.window().size - 1.0;
+
+  Binding binding(guard.num_vars());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& first = *events[i];
+    if (!std::binary_search(types0.begin(), types0.end(), first.type)) {
+      continue;
+    }
+    binding.Bind(0, &first);
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      const Event& second = *events[j];
+      if (static_cast<double>(second.id) -
+              static_cast<double>(first.id) > span) {
+        break;  // sorted by id: no later event can fit either
+      }
+      if (!std::binary_search(types1.begin(), types1.end(), second.type)) {
+        continue;
+      }
+      binding.Bind(1, &second);
+      bool ok = true;
+      for (const auto& condition : guard.conditions()) {
+        if (!condition->Eval(binding)) {
+          ok = false;
+          break;
+        }
+      }
+      binding.Unbind(1);
+      if (ok) return true;
+    }
+    binding.Unbind(0);
+  }
+  return false;
+}
+
+}  // namespace serve
+}  // namespace dlacep

@@ -1,0 +1,216 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/timer.h"
+#include "dlacep/extractor.h"
+#include "obs/stages.h"
+
+namespace dlacep {
+namespace serve {
+
+size_t MultiQueryResult::total_matches() const {
+  size_t total = 0;
+  for (const QueryResult& query : queries) total += query.matches.size();
+  return total;
+}
+
+double MultiQueryResult::events_per_sec() const {
+  const double seconds = stats.elapsed_seconds + stats.extract_seconds;
+  return seconds > 0.0
+             ? static_cast<double>(stats.events_appended) / seconds
+             : 0.0;
+}
+
+MultiQueryServer::MultiQueryServer(QueryRegistry* registry,
+                                   const StreamFilter* base,
+                                   const EventNetworkFilter* heads,
+                                   const ServeConfig& config)
+    : registry_(registry), config_(config), filter_(registry, base, heads) {}
+
+Status MultiQueryServer::Run(StreamSource* source, MultiQueryResult* result) {
+  *result = MultiQueryResult{};
+  const auto start_snapshot = registry_->Acquire();
+  if (start_snapshot->queries.empty()) {
+    return Status::FailedPrecondition(
+        "cannot serve: no queries registered");
+  }
+
+  OnlineConfig online = config_.online;
+  if (online.mark_size == 0) online.mark_size = 2 * start_snapshot->max_window;
+  if (online.step_size == 0) online.step_size = start_snapshot->max_window;
+  online.collect_relayed = true;
+  online.skip_extraction = true;
+
+  filter_.ResetRecording();
+  // Any registered pattern works as the runtime's geometry anchor (the
+  // assembler uses the explicit mark/step above; the built-in extractor
+  // is skipped).
+  OnlineDlacep runtime(*start_snapshot->queries[0].pattern, &filter_,
+                       online);
+  OnlineResult raw;
+  Status run_status = runtime.Run(source, &raw);
+  if (!run_status.ok()) return run_status;
+
+  // Extraction serves whatever is registered when the stream ends.
+  const auto end_snapshot = registry_->Acquire();
+  Stopwatch extract_watch;
+  Status extract_status = ExtractShared(*end_snapshot, raw, result);
+  if (!extract_status.ok()) return extract_status;
+  raw.stats.extract_seconds = extract_watch.ElapsedSeconds();
+  obs::StageCepEval()->Observe(raw.stats.extract_seconds);
+  raw.stats.matches = result->total_matches();
+  result->stats = std::move(raw.stats);
+
+  for (const QueryResult& query : result->queries) {
+    obs::QueryMatches(query.name)->Increment(query.matches.size());
+    obs::QueryMarkedEvents(query.name)->Increment(query.marked_events);
+  }
+  obs::ServeEnginesRun()->Increment(result->sharing.engines_run);
+  obs::ServeEnginesShared()->Increment(result->sharing.engines_shared);
+  obs::ServeEnginesGuardPruned()->Increment(result->sharing.guard_pruned);
+  obs::ServeEnginesTypePruned()->Increment(result->sharing.type_pruned);
+  return Status::Ok();
+}
+
+Status MultiQueryServer::ExtractShared(const RegistrySnapshot& snapshot,
+                                       const OnlineResult& raw,
+                                       MultiQueryResult* result) {
+  const std::map<QueryId, std::vector<EventId>> recorded =
+      filter_.RecordedMarks();
+
+  std::unordered_map<EventId, const Event*> by_id;
+  by_id.reserve(raw.relayed_events.size());
+  for (const Event& event : raw.relayed_events) {
+    by_id.emplace(event.id, &event);
+  }
+
+  // Events relayed without any per-query decode — quarantined/degraded
+  // windows and shed-fallback marks — belong to every query (the
+  // single-query runtime's recall-1.0 fallback, per query).
+  std::unordered_set<EventId> attributed;
+  for (const auto& [id, ids] : recorded) {
+    attributed.insert(ids.begin(), ids.end());
+  }
+  std::vector<EventId> unattributed;
+  for (const Event& event : raw.relayed_events) {
+    if (attributed.find(event.id) == attributed.end()) {
+      unattributed.push_back(event.id);
+    }
+  }
+  std::sort(unattributed.begin(), unattributed.end());
+
+  // Per-query extraction inputs, deduplicated across queries: twins
+  // (and guard sharers) with the same id set share one entry.
+  struct EventSet {
+    std::vector<const Event*> events;  ///< ascending id
+    std::unordered_set<TypeId> types;
+  };
+  std::vector<EventSet> sets;
+  std::map<std::vector<EventId>, size_t> set_index;
+  std::vector<size_t> query_set(snapshot.queries.size());
+
+  result->queries.resize(snapshot.queries.size());
+  for (size_t q = 0; q < snapshot.queries.size(); ++q) {
+    const QueryEntry& entry = snapshot.queries[q];
+    std::vector<EventId> ids;
+    const auto it = recorded.find(entry.id);
+    if (it != recorded.end()) {
+      ids.resize(it->second.size() + unattributed.size());
+      ids.erase(std::set_union(it->second.begin(), it->second.end(),
+                               unattributed.begin(), unattributed.end(),
+                               ids.begin()),
+                ids.end());
+    } else {
+      ids = unattributed;
+    }
+
+    result->queries[q].id = entry.id;
+    result->queries[q].name = entry.name;
+    result->queries[q].marked_events = ids.size();
+
+    auto [set_it, inserted] = set_index.emplace(std::move(ids),
+                                                sets.size());
+    if (inserted) {
+      EventSet set;
+      set.events.reserve(set_it->first.size());
+      for (const EventId id : set_it->first) {
+        const auto event_it = by_id.find(id);
+        DLACEP_CHECK(event_it != by_id.end());
+        set.events.push_back(event_it->second);
+        set.types.insert(event_it->second->type);
+      }
+      sets.push_back(std::move(set));
+    }
+    query_set[q] = set_it->second;
+  }
+
+  // Witness results are a property of (guard, event set): cache across
+  // groups sharing a prefix.
+  std::map<std::pair<int, size_t>, bool> witness_cache;
+
+  for (const SharedGroup& group : snapshot.plan.groups) {
+    std::map<size_t, std::vector<size_t>> partitions;
+    for (const size_t member : group.members) {
+      partitions[query_set[member]].push_back(member);
+    }
+    for (const auto& [set_id, members] : partitions) {
+      ++result->sharing.partitions;
+      const EventSet& set = sets[set_id];
+
+      bool occupied = true;
+      for (const std::vector<TypeId>& required : group.required_types) {
+        bool present = false;
+        for (const TypeId type : required) {
+          present |= set.types.find(type) != set.types.end();
+        }
+        if (!present) {
+          occupied = false;
+          break;
+        }
+      }
+      if (!occupied) {
+        result->sharing.type_pruned += members.size();
+        continue;  // every member's MatchSet stays empty
+      }
+
+      if (group.guard >= 0) {
+        const std::pair<int, size_t> key(group.guard, set_id);
+        auto cached = witness_cache.find(key);
+        if (cached == witness_cache.end()) {
+          ++result->sharing.guard_checks;
+          cached = witness_cache
+                       .emplace(key, SeqPrefixWitness(
+                                         snapshot.plan.guards[static_cast<
+                                             size_t>(group.guard)],
+                                         set.events))
+                       .first;
+        }
+        if (!cached->second) {
+          result->sharing.guard_pruned += members.size();
+          continue;
+        }
+      }
+
+      const QueryEntry& canonical = snapshot.queries[members[0]];
+      CepExtractor extractor(*canonical.pattern, canonical.engine);
+      MatchSet shared;
+      const Status status = extractor.Extract(set.events, &shared);
+      if (!status.ok()) return status;
+      ++result->sharing.engines_run;
+      result->sharing.engines_shared += members.size() - 1;
+      for (size_t i = 0; i < members.size(); ++i) {
+        result->queries[members[i]].matches.Merge(shared);
+        result->queries[members[i]].shared = i > 0;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace dlacep

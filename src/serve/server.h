@@ -1,0 +1,109 @@
+// The multi-query serving runtime: one sharded OnlineDlacep run serving
+// every query in a QueryRegistry.
+//
+//   registry snapshot ──▶ ServeFilter (one trunk forward per window,
+//                          per-query heads, union marks to the runtime)
+//   OnlineDlacep      ──▶ relayed events + quarantined ids
+//                          (collect_relayed, skip_extraction)
+//   shared extraction ──▶ per-query MatchSets via the SharedCepPlan:
+//                          structural twins evaluated once, type-
+//                          occupancy and 2-prefix witness pruning.
+//
+// Per-query event sets: a query owns the ids its head marked, plus
+// every "unattributed" relayed event — events that reached the store
+// without a per-query decode (quarantined/degraded windows, shed
+// fallback marks). Unattributed events relay to every query, mirroring
+// the single-query runtime's recall-1.0 fallback semantics. In a
+// lossless healthy run the unattributed set is empty and each query's
+// extraction input — hence MatchSet — is byte-identical to an isolated
+// single-query run (see filter.h for the full contract).
+//
+// Queries unregistered mid-run keep their recorded attribution in the
+// filter sink (so other queries' sets stay exact) but are not reported;
+// queries registered mid-run are reported over the suffix of windows
+// they were live for.
+
+#ifndef DLACEP_SERVE_SERVER_H_
+#define DLACEP_SERVE_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/online.h"
+#include "serve/filter.h"
+#include "serve/registry.h"
+
+namespace dlacep {
+namespace serve {
+
+struct ServeConfig {
+  /// Runtime knobs (shards/threads/batching/overload/health/...).
+  /// mark_size/step_size of 0 resolve to 2W/W of the registry's widest
+  /// query at Run() time; collect_relayed and skip_extraction are
+  /// forced on. An isolated run compared against a serve run must use
+  /// the same explicit geometry.
+  OnlineConfig online;
+};
+
+/// One registered query's serving outcome.
+struct QueryResult {
+  QueryId id = 0;
+  std::string name;
+  MatchSet matches;
+  size_t marked_events = 0;  ///< extraction input size (attributed + shared)
+  bool shared = false;       ///< served from a structural twin's engine run
+};
+
+/// Shared-CEP effectiveness counters for one Run().
+struct SharingStats {
+  size_t partitions = 0;      ///< (structural group × event set) units
+  size_t engines_run = 0;     ///< engine evaluations actually executed
+  size_t engines_shared = 0;  ///< queries served without their own run
+  size_t guard_checks = 0;    ///< witness searches executed
+  size_t guard_pruned = 0;    ///< queries emptied by a witness miss
+  size_t type_pruned = 0;     ///< queries emptied by type occupancy
+};
+
+struct MultiQueryResult {
+  std::vector<QueryResult> queries;
+  RuntimeStats stats;  ///< extract_seconds covers the shared extraction
+  SharingStats sharing;
+
+  size_t total_matches() const;
+  /// Streaming throughput including the shared extraction tail.
+  double events_per_sec() const;
+  /// The aggregate headline: queries/sec × events/sec, i.e. how many
+  /// (query, event) pairs per second this one process serves.
+  double query_events_per_sec() const {
+    return static_cast<double>(queries.size()) * events_per_sec();
+  }
+};
+
+class MultiQueryServer {
+ public:
+  /// `registry`, `base`, and `heads` are borrowed and must outlive the
+  /// server; see ServeFilter for the base/heads contract.
+  MultiQueryServer(QueryRegistry* registry, const StreamFilter* base,
+                   const EventNetworkFilter* heads,
+                   const ServeConfig& config);
+
+  /// Drains `source` through the online runtime under the current
+  /// registry (snapshots re-acquired per window, so concurrent
+  /// register/unregister is served live), then runs the shared
+  /// extraction under the end-of-run snapshot. kFailedPrecondition when
+  /// the registry is empty at start.
+  Status Run(StreamSource* source, MultiQueryResult* result);
+
+ private:
+  Status ExtractShared(const RegistrySnapshot& snapshot,
+                       const OnlineResult& raw, MultiQueryResult* result);
+
+  QueryRegistry* registry_;  ///< not owned
+  ServeConfig config_;
+  ServeFilter filter_;
+};
+
+}  // namespace serve
+}  // namespace dlacep
+
+#endif  // DLACEP_SERVE_SERVER_H_

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "cep/oracle.h"
+#include "dlacep/assembler.h"
 #include "dlacep/drift.h"
+#include "dlacep/extractor.h"
 #include "dlacep/multi_pattern.h"
 #include "dlacep/padding.h"
 #include "dlacep/pipeline.h"
@@ -233,6 +235,57 @@ TEST(MultiPattern, SharedFilterServesBothPatternsWithoutFalsePositives) {
     EXPECT_GT(quality.recall, 0.5) << "pattern " << p;
   }
   EXPECT_GT(result.filtering_ratio(), 0.0);
+}
+
+TEST(MultiPattern, FastPathEvaluateMatchesLegacyTapeMarking) {
+  // Evaluate now marks through the frozen-cell fast path (MarkWith /
+  // MarkBatchWith); the autograd-tape Mark per window is the reference
+  // it must reproduce bit for bit, at any batch size.
+  const EventStream train = SmallStream(1200, 71);
+  const EventStream test = SmallStream(500, 72);
+  auto schema = train.schema_ptr();
+
+  std::vector<Pattern> patterns;
+  patterns.push_back(TypeOnlySeq(schema, 8));
+  {
+    PatternBuilder b(schema);
+    auto root = b.Seq(b.Prim("D", "d"), b.Prim("E", "e"));
+    patterns.push_back(b.BuildOrDie(std::move(root), WindowSpec::Count(6)));
+  }
+
+  DlacepConfig config;
+  config.network.hidden_dim = 8;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 5;
+  MultiPatternDlacep system(patterns, train, config);
+
+  const InputAssembler assembler(2 * system.max_window(),
+                                 system.max_window());
+  std::vector<const Event*> marked;
+  for (const WindowRange& range : assembler.Windows(test.size())) {
+    const std::vector<int> marks = system.filter()->Mark(test, range);
+    for (size_t t = 0; t < marks.size(); ++t) {
+      if (marks[t] != 0) marked.push_back(&test[range.begin + t]);
+    }
+  }
+  std::vector<MatchSet> reference(patterns.size());
+  for (size_t p = 0; p < patterns.size(); ++p) {
+    CepExtractor extractor(patterns[p]);
+    ASSERT_TRUE(extractor.Extract(marked, &reference[p]).ok());
+  }
+
+  for (const size_t batch : {1u, 4u}) {
+    system.set_batch_size(batch);
+    const MultiPatternResult result = system.Evaluate(test);
+    ASSERT_EQ(result.per_pattern.size(), patterns.size());
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      EXPECT_EQ(result.per_pattern[p].size(), reference[p].size())
+          << "batch=" << batch << " pattern=" << p;
+      EXPECT_EQ(result.per_pattern[p].IntersectionSize(reference[p]),
+                reference[p].size())
+          << "batch=" << batch << " pattern=" << p;
+    }
+  }
 }
 
 }  // namespace

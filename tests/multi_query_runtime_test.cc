@@ -1,0 +1,302 @@
+// Integration tests for the multi-query serving runtime: per-query
+// match sets must be byte-identical to isolated single-query
+// OnlineDlacep runs — for every registered query, at every shard count,
+// for the full 15-template Table 1/2 census, and with register/
+// unregister churn racing live traffic (this file runs under TSan in
+// CI, so the churn tests double as the data-race check).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dlacep/multi_pattern.h"
+#include "dlacep/oracle_filter.h"
+#include "runtime/online.h"
+#include "runtime/source.h"
+#include "serve/server.h"
+#include "test_util.h"
+#include "workloads/queries_a.h"
+#include "workloads/queries_b.h"
+#include "workloads/recipes.h"
+
+namespace dlacep {
+namespace {
+
+using serve::MultiQueryResult;
+using serve::MultiQueryServer;
+using serve::QueryOptions;
+using serve::QueryRegistry;
+using serve::ServeConfig;
+using testing_util::AscendingSeqPattern;
+using testing_util::SmallStream;
+
+void ExpectSameMatches(const MatchSet& a, const MatchSet& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.size(), b.size()) << label;
+  EXPECT_EQ(a.IntersectionSize(b), a.size()) << label;
+}
+
+/// Lossless below-capacity config with the serve geometry made
+/// explicit, so isolated runs line up window for window.
+OnlineConfig LosslessConfig(size_t max_window, size_t shards) {
+  OnlineConfig config;
+  config.queue_capacity = 256;
+  config.mark_size = 2 * max_window;
+  config.step_size = max_window;
+  config.num_shards = shards;
+  config.overload.enabled = false;
+  return config;
+}
+
+size_t MaxCountWindow(const std::vector<Pattern>& patterns) {
+  size_t w = 0;
+  for (const Pattern& pattern : patterns) {
+    w = std::max(w, pattern.window().count_size());
+  }
+  return w;
+}
+
+/// Serves every pattern from one registry and checks each query's
+/// matches against its isolated single-query reference at the given
+/// shard count.
+void CheckServeMatchesIsolated(const EventStream& stream,
+                               const std::vector<Pattern>& patterns,
+                               const StreamFilter* base,
+                               const EventNetworkFilter* heads,
+                               const std::vector<MatchSet>& reference,
+                               size_t shards) {
+  QueryRegistry registry;
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    QueryOptions options;
+    options.name = "q" + std::to_string(q);
+    ASSERT_TRUE(registry.Register(patterns[q], options).ok());
+  }
+
+  ServeConfig config;
+  config.online = LosslessConfig(MaxCountWindow(patterns), shards);
+  MultiQueryServer server(&registry, base, heads, config);
+  ReplaySource source(&stream);
+  MultiQueryResult result;
+  ASSERT_TRUE(server.Run(&source, &result).ok());
+  EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
+
+  ASSERT_EQ(result.queries.size(), patterns.size());
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    ExpectSameMatches(result.queries[q].matches, reference[q],
+                      "shards=" + std::to_string(shards) + " query=" +
+                          result.queries[q].name);
+  }
+}
+
+std::vector<MatchSet> IsolatedReferences(
+    const EventStream& stream, const std::vector<Pattern>& patterns,
+    const StreamFilter* filter) {
+  std::vector<MatchSet> reference;
+  const OnlineConfig config = LosslessConfig(MaxCountWindow(patterns), 0);
+  for (const Pattern& pattern : patterns) {
+    OnlineDlacep online(pattern, filter, config);
+    ReplaySource source(&stream);
+    reference.push_back(online.Run(&source).matches);
+  }
+  return reference;
+}
+
+// ---------------------------------------------------------------------
+// Byte-identity across shard counts.
+
+TEST(MultiQueryServing, TwinsAndDistinctQueriesMatchIsolatedAcrossShards) {
+  const EventStream stream = SmallStream(2500, 41);
+  auto schema = stream.schema_ptr();
+  std::vector<Pattern> patterns;
+  patterns.push_back(AscendingSeqPattern(schema, 2, 8));
+  patterns.push_back(AscendingSeqPattern(schema, 2, 8));  // twin of q0
+  patterns.push_back(AscendingSeqPattern(schema, 3, 12));
+
+  PassThroughFilter pass;
+  const std::vector<MatchSet> reference =
+      IsolatedReferences(stream, patterns, &pass);
+  EXPECT_FALSE(reference[0].empty());
+
+  for (const size_t shards : {0u, 1u, 2u, 4u}) {
+    CheckServeMatchesIsolated(stream, patterns, &pass, nullptr, reference,
+                              shards);
+  }
+}
+
+TEST(MultiQueryServing, SharingStatsCountTwinsGuardsAndPrunes) {
+  const EventStream stream = SmallStream(1200, 42);
+  auto schema = stream.schema_ptr();
+  std::vector<Pattern> patterns;
+  patterns.push_back(AscendingSeqPattern(schema, 3, 10));
+  patterns.push_back(AscendingSeqPattern(schema, 3, 10));  // twin
+
+  QueryRegistry registry;
+  for (const Pattern& pattern : patterns) {
+    ASSERT_TRUE(registry.Register(pattern).ok());
+  }
+  PassThroughFilter pass;
+  ServeConfig config;
+  config.online = LosslessConfig(MaxCountWindow(patterns), 0);
+  MultiQueryServer server(&registry, &pass, nullptr, config);
+  ReplaySource source(&stream);
+  MultiQueryResult result;
+  ASSERT_TRUE(server.Run(&source, &result).ok());
+
+  // Twins over identical event sets: one engine run serves both, and
+  // the 3-position SEQ group carries a witness guard that was checked.
+  EXPECT_EQ(result.sharing.partitions, 1u);
+  EXPECT_EQ(result.sharing.engines_run, 1u);
+  EXPECT_EQ(result.sharing.engines_shared, 1u);
+  EXPECT_EQ(result.sharing.guard_checks, 1u);
+  EXPECT_FALSE(result.queries[0].shared);
+  EXPECT_TRUE(result.queries[1].shared);
+  ExpectSameMatches(result.queries[0].matches, result.queries[1].matches,
+                    "twin fan-out");
+}
+
+TEST(MultiQueryServing, TrainedTrunkServesHeadsIdenticalToIsolatedRuns) {
+  const EventStream train = SmallStream(1500, 43);
+  const EventStream stream = SmallStream(600, 44);
+  auto schema = train.schema_ptr();
+  std::vector<Pattern> patterns;
+  patterns.push_back(AscendingSeqPattern(schema, 2, 8));
+  patterns.push_back(AscendingSeqPattern(schema, 3, 8));
+
+  DlacepConfig config;
+  config.network.hidden_dim = 8;
+  config.network.num_layers = 1;
+  config.train.max_epochs = 4;
+  config.event_threshold = 0.2;  // permissive: keep the test non-empty
+  MultiPatternDlacep system(patterns, train, config);
+
+  const std::vector<MatchSet> reference =
+      IsolatedReferences(stream, patterns, system.filter());
+  for (const size_t shards : {0u, 2u}) {
+    CheckServeMatchesIsolated(stream, patterns, system.filter(),
+                              system.filter(), reference, shards);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The full Table 1/2 census: every template byte-identical at every
+// shard count.
+
+TEST(MultiQueryServing, AllFifteenTemplatesMatchIsolatedAcrossShards) {
+  using namespace workloads;
+  const EventStream stock = GenerateStockStream(StockConfig(700, 3003));
+  auto s = stock.schema_ptr();
+  const size_t w = 12;
+
+  std::vector<Pattern> patterns;
+  patterns.push_back(QA1(s, 4, 7, 0.9, 1.1, 3, w));
+  patterns.push_back(QA2(s, 4, w));
+  patterns.push_back(QA3(s, 5, 10, 3, 2, 1, 4, 0.9, 1.1, 1.5, w));
+  patterns.push_back(QA4(s, 4, 10, 3, 1, 3, 0.9, 1.1, 0.8, 1.25, w));
+  patterns.push_back(QA5(s, 2, 10, 2, 0.8, 1.25, w, 2));
+  patterns.push_back(QA6(s, 3, 10, 0.8, 1.25, w, 2));
+  patterns.push_back(QA7(s, 2, 10, 2, 0.8, 1.25, w));
+  patterns.push_back(QA8(s, 2, 10, 2, 0.8, 1.25, w));
+  patterns.push_back(QA9(s, 3, 10, 20, 0.9, 1.1, 0.85, 1.2, w));
+  patterns.push_back(QA10(s, 3, 8, 0.85, 1.2, w));
+  patterns.push_back(QA11(s, false, 8, 0.8, 1.25, w));
+  patterns.push_back(QA11(s, true, 8, 0.8, 1.25, w));
+  patterns.push_back(QA12(s, 8, 0.8, 1.25, 0.7, 1.4, w));
+  // Table 2 templates transplanted onto the stock schema by rank range
+  // (types 0..5 stand in for A..F).
+  patterns.push_back(QA1(s, 6, 6, 0.85, 1.15, 2, 16));
+  patterns.push_back(QA1(s, 5, 5, 0.85, 1.15, 2, 16));
+  ASSERT_EQ(patterns.size(), 15u);
+
+  PassThroughFilter pass;
+  const std::vector<MatchSet> reference =
+      IsolatedReferences(stock, patterns, &pass);
+  size_t nonempty = 0;
+  for (const MatchSet& matches : reference) nonempty += !matches.empty();
+  EXPECT_GE(nonempty, 5u) << "census stream too quiet to be meaningful";
+
+  for (const size_t shards : {1u, 2u, 4u}) {
+    CheckServeMatchesIsolated(stock, patterns, &pass, nullptr, reference,
+                              shards);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Register/unregister churn under live traffic (TSan coverage).
+
+TEST(MultiQueryServing, ChurnLeavesStableQueriesByteIdentical) {
+  const EventStream stream = SmallStream(3000, 45);
+  auto schema = stream.schema_ptr();
+  std::vector<Pattern> patterns;
+  patterns.push_back(AscendingSeqPattern(schema, 2, 8));
+  patterns.push_back(AscendingSeqPattern(schema, 3, 12));
+
+  PassThroughFilter pass;
+  const std::vector<MatchSet> reference =
+      IsolatedReferences(stream, patterns, &pass);
+
+  for (const size_t shards : {0u, 2u, 4u}) {
+    QueryRegistry registry;
+    std::vector<serve::QueryId> stable_ids;
+    for (size_t q = 0; q < patterns.size(); ++q) {
+      QueryOptions options;
+      options.name = "stable" + std::to_string(q);
+      auto id = registry.Register(patterns[q], options);
+      ASSERT_TRUE(id.ok());
+      stable_ids.push_back(id.value());
+    }
+
+    ServeConfig config;
+    config.online = LosslessConfig(MaxCountWindow(patterns), shards);
+    MultiQueryServer server(&registry, &pass, nullptr, config);
+
+    // Churn thread: register/unregister a structural twin of q0 as fast
+    // as the registry allows, racing the worker/shard threads' Acquire.
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto id = registry.Register(patterns[0]);
+        if (id.ok()) (void)registry.Unregister(id.value());
+      }
+    });
+
+    ReplaySource source(&stream);
+    MultiQueryResult result;
+    const Status status = server.Run(&source, &result);
+    stop.store(true);
+    churn.join();
+    ASSERT_TRUE(status.ok());
+    EXPECT_TRUE(result.stats.Accounted()) << result.stats.ToString();
+
+    // The stable queries' matches must be exactly the isolated results
+    // no matter how the churned twin's registrations interleaved.
+    for (size_t q = 0; q < patterns.size(); ++q) {
+      bool found = false;
+      for (const serve::QueryResult& query : result.queries) {
+        if (query.id != stable_ids[q]) continue;
+        found = true;
+        ExpectSameMatches(query.matches, reference[q],
+                          "churn shards=" + std::to_string(shards) +
+                              " query=" + query.name);
+      }
+      EXPECT_TRUE(found) << "stable query missing from results";
+    }
+  }
+}
+
+TEST(MultiQueryServing, EmptyRegistryFailsPrecondition) {
+  const EventStream stream = SmallStream(100, 46);
+  QueryRegistry registry;
+  PassThroughFilter pass;
+  ServeConfig config;
+  MultiQueryServer server(&registry, &pass, nullptr, config);
+  ReplaySource source(&stream);
+  MultiQueryResult result;
+  EXPECT_FALSE(server.Run(&source, &result).ok());
+}
+
+}  // namespace
+}  // namespace dlacep

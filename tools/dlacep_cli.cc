@@ -27,6 +27,18 @@
 //             [--filter KIND] [--rate R] [--queue_capacity N] ...
 //       Like replay, but the source is live stock-market simulation.
 //
+// Multi-query serving: replay/serve/compare accept --queries, either an
+// integer N (register N copies of --query — exercises structural-twin
+// dedup) or a semicolon-separated PQL list. Queries are registered in a
+// runtime QueryRegistry and served by one shared pipeline (one NN trunk
+// forward per window with per-query heads, shared CEP sub-plans);
+// per-query match counts, sharing statistics, and the aggregate
+// queries/sec x events/sec headline print at exit. --churn_every_ms MS
+// (replay/serve) registers/unregisters a clone of query 0 on that
+// cadence while the stream drains. compare --queries additionally
+// cross-checks every served query against the batch evaluator and an
+// isolated single-query online run.
+//
 // Online filter KINDs: pass (default), type-shed, random-shed, oracle,
 // or event|window with --train F.csv (trains first, then streams).
 //
@@ -44,8 +56,14 @@
 #include <memory>
 #include <string>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "cep/engine.h"
 #include "dlacep/event_filter.h"
+#include "dlacep/multi_pattern.h"
 #include "dlacep/oracle_filter.h"
 #include "dlacep/pipeline.h"
 #include "dlacep/shedding_filter.h"
@@ -57,6 +75,7 @@
 #include "runtime/fault_injection.h"
 #include "runtime/online.h"
 #include "runtime/source.h"
+#include "serve/server.h"
 #include "stream/csv_io.h"
 #include "stream/generator.h"
 #include "stream/stocksim.h"
@@ -128,6 +147,10 @@ int Usage() {
                " [--train F.csv]\n"
                "  (online filter KINDs: pass | type-shed | random-shed |"
                " oracle | event | window)\n"
+               "  multi-query serving (replay/serve/compare):\n"
+               "       [--queries N | --queries 'Q1;Q2;...']"
+               " [--engine nfa|tree|lazy]\n"
+               "       [--churn_every_ms MS]   (replay/serve only)\n"
                "  observability flags (replay/serve):\n"
                "       [--metrics_out FILE(.prom|.json)]"
                " [--metrics_every SEC]\n"
@@ -226,12 +249,18 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+int CompareMulti(const Args& args, const EventStream& train,
+                 const EventStream& test);
+
 int Compare(const Args& args) {
   auto train = LoadStream(args.Get("train"));
   auto test = LoadStream(args.Get("test"));
   if (!train.ok() || !test.ok()) {
     std::fprintf(stderr, "cannot load streams\n");
     return 1;
+  }
+  if (args.Has("queries")) {
+    return CompareMulti(args, train.value(), test.value());
   }
   auto pattern = ParsePattern(args.Get("query"), train.value().schema_ptr());
   if (!pattern.ok()) {
@@ -494,11 +523,302 @@ int StreamOnline(const Args& args, const Pattern& pattern,
   return result.stats.Accounted() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------
+// Multi-query serving (--queries on replay/serve/compare).
+
+EngineKind ParseEngineKind(const Args& args) {
+  const std::string name = args.Get("engine", "nfa");
+  return name == "tree"   ? EngineKind::kTree
+         : name == "lazy" ? EngineKind::kLazy
+                          : EngineKind::kNfa;
+}
+
+/// --queries is either an integer N (N copies of --query) or a
+/// semicolon-separated PQL list.
+StatusOr<std::vector<Pattern>> ParseQueries(
+    const Args& args, std::shared_ptr<const Schema> schema) {
+  const std::string spec = args.Get("queries");
+  std::vector<std::string> texts;
+  if (!spec.empty() &&
+      spec.find_first_not_of("0123456789") == std::string::npos) {
+    const long n = std::strtol(spec.c_str(), nullptr, 10);
+    if (n <= 0) return Status::InvalidArgument("--queries N must be >= 1");
+    if (!args.Has("query")) {
+      return Status::InvalidArgument(
+          "--queries N needs --query Q to replicate");
+    }
+    texts.assign(static_cast<size_t>(n), args.Get("query"));
+  } else {
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+      const size_t end = spec.find(';', begin);
+      const std::string text = spec.substr(
+          begin, end == std::string::npos ? std::string::npos : end - begin);
+      if (!text.empty()) texts.push_back(text);
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+    if (texts.empty()) {
+      return Status::InvalidArgument("--queries: empty query list");
+    }
+  }
+  std::vector<Pattern> patterns;
+  for (const std::string& text : texts) {
+    auto pattern = ParsePattern(text, schema);
+    if (!pattern.ok()) return pattern.status();
+    patterns.push_back(std::move(pattern.value()));
+  }
+  return patterns;
+}
+
+DlacepConfig MakeTrainConfig(const Args& args) {
+  DlacepConfig config;
+  config.network.hidden_dim = static_cast<size_t>(args.GetInt("hidden", 12));
+  config.network.num_layers = static_cast<size_t>(args.GetInt("layers", 1));
+  config.train.max_epochs = static_cast<size_t>(args.GetInt("epochs", 30));
+  config.event_threshold = args.GetDouble("threshold", 0.35);
+  config.window_threshold = config.event_threshold;
+  config.batch_size = static_cast<size_t>(args.GetInt("batch_size", 1));
+  return config;
+}
+
+void PrintSharing(const serve::SharingStats& sharing) {
+  std::printf(
+      "sharing : %zu partitions, %zu engines run, %zu served shared, "
+      "%zu guard-pruned, %zu type-pruned\n",
+      sharing.partitions, sharing.engines_run, sharing.engines_shared,
+      sharing.guard_pruned, sharing.type_pruned);
+}
+
+void PrintHeadline(const serve::MultiQueryResult& result) {
+  std::printf("headline: %zu queries x %.0f events/s = %.0f query-events/s\n",
+              result.queries.size(), result.events_per_sec(),
+              result.query_events_per_sec());
+}
+
+int StreamMultiQuery(const Args& args, std::vector<Pattern> patterns,
+                     std::unique_ptr<StreamSource> source) {
+  for (const Pattern& pattern : patterns) {
+    const Status online_ok = OnlineDlacep::ValidateForOnline(pattern);
+    if (!online_ok.ok()) {
+      std::fprintf(stderr, "%s\n", online_ok.ToString().c_str());
+      return 1;
+    }
+  }
+  if (args.Has("inject")) {
+    std::fprintf(stderr, "--inject is not supported with --queries\n");
+    return 1;
+  }
+
+  // Shared trunk: --filter event trains ONE network over all queries
+  // (unified labels, paper section 4.3) and serves per-query heads off
+  // its CRF marginals. Every other kind marks once per window and all
+  // queries share the base marks (the shedding baselines judge
+  // relevance against query 0 only).
+  const std::string kind = args.Get("filter", "pass");
+  std::unique_ptr<MultiPatternDlacep> multi;
+  OnlineFilter base;
+  const EventNetworkFilter* heads = nullptr;
+  const StreamFilter* base_filter = nullptr;
+  if (kind == "event") {
+    auto train = LoadStream(args.Get("train"));
+    if (!train.ok()) {
+      std::fprintf(stderr, "--filter event needs --train F.csv (%s)\n",
+                   train.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("training shared trunk on %zu events for %zu queries...\n",
+                train.value().size(), patterns.size());
+    multi = std::make_unique<MultiPatternDlacep>(patterns, train.value(),
+                                                 MakeTrainConfig(args));
+    std::printf("  held-out entity F1 %.3f\n", multi->test_metrics().f1());
+    heads = multi->filter();
+  } else if (kind == "window") {
+    std::fprintf(stderr,
+                 "multi-query serving needs event-level marks; "
+                 "--filter window is not supported with --queries\n");
+    return 1;
+  } else {
+    auto made = MakeOnlineFilter(args, patterns[0]);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(made.value());
+    base_filter = base.filter;
+  }
+
+  serve::QueryRegistry registry;
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    serve::QueryOptions options;
+    options.name = "q" + std::to_string(q);
+    options.engine = ParseEngineKind(args);
+    auto id = registry.Register(patterns[q], options);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (args.Has("metrics_out")) {
+    obs::TouchStandardMetrics();
+    exporter = std::make_unique<obs::MetricsExporter>(
+        args.Get("metrics_out"), args.GetDouble("metrics_every", 0.0));
+  }
+
+  serve::ServeConfig config;
+  config.online = MakeOnlineConfig(args);
+  serve::MultiQueryServer server(&registry, base_filter, heads, config);
+
+  // --churn_every_ms: register/unregister a clone of query 0 on a cadence
+  // while the stream drains — the RCU snapshot swap under live traffic.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> churn_cycles{0};
+  std::thread churn;
+  const double churn_ms = args.GetDouble("churn_every_ms", 0.0);
+  if (churn_ms > 0) {
+    churn = std::thread([&] {
+      const auto half =
+          std::chrono::duration<double, std::milli>(churn_ms / 2);
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::QueryOptions options;
+        options.name = "churn";
+        auto id = registry.Register(patterns[0], options);
+        std::this_thread::sleep_for(half);
+        if (id.ok()) (void)registry.Unregister(id.value());
+        churn_cycles.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(half);
+      }
+    });
+  }
+
+  serve::MultiQueryResult result;
+  const Status run_status = server.Run(source.get(), &result);
+  stop.store(true);
+  if (churn.joinable()) churn.join();
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "%s\n", run_status.ToString().c_str());
+    return 1;
+  }
+  if (exporter != nullptr && !exporter->Flush()) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 args.Get("metrics_out").c_str());
+    return 1;
+  }
+
+  std::printf("queries : %zu registered\n", patterns.size());
+  for (const serve::QueryResult& query : result.queries) {
+    std::printf("  %-8s: matches=%zu marked=%zu%s\n", query.name.c_str(),
+                query.matches.size(), query.marked_events,
+                query.shared ? " (shared engine)" : "");
+  }
+  if (churn_cycles.load() > 0) {
+    std::printf("churn   : %llu register/unregister cycles\n",
+                static_cast<unsigned long long>(churn_cycles.load()));
+  }
+  std::printf("%s", result.stats.ToString().c_str());
+  PrintSharing(result.sharing);
+  PrintHeadline(result);
+  return result.stats.Accounted() ? 0 : 1;
+}
+
+bool SameMatches(const MatchSet& a, const MatchSet& b) {
+  return a.size() == b.size() && a.IntersectionSize(b) == a.size();
+}
+
+int CompareMulti(const Args& args, const EventStream& train,
+                 const EventStream& test) {
+  auto patterns = ParseQueries(args, train.schema_ptr());
+  if (!patterns.ok()) {
+    std::fprintf(stderr, "%s\n", patterns.status().ToString().c_str());
+    return 1;
+  }
+  for (const Pattern& pattern : patterns.value()) {
+    const Status online_ok = OnlineDlacep::ValidateForOnline(pattern);
+    if (!online_ok.ok()) {
+      std::fprintf(stderr, "%s\n", online_ok.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("building shared trunk on %zu training events "
+              "for %zu queries...\n",
+              train.size(), patterns.value().size());
+  MultiPatternDlacep multi(patterns.value(), train, MakeTrainConfig(args));
+  std::printf("  held-out entity F1 %.3f\n", multi.test_metrics().f1());
+  const MultiPatternResult batch = multi.Evaluate(test);
+
+  serve::QueryRegistry registry;
+  for (size_t q = 0; q < patterns.value().size(); ++q) {
+    serve::QueryOptions options;
+    options.name = "q" + std::to_string(q);
+    options.engine = ParseEngineKind(args);
+    auto id = registry.Register(patterns.value()[q], options);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Serve + isolated runs share the explicit geometry (the batch
+  // evaluator's 2W/W over the widest query) and disable overload, so the
+  // three match sets are byte-comparable.
+  serve::ServeConfig config;
+  config.online = MakeOnlineConfig(args);
+  config.online.overload.enabled = false;
+  config.online.mark_size = 2 * multi.max_window();
+  config.online.step_size = multi.max_window();
+
+  serve::MultiQueryServer server(&registry, nullptr, multi.filter(), config);
+  ReplaySource source(&test);
+  serve::MultiQueryResult served;
+  const Status run_status = server.Run(&source, &served);
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "%s\n", run_status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nper-query cross-check (shared serving vs batch vs "
+              "isolated online):\n");
+  bool all_equal = true;
+  for (size_t q = 0; q < patterns.value().size(); ++q) {
+    OnlineDlacep alone(patterns.value()[q], multi.filter(), config.online);
+    ReplaySource alone_source(&test);
+    const OnlineResult isolated = alone.Run(&alone_source);
+    const MatchSet& shared_matches = served.queries[q].matches;
+    const bool vs_batch = SameMatches(shared_matches, batch.per_pattern[q]);
+    const bool vs_alone = SameMatches(shared_matches, isolated.matches);
+    all_equal = all_equal && vs_batch && vs_alone;
+    std::printf("  %-8s: matches=%zu batch=%s isolated=%s%s\n",
+                served.queries[q].name.c_str(), shared_matches.size(),
+                vs_batch ? "equal" : "DIFFER",
+                vs_alone ? "equal" : "DIFFER",
+                served.queries[q].shared ? " (shared engine)" : "");
+  }
+  PrintSharing(served.sharing);
+  PrintHeadline(served);
+  std::printf("per-query identical : %s\n", all_equal ? "yes" : "NO");
+  if (!all_equal || !served.stats.Accounted()) return 1;
+  return 0;
+}
+
 int Replay(const Args& args) {
   auto stream = LoadStream(args.Get("data"));
   if (!stream.ok()) {
     std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
     return 1;
+  }
+  if (args.Has("queries")) {
+    auto patterns = ParseQueries(args, stream.value().schema_ptr());
+    if (!patterns.ok()) {
+      std::fprintf(stderr, "%s\n", patterns.status().ToString().c_str());
+      return 1;
+    }
+    auto source = std::make_unique<ReplaySource>(
+        &stream.value(), args.GetDouble("rate", 0.0));
+    return StreamMultiQuery(args, std::move(patterns.value()),
+                            std::move(source));
   }
   auto pattern = ParsePattern(args.Get("query"), stream.value().schema_ptr());
   if (!pattern.ok()) {
@@ -517,6 +837,15 @@ int Serve(const Args& args) {
   sim.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
   auto source =
       std::make_unique<StockSimSource>(sim, args.GetDouble("rate", 0.0));
+  if (args.Has("queries")) {
+    auto patterns = ParseQueries(args, source->schema());
+    if (!patterns.ok()) {
+      std::fprintf(stderr, "%s\n", patterns.status().ToString().c_str());
+      return 1;
+    }
+    return StreamMultiQuery(args, std::move(patterns.value()),
+                            std::move(source));
+  }
   auto pattern = ParsePattern(args.Get("query"), source->schema());
   if (!pattern.ok()) {
     std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
