@@ -179,6 +179,10 @@ class OrCondition : public Condition {
   std::string ToString(const Schema* schema) const override;
   std::unique_ptr<Condition> Clone() const override;
 
+  const std::vector<std::unique_ptr<Condition>>& children() const {
+    return children_;
+  }
+
  private:
   std::vector<std::unique_ptr<Condition>> children_;
 };
@@ -202,6 +206,8 @@ class NotCondition : public Condition {
   std::unique_ptr<Condition> Clone() const override {
     return std::make_unique<NotCondition>(child_->Clone());
   }
+
+  const Condition& child() const { return *child_; }
 
  private:
   std::unique_ptr<Condition> child_;

@@ -45,6 +45,67 @@ void RenderNode(const PatternNode& node, std::ostringstream* out) {
   *out << ")";
 }
 
+// Canonical, injective rendering of a condition for key grouping.
+// Condition::ToString is a display format: "%g" rounds coefficients to
+// six significant digits and a LambdaCondition renders only its
+// free-text description, so two semantically different conditions can
+// render identically — and would silently merge distinct queries into
+// one shared group, handing them each other's match sets. This renderer
+// spells out every semantic field (variable and attribute ids, operator
+// tag, hexfloat-exact coefficients/constants) and keys conditions it
+// cannot canonicalize on object identity, so they never merge. Losing a
+// share is a missed optimization; merging non-twins is a wrong answer.
+
+void RenderTerm(const Term& term, std::ostringstream* out) {
+  *out << std::hexfloat;
+  if (term.ref.has_value()) {
+    *out << "v" << term.ref->var << ".a" << term.ref->attr << "*"
+         << term.coeff << "+" << term.constant;
+  } else {
+    *out << "c" << term.constant;
+  }
+}
+
+void RenderCondition(const Condition& condition, std::ostringstream* out) {
+  if (const auto* cmp = dynamic_cast<const CompareCondition*>(&condition)) {
+    *out << "CMP" << static_cast<int>(cmp->op()) << "(";
+    RenderTerm(cmp->lhs(), out);
+    *out << ";";
+    RenderTerm(cmp->rhs(), out);
+    *out << ")";
+    return;
+  }
+  if (const auto* conj = dynamic_cast<const AndCondition*>(&condition)) {
+    *out << "AND(";
+    for (size_t i = 0; i < conj->children().size(); ++i) {
+      if (i > 0) *out << ",";
+      RenderCondition(*conj->children()[i], out);
+    }
+    *out << ")";
+    return;
+  }
+  if (const auto* disj = dynamic_cast<const OrCondition*>(&condition)) {
+    *out << "OR(";
+    for (size_t i = 0; i < disj->children().size(); ++i) {
+      if (i > 0) *out << ",";
+      RenderCondition(*disj->children()[i], out);
+    }
+    *out << ")";
+    return;
+  }
+  if (const auto* neg = dynamic_cast<const NotCondition*>(&condition)) {
+    *out << "NOT(";
+    RenderCondition(neg->child(), out);
+    *out << ")";
+    return;
+  }
+  // Opaque semantics (LambdaCondition, future subclasses): key on the
+  // object so distinct instances never share. Each registration clones
+  // its pattern, so twins registered separately stay separate — sound,
+  // just unshared.
+  *out << "OPAQUE@" << static_cast<const void*>(&condition);
+}
+
 /// Mandatory primitive positions: every match must bind at least one
 /// event at each. NEG children can't demand presence and DISJ only
 /// demands one of its branches, so both contribute nothing.
@@ -102,7 +163,9 @@ std::string PrefixKey(const Pattern& pattern) {
   RenderNode(*pattern.root().children[1], &out);
   std::vector<std::string> conds;
   for (const Condition* condition : PrefixConditions(pattern)) {
-    conds.push_back(condition->ToString(nullptr));
+    std::ostringstream cond;
+    RenderCondition(*condition, &cond);
+    conds.push_back(cond.str());
   }
   std::sort(conds.begin(), conds.end());
   for (const std::string& c : conds) out << "|" << c;
@@ -135,7 +198,7 @@ std::string StructuralKey(const Pattern& pattern, EngineKind engine) {
     out << " WHERE ";
     for (size_t i = 0; i < pattern.conditions().size(); ++i) {
       if (i > 0) out << " AND ";
-      out << pattern.conditions()[i]->ToString(nullptr);
+      RenderCondition(*pattern.conditions()[i], &out);
     }
   }
   out << " WITHIN "

@@ -72,8 +72,10 @@ struct SharedCepPlan {
 
 /// Canonical structural rendering of (pattern, engine): operator tree
 /// with var *ids* (names erased), type sets, Kleene bounds, conditions
-/// rendered schema-free, count window, engine name. Two queries with
-/// equal keys have identical match sets over identical event sets.
+/// rendered canonically (exact hexfloat coefficients, attribute ids;
+/// opaque lambda conditions key on object identity and never merge),
+/// count window, engine name. Two queries with equal keys have
+/// identical match sets over identical event sets.
 std::string StructuralKey(const Pattern& pattern, EngineKind engine);
 
 /// Groups queries by StructuralKey and attaches occupancy sets and

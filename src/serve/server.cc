@@ -89,13 +89,18 @@ Status MultiQueryServer::ExtractShared(const RegistrySnapshot& snapshot,
     by_id.emplace(event.id, &event);
   }
 
-  // Events relayed without any per-query decode — quarantined/degraded
-  // windows and shed-fallback marks — belong to every query (the
-  // single-query runtime's recall-1.0 fallback, per query).
+  // Events relayed without a usable per-query decode — shed-fallback
+  // marks, and every event of a quarantined/degraded window — belong to
+  // every query (the single-query runtime's recall-1.0 fallback, per
+  // query). Attribution is recorded at mark time, before the health
+  // guard's quarantine verdict at window close, so a quarantined
+  // window's events can carry stale per-query marks: strip those here —
+  // the window-level recall-1.0 contract supersedes the decode.
   std::unordered_set<EventId> attributed;
   for (const auto& [id, ids] : recorded) {
     attributed.insert(ids.begin(), ids.end());
   }
+  for (const EventId id : raw.quarantined_ids) attributed.erase(id);
   std::vector<EventId> unattributed;
   for (const Event& event : raw.relayed_events) {
     if (attributed.find(event.id) == attributed.end()) {

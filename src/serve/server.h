@@ -92,6 +92,12 @@ class MultiQueryServer {
   /// register/unregister is served live), then runs the shared
   /// extraction under the end-of-run snapshot. kFailedPrecondition when
   /// the registry is empty at start.
+  ///
+  /// Not reentrant: a server owns one per-query attribution sink, and
+  /// Run() resets it at start — two concurrent Run() calls on the same
+  /// server would interleave recorded marks and discard each other's
+  /// state. Serialize runs per server, or construct one MultiQueryServer
+  /// per concurrent stream (registries are shareable across servers).
   Status Run(StreamSource* source, MultiQueryResult* result);
 
  private:

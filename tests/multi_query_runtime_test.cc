@@ -225,6 +225,148 @@ TEST(MultiQueryServing, AllFifteenTemplatesMatchIsolatedAcrossShards) {
 }
 
 // ---------------------------------------------------------------------
+// Quarantined windows relay to every query (per-query recall 1.0).
+
+/// Wraps a trained trunk and pins its decode threshold to an absolute
+/// value, so an isolated single-query run reproduces a registry
+/// entry's QueryOptions::threshold.
+class FixedThresholdFilter : public StreamFilter {
+ public:
+  FixedThresholdFilter(const EventNetworkFilter* inner, double threshold)
+      : inner_(inner), offset_(threshold - inner->event_threshold()) {}
+
+  std::string name() const override { return "fixed-threshold"; }
+
+  std::vector<int> Mark(const EventStream& stream,
+                        WindowRange range) const override {
+    return inner_->Mark(stream, range);
+  }
+
+  std::vector<int> MarkOnline(const EventStream& window, size_t stream_begin,
+                              InferenceContext* ctx,
+                              double threshold_boost) const override {
+    return inner_->MarkOnline(window, stream_begin, ctx,
+                              threshold_boost + offset_);
+  }
+
+ private:
+  const EventNetworkFilter* inner_;
+  double offset_;
+};
+
+TEST(MultiQueryServing, QuarantinedWindowsRelayToEveryQuery) {
+  const EventStream train = SmallStream(800, 47);
+  const EventStream stream = SmallStream(1500, 48);
+  auto schema = train.schema_ptr();
+  std::vector<Pattern> patterns;
+  patterns.push_back(AscendingSeqPattern(schema, 2, 8));
+  patterns.push_back(AscendingSeqPattern(schema, 3, 12));
+
+  DlacepConfig trunk_config;
+  trunk_config.network.hidden_dim = 8;
+  trunk_config.network.num_layers = 1;
+  trunk_config.train.max_epochs = 2;
+  MultiPatternDlacep system(patterns, train, trunk_config);
+
+  // CRF marginals live in [0, 1]: threshold 0.0 marks every event and
+  // 2.0 marks none, so per-query attribution maximally disagrees
+  // regardless of training. The all-relay union trips the
+  // anomaly-streak guard after a deterministic window count,
+  // quarantining windows whose per-query marks were already recorded —
+  // exactly the case where attribution must NOT capture an event for
+  // the marking query alone.
+  const std::vector<double> thresholds = {0.0, 2.0};
+
+  auto make_config = [&](size_t shards) {
+    OnlineConfig online = LosslessConfig(MaxCountWindow(patterns), shards);
+    online.health.anomaly_streak = 3;
+    online.health.probe_period = 2;
+    online.health.probe_passes = 2;
+    return online;
+  };
+  auto serve = [&](size_t shards, MultiQueryResult* result) {
+    QueryRegistry registry;
+    for (size_t q = 0; q < patterns.size(); ++q) {
+      QueryOptions options;
+      options.name = "q" + std::to_string(q);
+      options.threshold = thresholds[q];
+      ASSERT_TRUE(registry.Register(patterns[q], options).ok());
+    }
+    ServeConfig config;
+    config.online = make_config(shards);
+    MultiQueryServer server(&registry, system.filter(), system.filter(),
+                            config);
+    ReplaySource source(&stream);
+    ASSERT_TRUE(server.Run(&source, result).ok());
+    EXPECT_GT(result->stats.windows_quarantined, 0u) << "shards=" << shards;
+    ASSERT_EQ(result->queries.size(), patterns.size());
+  };
+
+  // Single-threaded path: windows mark, close, and inspect in lockstep,
+  // so the streak/quarantine/probe cadence is a pure function of the
+  // window count. Each isolated reference with the matching pinned
+  // threshold sees uniform windows throughout (all-relay for q0,
+  // all-blank for q1) and therefore the same cadence — per-query
+  // extraction inputs and match sets must be byte-identical.
+  // (ExtractShared is shard-agnostic; under shards the per-window
+  // health levels depend on how far dispatch ran ahead of the verdict,
+  // so exact cadence equality is not a testable contract there.)
+  std::vector<MatchSet> reference;
+  std::vector<size_t> reference_inputs;
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    FixedThresholdFilter fixed(system.filter(), thresholds[q]);
+    OnlineConfig isolated = make_config(0);
+    isolated.collect_relayed = true;
+    OnlineDlacep alone(patterns[q], &fixed, isolated);
+    ReplaySource source(&stream);
+    const OnlineResult result = alone.Run(&source);
+    EXPECT_GT(result.stats.windows_quarantined, 0u) << "q" << q;
+    reference.push_back(result.matches);
+    reference_inputs.push_back(result.relayed_events.size());
+  }
+  EXPECT_FALSE(reference[0].empty());
+  EXPECT_GT(reference_inputs[1], 0u);
+
+  MultiQueryResult result;
+  serve(0, &result);
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    // The extraction input must be the isolated run's full relayed set:
+    // a quarantined window reaches every query whole, including events
+    // some other query's head happened to mark.
+    EXPECT_EQ(result.queries[q].marked_events, reference_inputs[q])
+        << "q" << q;
+    ExpectSameMatches(result.queries[q].matches, reference[q],
+                      "quarantine query=" + result.queries[q].name);
+  }
+
+  // Sharded path: same ExtractShared code, timing-dependent health
+  // cadence — assert the timing-independent recall-1.0 invariants. The
+  // all-marking query relays everything no matter which windows
+  // quarantined, so its matches equal exact CEP; and every query's
+  // extraction input covers at least the quarantine-only events (the
+  // ids that ONLY reached the store through a quarantined window).
+  PassThroughFilter pass;
+  OnlineConfig exact_config = LosslessConfig(MaxCountWindow(patterns), 0);
+  std::vector<MatchSet> exact;
+  for (const Pattern& pattern : patterns) {
+    OnlineDlacep online(pattern, &pass, exact_config);
+    ReplaySource source(&stream);
+    exact.push_back(online.Run(&source).matches);
+  }
+
+  MultiQueryResult sharded;
+  serve(2, &sharded);
+  ExpectSameMatches(sharded.queries[0].matches, exact[0],
+                    "sharded all-relay query");
+  for (size_t q = 0; q < patterns.size(); ++q) {
+    EXPECT_GE(sharded.queries[q].marked_events,
+              sharded.stats.events_quarantined)
+        << "q" << q;
+    EXPECT_LE(sharded.queries[q].matches.size(), exact[q].size()) << "q" << q;
+  }
+}
+
+// ---------------------------------------------------------------------
 // Register/unregister churn under live traffic (TSan coverage).
 
 TEST(MultiQueryServing, ChurnLeavesStableQueriesByteIdentical) {
