@@ -187,6 +187,19 @@ int Run() {
                        static_cast<double>(result.sharing.engines_shared));
     JsonReport::Metric(key, "total_matches",
                        static_cast<double>(result.total_matches()));
+    // Fault-isolation counters: this bench runs unbudgeted, so all three
+    // must stay 0 — a nonzero value means budgets/breakers leaked into
+    // the perf path and the identical gate is no longer apples to apples.
+    size_t degraded = 0;
+    for (const serve::QueryResult& query : result.queries) {
+      degraded += query.degraded ? 1 : 0;
+    }
+    JsonReport::Metric(key, "degraded_queries",
+                       static_cast<double>(degraded));
+    JsonReport::Metric(key, "breaker_trips",
+                       static_cast<double>(result.sharing.breaker_trips));
+    JsonReport::Metric(key, "budget_aborts",
+                       static_cast<double>(result.sharing.budget_aborts));
   }
 
   // The gate the CI perf job asserts on: shared serving of 8 queries at

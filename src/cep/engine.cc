@@ -6,6 +6,18 @@
 
 namespace dlacep {
 
+Status EngineBudget::ToStatus(const char* engine) const {
+  std::string msg(engine);
+  if (pm_budget_ > 0 && pm_created_ > pm_budget_) {
+    msg += ": partial-match budget of " + std::to_string(pm_budget_) +
+           " exhausted";
+  } else {
+    msg += ": deadline of " + std::to_string(deadline_seconds_) +
+           "s exceeded";
+  }
+  return Status::BudgetExceeded(std::move(msg));
+}
+
 const char* EngineKindName(EngineKind kind) {
   switch (kind) {
     case EngineKind::kNfa: return "nfa";

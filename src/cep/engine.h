@@ -37,6 +37,9 @@ struct EngineStats {
   /// Candidates rejected by a pruning check (time-window, predicate, or
   /// contiguity) before becoming partial matches.
   uint64_t partial_matches_pruned = 0;
+  /// Evaluate() calls aborted with kBudgetExceeded (partial-match budget
+  /// or wall-clock deadline). The engine stays reusable after an abort.
+  uint64_t budget_aborts = 0;
   double elapsed_seconds = 0.0;
 
   double throughput() const {
@@ -79,9 +82,66 @@ struct EngineOptions {
   /// Exceeding it drops the newest candidates and counts them in
   /// partial_matches_dropped rather than aborting the run.
   size_t max_partial_matches = 50'000'000;
+  /// Hard budget on partial matches created in one Evaluate() call,
+  /// summed across plans. 0 disables. Unlike max_partial_matches (which
+  /// truncates silently and loses recall), exhausting this budget aborts
+  /// the call with kBudgetExceeded: no partial output is merged, the
+  /// abort is deterministic (counted work, not wall clock), and the
+  /// engine remains reusable — the next Evaluate() starts fresh.
+  uint64_t partial_match_budget = 0;
+  /// Wall-clock deadline for one Evaluate() call, in seconds. 0
+  /// disables. Checked cooperatively every ~1k work units, so an abort
+  /// is prompt but the exact abort point is timing-dependent — callers
+  /// needing determinism should gate on partial_match_budget instead.
+  double deadline_seconds = 0.0;
   /// Sample size for selectivity estimation (tree engine cost model).
   size_t selectivity_samples = 1000;
   uint64_t seed = 42;
+};
+
+/// Per-Evaluate() cooperative budget tracker shared by all engines.
+///
+/// Engines call OnPartialMatch() for every partial match they create and
+/// OnWork() for every extension attempt; both return false once a budget
+/// is blown, after which the engine unwinds promptly (checking
+/// exceeded() at loop heads) and returns ToStatus(). The partial-match
+/// budget is a deterministic counter; the deadline samples the wall
+/// clock only every kDeadlineCheckInterval work units to keep the hot
+/// path free of clock reads.
+class EngineBudget {
+ public:
+  explicit EngineBudget(const EngineOptions& options)
+      : pm_budget_(options.partial_match_budget),
+        deadline_seconds_(options.deadline_seconds) {}
+
+  bool OnPartialMatch() {
+    if (pm_budget_ > 0 && ++pm_created_ > pm_budget_) exceeded_ = true;
+    return !exceeded_;
+  }
+
+  bool OnWork() {
+    if (deadline_seconds_ > 0.0 &&
+        (++work_ % kDeadlineCheckInterval) == 0 &&
+        watch_.ElapsedSeconds() > deadline_seconds_) {
+      exceeded_ = true;
+    }
+    return !exceeded_;
+  }
+
+  bool exceeded() const { return exceeded_; }
+
+  /// The kBudgetExceeded status describing which budget blew.
+  Status ToStatus(const char* engine) const;
+
+ private:
+  static constexpr uint64_t kDeadlineCheckInterval = 1024;
+
+  const uint64_t pm_budget_;
+  const double deadline_seconds_;
+  Stopwatch watch_;
+  uint64_t pm_created_ = 0;
+  uint64_t work_ = 0;
+  bool exceeded_ = false;
 };
 
 /// Creates an engine for `pattern`. The pattern is copied; the engine

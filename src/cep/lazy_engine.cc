@@ -38,12 +38,13 @@ class LazySearch {
  public:
   LazySearch(const LinearPlan& plan, const Pattern& pattern,
              std::span<const Event> events, EngineStats* stats,
-             MatchSet* out)
+             MatchSet* out, EngineBudget* budget)
       : plan_(plan),
         pattern_(pattern),
         events_(events),
         stats_(stats),
         out_(out),
+        budget_(budget),
         binding_(pattern.num_vars()),
         bound_(plan.num_positions(), nullptr) {
     candidates_.resize(plan_.num_positions());
@@ -77,6 +78,7 @@ class LazySearch {
   }
 
   void Rec(size_t order_index) {
+    if (budget_->exceeded()) return;
     if (order_index == order_.size()) {
       for (const Condition* condition : plan_.pos_conditions) {
         if (!condition->Eval(binding_)) return;
@@ -129,6 +131,7 @@ class LazySearch {
         bucket.begin(), bucket.end(), lb,
         [](const Event* e, EventId id) { return e->id < id; });
     for (; it != bucket.end() && (*it)->id <= ub; ++it) {
+      if (!budget_->OnWork()) return;
       const Event* e = *it;
       if (AlreadyBound(e)) continue;
       if (window.kind == WindowKind::kTime) {
@@ -162,6 +165,7 @@ class LazySearch {
       }
       if (pass) {
         ++stats_->partial_matches;  // a surviving search node
+        if (!budget_->OnPartialMatch()) return;
         Rec(order_index + 1);
       }
       bound_[p] = nullptr;
@@ -174,6 +178,7 @@ class LazySearch {
   std::span<const Event> events_;
   EngineStats* stats_;
   MatchSet* out_;
+  EngineBudget* budget_;
   Binding binding_;
   std::vector<const Event*> bound_;  ///< per plan position
   std::vector<std::vector<const Event*>> candidates_;  ///< per position
@@ -183,19 +188,31 @@ class LazySearch {
 }  // namespace
 
 void LazyEngine::EvaluatePlan(const LinearPlan& plan,
-                              std::span<const Event> events, MatchSet* out) {
-  LazySearch search(plan, pattern_, events, &stats_, out);
+                              std::span<const Event> events, MatchSet* out,
+                              EngineBudget* budget) {
+  LazySearch search(plan, pattern_, events, &stats_, out, budget);
   search.Run();
 }
 
 Status LazyEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
   DLACEP_CHECK(out != nullptr);
   Stopwatch watch;
+  EngineBudget budget(options_);
+  const bool budgeted =
+      options_.partial_match_budget > 0 || options_.deadline_seconds > 0.0;
+  MatchSet local;
+  MatchSet* sink = budgeted ? &local : out;
   for (const LinearPlan& plan : plans_) {
-    EvaluatePlan(plan, events, out);
+    EvaluatePlan(plan, events, sink, &budget);
+    if (budget.exceeded()) break;
   }
   stats_.events_processed += events.size();
   stats_.elapsed_seconds += watch.ElapsedSeconds();
+  if (budget.exceeded()) {
+    ++stats_.budget_aborts;
+    return budget.ToStatus("lazy");
+  }
+  if (budgeted) out->Merge(local);
   return Status::Ok();
 }
 

@@ -33,7 +33,7 @@ class LazyEngine : public CepEngine {
   LazyEngine(Pattern pattern, EngineOptions options);
 
   void EvaluatePlan(const LinearPlan& plan, std::span<const Event> events,
-                    MatchSet* out);
+                    MatchSet* out, EngineBudget* budget);
 
   Pattern pattern_;
   EngineOptions options_;

@@ -57,7 +57,8 @@ void NfaEngine::MaybeEmit(const LinearPlan& plan, const PartialMatch& pm,
 }
 
 void NfaEngine::EvaluatePlan(const LinearPlan& plan,
-                             std::span<const Event> events, MatchSet* out) {
+                             std::span<const Event> events, MatchSet* out,
+                             EngineBudget* budget) {
   const size_t n = plan.num_positions();
   full_mask_ = n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
   const WindowSpec& window = pattern_.window();
@@ -66,6 +67,7 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
 
   for (const Event& e : events) {
     if (e.is_blank()) continue;
+    if (budget->exceeded()) return;
 
     auto is_expired = [&](const PartialMatch& pm) {
       // Extensions only add events at or after `e`, so a prefix whose
@@ -82,6 +84,7 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
 
     auto try_store = [&](PartialMatch&& pm) {
       ++stats_.partial_matches;
+      if (!budget->OnPartialMatch()) return;
       if (storage.size() + created.size() >= options_.max_partial_matches) {
         ++stats_.partial_matches_dropped;
         return;
@@ -96,6 +99,7 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
     // `stored_before` freezes the range.
     size_t write = 0;
     for (size_t s = 0; s < stored_before; ++s) {
+      if (!budget->OnWork()) return;
       if (is_expired(storage[s])) continue;
       if (write != s) storage[write] = std::move(storage[s]);
       const PartialMatch& pm = storage[write];
@@ -188,11 +192,24 @@ void NfaEngine::EvaluatePlan(const LinearPlan& plan,
 Status NfaEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
   DLACEP_CHECK(out != nullptr);
   Stopwatch watch;
+  EngineBudget budget(options_);
+  // With a budget armed, emit into a local set so an abort leaves `out`
+  // untouched: callers see all-or-nothing per Evaluate() call.
+  const bool budgeted =
+      options_.partial_match_budget > 0 || options_.deadline_seconds > 0.0;
+  MatchSet local;
+  MatchSet* sink = budgeted ? &local : out;
   for (const LinearPlan& plan : plans_) {
-    EvaluatePlan(plan, events, out);
+    EvaluatePlan(plan, events, sink, &budget);
+    if (budget.exceeded()) break;
   }
   stats_.events_processed += events.size();
   stats_.elapsed_seconds += watch.ElapsedSeconds();
+  if (budget.exceeded()) {
+    ++stats_.budget_aborts;
+    return budget.ToStatus("nfa");
+  }
+  if (budgeted) out->Merge(local);
   return Status::Ok();
 }
 

@@ -45,7 +45,7 @@ class NfaEngine : public CepEngine {
   };
 
   void EvaluatePlan(const LinearPlan& plan, std::span<const Event> events,
-                    MatchSet* out);
+                    MatchSet* out, EngineBudget* budget);
 
   /// Prunes conditions made checkable by binding `var`; returns false
   /// when the candidate partial match is contradicted.

@@ -141,7 +141,7 @@ void TreeEngine::BuildTree(const LinearPlan& plan,
 
 std::vector<TreeEngine::Item> TreeEngine::EvalNode(
     const LinearPlan& plan, const PlanTree& tree, int node_index,
-    std::span<const Event> events) {
+    std::span<const Event> events, EngineBudget* budget) {
   const TreeNode& node = tree.nodes[static_cast<size_t>(node_index)];
   const WindowSpec& window = pattern_.window();
   std::vector<Item> out;
@@ -172,17 +172,24 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
       }
       if (!pass) continue;
       ++stats_.partial_matches;
+      if (!budget->OnPartialMatch()) return out;
       out.push_back(std::move(item));
     }
     return out;
   }
 
-  const std::vector<Item> left = EvalNode(plan, tree, node.left, events);
-  const std::vector<Item> right = EvalNode(plan, tree, node.right, events);
+  const std::vector<Item> left =
+      EvalNode(plan, tree, node.left, events, budget);
+  if (budget->exceeded()) return out;
+  const std::vector<Item> right =
+      EvalNode(plan, tree, node.right, events, budget);
+  if (budget->exceeded()) return out;
   const size_t merged_positions = node.hi - node.lo + 1;
 
   for (const Item& l : left) {
+    if (budget->exceeded()) return out;
     for (const Item& r : right) {
+      if (!budget->OnWork()) return out;
       if (tree.ordered && l.max_id >= r.min_id) continue;
       Item item;
       item.min_id = std::min(l.min_id, r.min_id);
@@ -211,6 +218,7 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
       }
       if (!pass) continue;
       ++stats_.partial_matches;
+      if (!budget->OnPartialMatch()) return out;
       if (out.size() < options_.max_partial_matches) {
         out.push_back(std::move(item));
       } else {
@@ -222,10 +230,12 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
 }
 
 void TreeEngine::EvaluatePlan(size_t plan_index,
-                              std::span<const Event> events, MatchSet* out) {
+                              std::span<const Event> events, MatchSet* out,
+                              EngineBudget* budget) {
   const LinearPlan& plan = plans_[plan_index];
   const PlanTree& tree = trees_[plan_index];
-  std::vector<Item> items = EvalNode(plan, tree, tree.root, events);
+  std::vector<Item> items = EvalNode(plan, tree, tree.root, events, budget);
+  if (budget->exceeded()) return;
   for (const Item& item : items) {
     bool pass = true;
     for (const Condition* condition : plan.pos_conditions) {
@@ -253,11 +263,22 @@ Status TreeEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
     }
     trees_built_ = true;
   }
+  EngineBudget budget(options_);
+  const bool budgeted =
+      options_.partial_match_budget > 0 || options_.deadline_seconds > 0.0;
+  MatchSet local;
+  MatchSet* sink = budgeted ? &local : out;
   for (size_t i = 0; i < plans_.size(); ++i) {
-    EvaluatePlan(i, events, out);
+    EvaluatePlan(i, events, sink, &budget);
+    if (budget.exceeded()) break;
   }
   stats_.events_processed += events.size();
   stats_.elapsed_seconds += watch.ElapsedSeconds();
+  if (budget.exceeded()) {
+    ++stats_.budget_aborts;
+    return budget.ToStatus("zstream-tree");
+  }
+  if (budgeted) out->Merge(local);
   return Status::Ok();
 }
 

@@ -67,10 +67,10 @@ class TreeEngine : public CepEngine {
   void BuildTree(const LinearPlan& plan, const PlanStatistics& stats,
                  PlanTree* tree) const;
   std::vector<Item> EvalNode(const LinearPlan& plan, const PlanTree& tree,
-                             int node_index,
-                             std::span<const Event> events);
+                             int node_index, std::span<const Event> events,
+                             EngineBudget* budget);
   void EvaluatePlan(size_t plan_index, std::span<const Event> events,
-                    MatchSet* out);
+                    MatchSet* out, EngineBudget* budget);
 
   Pattern pattern_;
   EngineOptions options_;

@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kUnavailable,
+  kBudgetExceeded,
 };
 
 /// Returns a human-readable name for a status code.
@@ -41,6 +42,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kBudgetExceeded: return "BUDGET_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -78,6 +80,13 @@ class Status {
   /// stream sources for flaky reads; the runtime retries with backoff).
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// A cooperative engine budget (partial-match or deadline) was
+  /// exhausted and the evaluation aborted. Unlike kResourceExhausted
+  /// this is an expected, per-query recoverable condition: the engine
+  /// stays reusable and the serve layer's circuit breaker absorbs it.
+  static Status BudgetExceeded(std::string msg) {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -48,6 +48,13 @@ Status CepExtractor::Extract(std::vector<const Event*> marked,
   obs::CepTransitions(engine_name)
       ->Increment(after.transitions - before.transitions);
   obs::CepMatches(engine_name)->Increment(out->size() - matches_before);
+  // Silent recall loss under the legacy storage cap is surfaced, not
+  // swallowed: the counter feeds the CLI's end-of-run warning.
+  obs::CepPartialMatchesDropped(engine_name)
+      ->Increment(after.partial_matches_dropped -
+                  before.partial_matches_dropped);
+  obs::CepBudgetAborts(engine_name)
+      ->Increment(after.budget_aborts - before.budget_aborts);
   return status;
 }
 

@@ -146,6 +146,12 @@ Counter* CepTransitions(const std::string& engine) {
 Counter* CepMatches(const std::string& engine) {
   return Cep("matches", engine);
 }
+Counter* CepPartialMatchesDropped(const std::string& engine) {
+  return Cep("partial_matches_dropped", engine);
+}
+Counter* CepBudgetAborts(const std::string& engine) {
+  return Cep("budget_aborts", engine);
+}
 
 namespace {
 
@@ -237,6 +243,30 @@ Counter* QueryMarkedEvents(const std::string& query) {
       "Deduplicated marked events per registered query");
 }
 
+Counter* QueryBreakerTrips(const std::string& query) {
+  return MetricsRegistry::Global().GetCounter(
+      "dlacep_query_breaker_trips_total", {{"query", query}},
+      "Circuit-breaker trips per registered query");
+}
+
+Counter* QueryBudgetAborts(const std::string& query) {
+  return MetricsRegistry::Global().GetCounter(
+      "dlacep_query_budget_aborts_total", {{"query", query}},
+      "Engine budget aborts attributed to a registered query");
+}
+
+Gauge* QueryBreakerState(const std::string& query) {
+  return MetricsRegistry::Global().GetGauge(
+      "dlacep_query_breaker_state", {{"query", query}},
+      "Breaker state per query: 0=healthy 1=tripped 2=probing");
+}
+
+Gauge* QueryExtractCost(const std::string& query) {
+  return MetricsRegistry::Global().GetGauge(
+      "dlacep_query_extract_cost", {{"query", query}},
+      "Fair-share extraction cost (runs + partial-match work) last run");
+}
+
 namespace {
 
 constexpr char kServeEnginesTotal[] = "dlacep_serve_engines_total";
@@ -261,6 +291,32 @@ DLACEP_OBS_COUNTER(ServeEnginesRun, ServeEngines, "run")
 DLACEP_OBS_COUNTER(ServeEnginesShared, ServeEngines, "shared")
 DLACEP_OBS_COUNTER(ServeEnginesGuardPruned, ServeEngines, "guard_pruned")
 DLACEP_OBS_COUNTER(ServeEnginesTypePruned, ServeEngines, "type_pruned")
+
+#undef DLACEP_OBS_COUNTER
+
+namespace {
+
+constexpr char kServeChunksTotal[] = "dlacep_serve_extract_chunks_total";
+constexpr char kServeChunksHelp[] =
+    "Fair-share extraction scheduler chunk outcomes";
+
+Counter* ServeChunks(const char* result) {
+  return MetricsRegistry::Global().GetCounter(kServeChunksTotal,
+                                              {{"result", result}},
+                                              kServeChunksHelp);
+}
+
+}  // namespace
+
+#define DLACEP_OBS_COUNTER(fn, maker, label) \
+  Counter* fn() {                            \
+    static Counter* c = maker(label);        \
+    return c;                                \
+  }
+
+DLACEP_OBS_COUNTER(ServeChunksRun, ServeChunks, "run")
+DLACEP_OBS_COUNTER(ServeChunksSkipped, ServeChunks, "skipped")
+DLACEP_OBS_COUNTER(ServeChunksAborted, ServeChunks, "aborted")
 
 #undef DLACEP_OBS_COUNTER
 
@@ -330,6 +386,8 @@ void TouchStandardMetrics() {
     CepPartialMatchesPruned(engine);
     CepTransitions(engine);
     CepMatches(engine);
+    CepPartialMatchesDropped(engine);
+    CepBudgetAborts(engine);
   }
 
   NnBatchWindows();
@@ -340,6 +398,9 @@ void TouchStandardMetrics() {
   ServeEnginesShared();
   ServeEnginesGuardPruned();
   ServeEnginesTypePruned();
+  ServeChunksRun();
+  ServeChunksSkipped();
+  ServeChunksAborted();
 
   QueueDepth();
   QueueCapacity();

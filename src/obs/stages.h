@@ -80,6 +80,13 @@ Counter* CepPartialMatches(const std::string& engine);
 Counter* CepPartialMatchesPruned(const std::string& engine);
 Counter* CepTransitions(const std::string& engine);
 Counter* CepMatches(const std::string& engine);
+/// dlacep_cep_partial_matches_dropped_total{engine}: partial matches
+/// silently truncated by the legacy storage cap — nonzero means the run
+/// may have lost recall (the CLI warns at end of run).
+Counter* CepPartialMatchesDropped(const std::string& engine);
+/// dlacep_cep_budget_aborts_total{engine}: Evaluate() calls aborted
+/// with kBudgetExceeded under a cooperative engine budget.
+Counter* CepBudgetAborts(const std::string& engine);
 
 // --- Sharded runtime (labelled {shard="k"}) --------------------------
 // dlacep_shard_windows_total{shard}: windows marked by shard k.
@@ -116,6 +123,22 @@ Counter* ServeEnginesRun();
 Counter* ServeEnginesShared();
 Counter* ServeEnginesGuardPruned();
 Counter* ServeEnginesTypePruned();
+
+// --- Per-query fault isolation (src/serve breaker + fair share) ------
+// dlacep_query_breaker_trips_total{query} / dlacep_query_budget_aborts_
+// total{query}: circuit-breaker activity per registered query name.
+// dlacep_query_breaker_state{query}: 0=healthy 1=tripped 2=probing.
+// dlacep_query_extract_cost{query}: accumulated fair-share extraction
+// cost (engine runs + partial-match work) for the last Run().
+// dlacep_serve_extract_chunks_total{result=run|skipped|aborted}: chunk
+// outcomes of the fair-share extraction scheduler.
+Counter* QueryBreakerTrips(const std::string& query);
+Counter* QueryBudgetAborts(const std::string& query);
+Gauge* QueryBreakerState(const std::string& query);
+Gauge* QueryExtractCost(const std::string& query);
+Counter* ServeChunksRun();
+Counter* ServeChunksSkipped();
+Counter* ServeChunksAborted();
 
 // --- Gauges ----------------------------------------------------------
 Gauge* QueueDepth();       ///< dlacep_queue_depth (events waiting)

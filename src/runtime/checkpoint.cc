@@ -202,14 +202,32 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
                             std::strerror(err));
   }
   // Persist the rename itself: fsync the containing directory.
+  //
+  // Durability contract: when WriteFileAtomic returns OK the checkpoint
+  // is crash-durable — the file's *contents* were fsync'd before the
+  // rename, and the directory fsync here makes the rename's directory
+  // entry durable too. Without it, a power loss immediately after
+  // rename() can leave a directory that still names the old file (or
+  // nothing), silently losing an acknowledged checkpoint. A failure at
+  // this stage is therefore an error, not best-effort: the caller must
+  // not count the checkpoint as written.
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
+  if (dfd < 0) {
+    return Status::Internal("open failed for checkpoint dir " + dir + ": " +
+                            std::strerror(errno));
+  }
+  if (::fsync(dfd) != 0) {
+    const int err = errno;
     ::close(dfd);
+    return Status::Internal("fsync failed for checkpoint dir " + dir +
+                            ": " + std::strerror(err));
+  }
+  if (::close(dfd) != 0) {
+    return Status::Internal("close failed for checkpoint dir " + dir);
   }
   return Status::Ok();
 }

@@ -135,6 +135,17 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       plan.source_fail = true;
       plan.fail_at = static_cast<uint64_t>(ArgOr(t, 0, 256));
       plan.fail_count = static_cast<uint64_t>(ArgOr(t, 1, 3));
+    } else if (t.name == "pathological_query") {
+      plan.pathological_query = true;
+      plan.pathological_at = static_cast<uint64_t>(ArgOr(t, 0, 6));
+      plan.pathological_window = static_cast<uint64_t>(ArgOr(t, 1, 40));
+      if (plan.pathological_window < 2) {
+        return Status::InvalidArgument(
+            "pathological_query window must be >= 2");
+      }
+    } else if (t.name == "churn_storm") {
+      plan.churn_storm = true;
+      plan.churn_cycles = static_cast<uint64_t>(ArgOr(t, 0, 64));
     } else {
       return Status::InvalidArgument("unknown fault '" + t.name +
                                      "' in --inject spec");
@@ -164,7 +175,19 @@ void FaultInjector::InstallNanHook() {
   hook_installed_ = true;
 }
 
+void FaultInjector::SetPathologicalHook(std::function<void()> hook) {
+  pathological_hook_ = std::move(hook);
+}
+
 void FaultInjector::OnWorkerWindow(uint64_t window_seq) {
+  // `>=` rather than `==`: a sharded run can mark windows out of order,
+  // and the trigger must not be lost if its exact sequence number lands
+  // on another shard first.
+  if (plan_.pathological_query && pathological_hook_ &&
+      window_seq >= plan_.pathological_at &&
+      !pathological_fired_.exchange(true, std::memory_order_relaxed)) {
+    pathological_hook_();
+  }
   if (!plan_.wedge || window_seq != plan_.wedge_window) return;
   if (wedge_fired_.exchange(true, std::memory_order_relaxed)) return;
   std::this_thread::sleep_for(

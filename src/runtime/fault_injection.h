@@ -26,6 +26,17 @@
 //                               then the event is delivered), COUNT=0
 //                               means the failure is permanent
 //                               (default 256:3)
+//   pathological_query[:AT[:W]] multi-query serving only: when worker
+//                               window AT closes, register a
+//                               combinatorial-blowup pattern (a SEQ of
+//                               four hottest-type positions WITHIN W
+//                               EVENTS) mid-run via the pathological
+//                               hook (default 6:40). Exercises the
+//                               per-query budget/breaker isolation.
+//   churn_storm[:CYCLES]        multi-query serving only: the CLI's
+//                               churn thread drops its pacing and
+//                               hammers register/unregister for CYCLES
+//                               cycles (default 64)
 //
 // The NaN burst rides the process-wide hook of
 // SetInferenceFaultHook(); everything else is window- or event-indexed
@@ -36,6 +47,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -69,11 +81,21 @@ struct FaultPlan {
   uint64_t fail_at = 256;        ///< 0-based read index that fails
   uint64_t fail_count = 3;       ///< transient failures; 0 = permanent
 
+  // pathological_query (serve-layer; the CLI installs the hook that
+  // registers the blowup pattern)
+  bool pathological_query = false;
+  uint64_t pathological_at = 6;       ///< worker window seq that triggers
+  uint64_t pathological_window = 40;  ///< blowup SEQ count window
+
+  // churn_storm (serve-layer; drives the CLI's churn thread)
+  bool churn_storm = false;
+  uint64_t churn_cycles = 64;    ///< unpaced register/unregister cycles
+
   uint64_t seed = 0xFA017ULL;    ///< rng seed for corrupt_source
 
   bool any() const {
     return nan_burst || model_corrupt || corrupt_probability > 0.0 ||
-           wedge || source_fail;
+           wedge || source_fail || pathological_query || churn_storm;
   }
 };
 
@@ -99,8 +121,15 @@ class FaultInjector {
 
   /// Called by the runtime's worker for each window it marks; sleeps
   /// when this window is the wedged one (first marking only — a
-  /// re-marked probe of the same sequence is not re-delayed).
+  /// re-marked probe of the same sequence is not re-delayed), and fires
+  /// the pathological hook once when the trigger window is reached.
   void OnWorkerWindow(uint64_t window_seq);
+
+  /// Callback fired (once, from a worker thread) when window
+  /// `pathological_at` is marked — the CLI uses it to register the
+  /// blowup pattern mid-run. No-op unless the plan has
+  /// pathological_query. Must be set before the run starts.
+  void SetPathologicalHook(std::function<void()> hook);
 
   /// Wraps `inner` with the plan's source faults (corrupt_source,
   /// source_fail). Returns `inner` untouched when neither is active.
@@ -114,6 +143,8 @@ class FaultInjector {
   FaultPlan plan_;
   std::atomic<uint64_t> forward_passes_{0};
   std::atomic<bool> wedge_fired_{false};
+  std::atomic<bool> pathological_fired_{false};
+  std::function<void()> pathological_hook_;
   bool hook_installed_ = false;
 };
 

@@ -1143,6 +1143,8 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
     DLACEP_CHECK_MSG(status.ok(), status.ToString());
     state.stats.extract_seconds = extract_watch.ElapsedSeconds();
     obs::StageCepEval()->Observe(state.stats.extract_seconds);
+    state.stats.cep_partial_matches_dropped =
+        extractor_.stats().partial_matches_dropped;
   }
   state.stats.matches = result->matches.size();
   state.stats.elapsed_seconds = state.watch.ElapsedSeconds();

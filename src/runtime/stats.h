@@ -125,6 +125,11 @@ struct RuntimeStats {
   LatencyHistogram window_latency;
 
   size_t matches = 0;
+  /// Partial matches silently truncated by the engine's legacy storage
+  /// cap during extraction. Nonzero means the run may have lost recall;
+  /// the CLI prints an end-of-run warning (not checkpoint-serialized —
+  /// extraction happens after the stream drains).
+  uint64_t cep_partial_matches_dropped = 0;
   double extract_seconds = 0.0;
   double elapsed_seconds = 0.0;  ///< whole Run() wall clock
 

@@ -1,0 +1,56 @@
+#include "serve/breaker.h"
+
+namespace dlacep {
+namespace serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kHealthy: return "healthy";
+    case BreakerState::kTripped: return "tripped";
+    case BreakerState::kProbing: return "probing";
+  }
+  return "?";
+}
+
+void QueryBreaker::OnRunOk() {
+  consecutive_aborts_ = 0;
+  if (state_ == BreakerState::kProbing) {
+    if (++clean_probes_ >= config_.probe_passes) {
+      state_ = BreakerState::kHealthy;
+      clean_probes_ = 0;
+    }
+  }
+}
+
+void QueryBreaker::OnBudgetAbort() {
+  ++budget_aborts_;
+  if (state_ == BreakerState::kProbing) {
+    // A probe that still blows the budget re-opens the breaker at once.
+    state_ = BreakerState::kTripped;
+    ++trips_;
+    skipped_since_trip_ = 0;
+    clean_probes_ = 0;
+    consecutive_aborts_ = 0;
+    return;
+  }
+  if (state_ == BreakerState::kHealthy &&
+      ++consecutive_aborts_ >= config_.trip_after) {
+    state_ = BreakerState::kTripped;
+    ++trips_;
+    skipped_since_trip_ = 0;
+    clean_probes_ = 0;
+    consecutive_aborts_ = 0;
+  }
+}
+
+void QueryBreaker::OnSkipped() {
+  if (state_ != BreakerState::kTripped) return;
+  if (++skipped_since_trip_ >= config_.probe_period) {
+    state_ = BreakerState::kProbing;
+    skipped_since_trip_ = 0;
+    clean_probes_ = 0;
+  }
+}
+
+}  // namespace serve
+}  // namespace dlacep

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "cep/engine.h"
 #include "common/timer.h"
-#include "dlacep/extractor.h"
 #include "obs/stages.h"
 
 namespace dlacep {
@@ -64,16 +66,27 @@ Status MultiQueryServer::Run(StreamSource* source, MultiQueryResult* result) {
   raw.stats.extract_seconds = extract_watch.ElapsedSeconds();
   obs::StageCepEval()->Observe(raw.stats.extract_seconds);
   raw.stats.matches = result->total_matches();
+  raw.stats.cep_partial_matches_dropped =
+      result->sharing.partial_matches_dropped;
   result->stats = std::move(raw.stats);
 
   for (const QueryResult& query : result->queries) {
     obs::QueryMatches(query.name)->Increment(query.matches.size());
     obs::QueryMarkedEvents(query.name)->Increment(query.marked_events);
+    obs::QueryBudgetAborts(query.name)->Increment(query.budget_aborts);
+    obs::QueryBreakerTrips(query.name)->Increment(query.breaker_trips);
+    obs::QueryBreakerState(query.name)
+        ->Set(static_cast<double>(query.breaker_state));
+    obs::QueryExtractCost(query.name)
+        ->Set(static_cast<double>(query.extract_cost));
   }
   obs::ServeEnginesRun()->Increment(result->sharing.engines_run);
   obs::ServeEnginesShared()->Increment(result->sharing.engines_shared);
   obs::ServeEnginesGuardPruned()->Increment(result->sharing.guard_pruned);
   obs::ServeEnginesTypePruned()->Increment(result->sharing.type_pruned);
+  obs::ServeChunksRun()->Increment(result->sharing.chunks_run);
+  obs::ServeChunksSkipped()->Increment(result->sharing.chunks_skipped);
+  obs::ServeChunksAborted()->Increment(result->sharing.budget_aborts);
   return Status::Ok();
 }
 
@@ -154,9 +167,47 @@ Status MultiQueryServer::ExtractShared(const RegistrySnapshot& snapshot,
     query_set[q] = set_it->second;
   }
 
+  // Every live query gets a breaker; trips persist across Run() calls.
+  std::vector<uint64_t> trips_before(snapshot.queries.size(), 0);
+  std::vector<uint64_t> aborts_before(snapshot.queries.size(), 0);
+  for (size_t q = 0; q < snapshot.queries.size(); ++q) {
+    const auto [it, unused] = breakers_.try_emplace(
+        snapshot.queries[q].id, QueryBreaker(config_.breaker));
+    trips_before[q] = it->second.trips();
+    aborts_before[q] = it->second.budget_aborts();
+  }
+  auto breaker_of = [&](size_t q) -> QueryBreaker& {
+    return breakers_.find(snapshot.queries[q].id)->second;
+  };
+
   // Witness results are a property of (guard, event set): cache across
   // groups sharing a prefix.
   std::map<std::pair<int, size_t>, bool> witness_cache;
+
+  // One extraction *unit* per (structural group × event set) partition:
+  // a dense blank-stripped event span, one budgeted engine, and the
+  // members it serves. The span is evaluated in overlapping id-range
+  // chunks of L = 8W with step L-(W-1): every match spans at most W-1
+  // id units (the count window is enforced over ids), a match's start
+  // is itself an event id, and the chunk covering it contains *all*
+  // events in its id range — so chunked evaluation plus MatchSet dedup
+  // is byte-identical to evaluating the whole span at once, and the
+  // scheduler can interleave chunks of different units fairly.
+  struct Unit {
+    std::vector<size_t> members;  ///< query indexes; [0] is canonical
+    std::vector<Event> events;    ///< dense, blanks stripped
+    std::vector<std::pair<size_t, size_t>> chunks;  ///< [begin,end) idx
+    size_t next_chunk = 0;
+    std::unique_ptr<CepEngine> engine;
+    MatchSet matches;
+    uint64_t cost = 0;  ///< fair-share units: chunks run + pm created
+    bool ran = false;   ///< at least one chunk actually evaluated
+  };
+  std::vector<Unit> units;
+
+  EngineOptions engine_options;
+  engine_options.partial_match_budget = config_.query_pm_budget;
+  engine_options.deadline_seconds = config_.query_deadline_seconds;
 
   for (const SharedGroup& group : snapshot.plan.groups) {
     std::map<size_t, std::vector<size_t>> partitions;
@@ -202,17 +253,162 @@ Status MultiQueryServer::ExtractShared(const RegistrySnapshot& snapshot,
       }
 
       const QueryEntry& canonical = snapshot.queries[members[0]];
-      CepExtractor extractor(*canonical.pattern, canonical.engine);
-      MatchSet shared;
-      const Status status = extractor.Extract(set.events, &shared);
-      if (!status.ok()) return status;
-      ++result->sharing.engines_run;
-      result->sharing.engines_shared += members.size() - 1;
-      for (size_t i = 0; i < members.size(); ++i) {
-        result->queries[members[i]].matches.Merge(shared);
-        result->queries[members[i]].shared = i > 0;
+      Unit unit;
+      unit.members = members;
+      unit.events.reserve(set.events.size());
+      for (const Event* e : set.events) {
+        if (!e->is_blank()) unit.events.push_back(*e);
+      }
+      if (unit.events.empty()) continue;
+
+      // Window-aligned chunk geometry (ids, not positions).
+      const size_t w =
+          std::max<size_t>(canonical.pattern->window().count_size(), 2);
+      const EventId span = static_cast<EventId>(8 * w);
+      const EventId step = span - static_cast<EventId>(w - 1);
+      size_t begin = 0;
+      while (begin < unit.events.size()) {
+        const EventId base = unit.events[begin].id;
+        size_t end = begin;
+        while (end < unit.events.size() &&
+               unit.events[end].id < base + span) {
+          ++end;
+        }
+        unit.chunks.emplace_back(begin, end);
+        if (end == unit.events.size()) break;
+        size_t next = begin;
+        while (next < unit.events.size() &&
+               unit.events[next].id < base + step) {
+          ++next;
+        }
+        begin = next;
+      }
+
+      auto engine =
+          CreateEngine(canonical.engine, *canonical.pattern, engine_options);
+      DLACEP_CHECK_MSG(engine.ok(), engine.status().ToString());
+      unit.engine = std::move(engine).value();
+      units.push_back(std::move(unit));
+    }
+  }
+
+  // Fair-share scheduling: every pass visits each unfinished unit once,
+  // cheapest accumulated cost first, and runs exactly one chunk — a
+  // heavy query can't monopolize extraction, and the visit order is a
+  // deterministic function of counted work (not wall clock).
+  std::vector<bool> missed(snapshot.queries.size(), false);
+  std::vector<uint64_t> query_cost(snapshot.queries.size(), 0);
+  for (;;) {
+    std::vector<size_t> live;
+    for (size_t u = 0; u < units.size(); ++u) {
+      if (units[u].next_chunk < units[u].chunks.size()) live.push_back(u);
+    }
+    if (live.empty()) break;
+    std::stable_sort(live.begin(), live.end(), [&](size_t a, size_t b) {
+      return units[a].cost < units[b].cost;
+    });
+
+    for (const size_t u : live) {
+      Unit& unit = units[u];
+      const auto [begin, end] = unit.chunks[unit.next_chunk++];
+
+      std::vector<size_t> runnable;
+      std::vector<size_t> parked;
+      for (const size_t m : unit.members) {
+        (breaker_of(m).ShouldRun() ? runnable : parked).push_back(m);
+      }
+      if (runnable.empty()) {
+        // Every member is tripped: the chunk is not evaluated at all —
+        // the blown-up engine gets no cycles. Skips advance the probe
+        // clock, so a later chunk of this same run can be the probe.
+        ++result->sharing.chunks_skipped;
+        unit.cost += 1;
+        for (const size_t m : unit.members) {
+          breaker_of(m).OnSkipped();
+          missed[m] = true;
+        }
+        continue;
+      }
+
+      const EngineStats before = unit.engine->stats();
+      const Status status = unit.engine->Evaluate(
+          std::span<const Event>(unit.events.data() + begin, end - begin),
+          &unit.matches);
+      const EngineStats& after = unit.engine->stats();
+      const uint64_t pm_delta =
+          after.partial_matches - before.partial_matches;
+      unit.cost += 1 + pm_delta;
+      unit.ran = true;
+      for (const size_t m : runnable) query_cost[m] += 1 + pm_delta;
+
+      if (status.code() == StatusCode::kBudgetExceeded) {
+        ++result->sharing.budget_aborts;
+        for (const size_t m : runnable) {
+          QueryBreaker& breaker = breaker_of(m);
+          const uint64_t trips = breaker.trips();
+          breaker.OnBudgetAbort();
+          result->sharing.breaker_trips +=
+              static_cast<size_t>(breaker.trips() - trips);
+          missed[m] = true;
+        }
+      } else if (!status.ok()) {
+        return status;
+      } else {
+        ++result->sharing.chunks_run;
+        for (const size_t m : runnable) breaker_of(m).OnRunOk();
+      }
+      for (const size_t m : parked) {
+        breaker_of(m).OnSkipped();
+        missed[m] = true;
       }
     }
+  }
+
+  // Fan each unit's accumulated matches out to its members and publish
+  // the per-engine work counters (one fresh engine per unit, so its
+  // lifetime stats are the per-unit deltas).
+  for (Unit& unit : units) {
+    if (unit.ran) {
+      ++result->sharing.engines_run;
+      result->sharing.engines_shared += unit.members.size() - 1;
+      const EngineStats& stats = unit.engine->stats();
+      const std::string engine_name = unit.engine->name();
+      obs::CepEvents(engine_name)->Increment(stats.events_processed);
+      obs::CepPartialMatches(engine_name)->Increment(stats.partial_matches);
+      obs::CepPartialMatchesPruned(engine_name)
+          ->Increment(stats.partial_matches_pruned);
+      obs::CepTransitions(engine_name)->Increment(stats.transitions);
+      obs::CepMatches(engine_name)->Increment(unit.matches.size());
+      obs::CepPartialMatchesDropped(engine_name)
+          ->Increment(stats.partial_matches_dropped);
+      obs::CepBudgetAborts(engine_name)->Increment(stats.budget_aborts);
+      result->sharing.partial_matches_dropped +=
+          stats.partial_matches_dropped;
+    }
+    for (size_t i = 0; i < unit.members.size(); ++i) {
+      result->queries[unit.members[i]].matches.Merge(unit.matches);
+      result->queries[unit.members[i]].shared = i > 0;
+    }
+  }
+
+  for (size_t q = 0; q < snapshot.queries.size(); ++q) {
+    const QueryBreaker& breaker = breaker_of(q);
+    QueryResult& query = result->queries[q];
+    query.degraded = missed[q];
+    query.breaker_state = breaker.state();
+    query.budget_aborts = breaker.budget_aborts() - aborts_before[q];
+    query.breaker_trips = breaker.trips() - trips_before[q];
+    query.extract_cost = query_cost[q];
+  }
+
+  // Bound breaker memory under registry churn: drop entries for queries
+  // no longer registered (a re-registered query starts healthy).
+  std::unordered_set<QueryId> live_ids;
+  for (const QueryEntry& entry : snapshot.queries) {
+    live_ids.insert(entry.id);
+  }
+  for (auto it = breakers_.begin(); it != breakers_.end();) {
+    it = live_ids.count(it->first) ? std::next(it) : breakers_.erase(it);
   }
   return Status::Ok();
 }

@@ -26,10 +26,12 @@
 #ifndef DLACEP_SERVE_SERVER_H_
 #define DLACEP_SERVE_SERVER_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "runtime/online.h"
+#include "serve/breaker.h"
 #include "serve/filter.h"
 #include "serve/registry.h"
 
@@ -43,6 +45,17 @@ struct ServeConfig {
   /// forced on. An isolated run compared against a serve run must use
   /// the same explicit geometry.
   OnlineConfig online;
+  /// Per-chunk partial-match budget for every shared extraction engine
+  /// run (EngineOptions::partial_match_budget). 0 disables: no aborts,
+  /// breakers never trip, answers identical to the unbudgeted path.
+  uint64_t query_pm_budget = 0;
+  /// Per-chunk wall-clock deadline (EngineOptions::deadline_seconds).
+  /// Timing-dependent — prefer the partial-match budget when the abort
+  /// point must be deterministic.
+  double query_deadline_seconds = 0.0;
+  /// Circuit-breaker thresholds (trip_after / probe_period /
+  /// probe_passes).
+  BreakerConfig breaker;
 };
 
 /// One registered query's serving outcome.
@@ -52,6 +65,16 @@ struct QueryResult {
   MatchSet matches;
   size_t marked_events = 0;  ///< extraction input size (attributed + shared)
   bool shared = false;       ///< served from a structural twin's engine run
+  /// True when this query's match set may be incomplete: its engine
+  /// blew a budget, or its breaker kept it out of one or more chunk
+  /// runs. Matches present are always real (no false positives) — the
+  /// per-query analog of the runtime's degraded mode, except budgeted
+  /// extraction trades recall for isolation instead of falling back.
+  bool degraded = false;
+  BreakerState breaker_state = BreakerState::kHealthy;
+  uint64_t budget_aborts = 0;   ///< this Run()'s aborts charged to the query
+  uint64_t breaker_trips = 0;   ///< breaker trips during this Run()
+  uint64_t extract_cost = 0;    ///< fair-share cost units (runs + pm work)
 };
 
 /// Shared-CEP effectiveness counters for one Run().
@@ -62,6 +85,15 @@ struct SharingStats {
   size_t guard_checks = 0;    ///< witness searches executed
   size_t guard_pruned = 0;    ///< queries emptied by a witness miss
   size_t type_pruned = 0;     ///< queries emptied by type occupancy
+  /// Fair-share scheduler chunk outcomes (a unit's event span is
+  /// evaluated in overlapping window-aligned chunks; see server.cc).
+  size_t chunks_run = 0;
+  size_t chunks_skipped = 0;  ///< every runnable member was suspended
+  size_t budget_aborts = 0;   ///< chunks aborted with kBudgetExceeded
+  size_t breaker_trips = 0;   ///< trips that occurred during this Run()
+  /// Partial matches silently truncated by the legacy storage cap
+  /// across all shared engine runs (recall-loss warning signal).
+  uint64_t partial_matches_dropped = 0;
 };
 
 struct MultiQueryResult {
@@ -100,6 +132,15 @@ class MultiQueryServer {
   /// per concurrent stream (registries are shareable across servers).
   Status Run(StreamSource* source, MultiQueryResult* result);
 
+  /// The breaker for a registered query, or nullptr if it has never
+  /// been through an extraction. Breakers persist across Run() calls
+  /// (a query tripped by one stream stays suspended into the next) and
+  /// are pruned to the live registry after each extraction.
+  const QueryBreaker* breaker(QueryId id) const {
+    const auto it = breakers_.find(id);
+    return it == breakers_.end() ? nullptr : &it->second;
+  }
+
  private:
   Status ExtractShared(const RegistrySnapshot& snapshot,
                        const OnlineResult& raw, MultiQueryResult* result);
@@ -107,6 +148,7 @@ class MultiQueryServer {
   QueryRegistry* registry_;  ///< not owned
   ServeConfig config_;
   ServeFilter filter_;
+  std::map<QueryId, QueryBreaker> breakers_;
 };
 
 }  // namespace serve

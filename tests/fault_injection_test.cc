@@ -99,6 +99,40 @@ TEST(FaultSpec, RejectsUnknownAndMalformedTokens) {
   EXPECT_FALSE(ParseFaultSpec("nan_burst:abc").ok());
   EXPECT_FALSE(ParseFaultSpec("corrupt_source:1.5").ok());
   EXPECT_FALSE(ParseFaultSpec("wedge:2:-1").ok());
+  EXPECT_FALSE(ParseFaultSpec("pathological_query:4:1").ok());
+}
+
+TEST(FaultSpec, ParsesServeLayerTokens) {
+  auto plan = ParseFaultSpec("pathological_query:9:32,churn_storm:128");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().any());
+  EXPECT_TRUE(plan.value().pathological_query);
+  EXPECT_EQ(plan.value().pathological_at, 9u);
+  EXPECT_EQ(plan.value().pathological_window, 32u);
+  EXPECT_TRUE(plan.value().churn_storm);
+  EXPECT_EQ(plan.value().churn_cycles, 128u);
+
+  auto defaults = ParseFaultSpec("pathological_query,churn_storm");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().pathological_at, 6u);
+  EXPECT_EQ(defaults.value().pathological_window, 40u);
+  EXPECT_EQ(defaults.value().churn_cycles, 64u);
+}
+
+TEST(FaultSpec, PathologicalHookFiresOnceAtTriggerWindow) {
+  auto plan = ParseFaultSpec("pathological_query:6");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(plan.value());
+  int fired = 0;
+  injector.SetPathologicalHook([&fired] { ++fired; });
+  injector.OnWorkerWindow(5);
+  EXPECT_EQ(fired, 0);
+  // `>=` trigger: an out-of-order shard can mark a later window first.
+  injector.OnWorkerWindow(7);
+  EXPECT_EQ(fired, 1);
+  injector.OnWorkerWindow(6);
+  injector.OnWorkerWindow(8);
+  EXPECT_EQ(fired, 1) << "the hook must fire exactly once";
 }
 
 // ---------------------------------------------------------------------

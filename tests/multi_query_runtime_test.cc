@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -185,12 +186,9 @@ TEST(MultiQueryServing, TrainedTrunkServesHeadsIdenticalToIsolatedRuns) {
 // The full Table 1/2 census: every template byte-identical at every
 // shard count.
 
-TEST(MultiQueryServing, AllFifteenTemplatesMatchIsolatedAcrossShards) {
+std::vector<Pattern> CensusPatterns(std::shared_ptr<const Schema> s) {
   using namespace workloads;
-  const EventStream stock = GenerateStockStream(StockConfig(700, 3003));
-  auto s = stock.schema_ptr();
   const size_t w = 12;
-
   std::vector<Pattern> patterns;
   patterns.push_back(QA1(s, 4, 7, 0.9, 1.1, 3, w));
   patterns.push_back(QA2(s, 4, w));
@@ -209,6 +207,13 @@ TEST(MultiQueryServing, AllFifteenTemplatesMatchIsolatedAcrossShards) {
   // (types 0..5 stand in for A..F).
   patterns.push_back(QA1(s, 6, 6, 0.85, 1.15, 2, 16));
   patterns.push_back(QA1(s, 5, 5, 0.85, 1.15, 2, 16));
+  return patterns;
+}
+
+TEST(MultiQueryServing, AllFifteenTemplatesMatchIsolatedAcrossShards) {
+  using namespace workloads;
+  const EventStream stock = GenerateStockStream(StockConfig(700, 3003));
+  std::vector<Pattern> patterns = CensusPatterns(stock.schema_ptr());
   ASSERT_EQ(patterns.size(), 15u);
 
   PassThroughFilter pass;
@@ -221,6 +226,133 @@ TEST(MultiQueryServing, AllFifteenTemplatesMatchIsolatedAcrossShards) {
   for (const size_t shards : {1u, 2u, 4u}) {
     CheckServeMatchesIsolated(stock, patterns, &pass, nullptr, reference,
                               shards);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-query fault isolation: a budget blowup in one structural group
+// never changes any other query's match set.
+
+/// The most frequent non-blank event type — SEQ-ing several positions
+/// of it inside one window is the canonical partial-match blowup.
+TypeId HottestType(const EventStream& stream) {
+  std::vector<size_t> counts(stream.schema_ptr()->num_types(), 0);
+  for (const Event& event : stream.events()) {
+    if (!event.is_blank()) ++counts[event.type];
+  }
+  return static_cast<TypeId>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+Pattern SameTypeBlowup(std::shared_ptr<const Schema> schema,
+                       const std::string& type, size_t len, size_t window) {
+  PatternBuilder builder(std::move(schema));
+  std::vector<PatternBuilder::Node> children;
+  for (size_t i = 0; i < len; ++i) {
+    children.push_back(builder.Prim(type, "p" + std::to_string(i)));
+  }
+  return builder.BuildOrDie(builder.SeqOf(std::move(children)),
+                            WindowSpec::Count(window));
+}
+
+TEST(MultiQueryServing, BudgetAbortIsolatesToTheOffendingStructuralGroup) {
+  using namespace workloads;
+  const EventStream stock = GenerateStockStream(StockConfig(700, 3003));
+  auto s = stock.schema_ptr();
+  std::vector<Pattern> patterns = CensusPatterns(s);
+  const size_t census = patterns.size();
+  // Window 100 over a 700-event stream: the blowup unit's chunk span
+  // (8W) covers the whole stream, so its entire pm bill lands in one
+  // chunk — guaranteed past any census-safe budget.
+  patterns.push_back(
+      SameTypeBlowup(s, s->TypeName(HottestType(stock)), 4, 100));
+
+  PassThroughFilter pass;
+  const std::vector<MatchSet> reference =
+      IsolatedReferences(stock, patterns, &pass);
+  EXPECT_FALSE(reference[census].empty());
+
+  // Calibrate the budget from an unbudgeted serve: extract_cost is a
+  // unit's whole-run pm work + chunk count, so any census chunk's pm is
+  // strictly below census_max + 1 (no census abort possible), while the
+  // blowup query's cost must dwarf it (so its chunks do abort).
+  uint64_t census_max = 0;
+  uint64_t blowup_cost = 0;
+  {
+    QueryRegistry registry;
+    for (size_t q = 0; q < patterns.size(); ++q) {
+      QueryOptions options;
+      options.name = "q" + std::to_string(q);
+      ASSERT_TRUE(registry.Register(patterns[q], options).ok());
+    }
+    ServeConfig config;
+    config.online = LosslessConfig(MaxCountWindow(patterns), 0);
+    MultiQueryServer server(&registry, &pass, nullptr, config);
+    ReplaySource source(&stock);
+    MultiQueryResult result;
+    ASSERT_TRUE(server.Run(&source, &result).ok());
+    for (size_t q = 0; q < census; ++q) {
+      census_max = std::max(census_max, result.queries[q].extract_cost);
+      EXPECT_FALSE(result.queries[q].degraded) << "q" << q;
+    }
+    blowup_cost = result.queries[census].extract_cost;
+  }
+  // cost = chunk_count + pm work; the blowup unit is a single chunk, so
+  // its per-chunk pm is blowup_cost - 1 and must clear the budget.
+  ASSERT_GT(blowup_cost, census_max + 2)
+      << "blowup query not pathological enough to calibrate a budget";
+  const uint64_t budget = census_max + 1;
+
+  for (const size_t shards : {0u, 1u, 2u, 4u}) {
+    QueryRegistry registry;
+    for (size_t q = 0; q < patterns.size(); ++q) {
+      QueryOptions options;
+      options.name = "q" + std::to_string(q);
+      ASSERT_TRUE(registry.Register(patterns[q], options).ok());
+    }
+    ServeConfig config;
+    config.online = LosslessConfig(MaxCountWindow(patterns), shards);
+    config.query_pm_budget = budget;
+    config.breaker.trip_after = 1;
+    MultiQueryServer server(&registry, &pass, nullptr, config);
+    ReplaySource source(&stock);
+    MultiQueryResult result;
+    ASSERT_TRUE(server.Run(&source, &result).ok());
+    EXPECT_TRUE(result.stats.Accounted());
+    ASSERT_EQ(result.queries.size(), patterns.size());
+
+    // Every census query: exact, undegraded, untouched by the blowup.
+    for (size_t q = 0; q < census; ++q) {
+      EXPECT_FALSE(result.queries[q].degraded)
+          << "shards=" << shards << " q" << q;
+      ExpectSameMatches(result.queries[q].matches, reference[q],
+                        "budget shards=" + std::to_string(shards) +
+                            " query=" + result.queries[q].name);
+    }
+    // The blowup query: aborted, tripped, degraded — and sound (its
+    // surviving matches are a subset of the exact answer).
+    const serve::QueryResult& blown = result.queries[census];
+    EXPECT_TRUE(blown.degraded) << "shards=" << shards;
+    EXPECT_GE(blown.budget_aborts, 1u) << "shards=" << shards;
+    EXPECT_EQ(blown.breaker_state, serve::BreakerState::kTripped)
+        << "shards=" << shards;
+    EXPECT_GE(result.sharing.breaker_trips, 1u) << "shards=" << shards;
+    EXPECT_EQ(blown.matches.IntersectionSize(reference[census]),
+              blown.matches.size())
+        << "shards=" << shards << ": degraded matches must be sound";
+
+    if (shards != 0) continue;
+    // Same server, second stream: the tripped breaker persists (the
+    // blowup query starts suspended), the engines are reusable after
+    // their aborts, and the census queries stay byte-identical.
+    ReplaySource again(&stock);
+    MultiQueryResult rerun;
+    ASSERT_TRUE(server.Run(&again, &rerun).ok());
+    for (size_t q = 0; q < census; ++q) {
+      ExpectSameMatches(rerun.queries[q].matches, reference[q],
+                        "rerun query=" + rerun.queries[q].name);
+    }
+    EXPECT_TRUE(rerun.queries[census].degraded);
   }
 }
 

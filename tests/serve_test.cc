@@ -13,6 +13,7 @@
 #include "dlacep/multi_pattern.h"
 #include "dlacep/oracle_filter.h"
 #include "pattern/builder.h"
+#include "serve/breaker.h"
 #include "serve/filter.h"
 #include "serve/plan.h"
 #include "serve/registry.h"
@@ -422,6 +423,75 @@ TEST(MultiHeadServeFilter, UnionsPerQueryMarksAndRecordsAttribution) {
   }
   EXPECT_EQ(recorded.at(a.value()), strict_ids);
   EXPECT_EQ(recorded.at(b.value()), loose_ids);
+}
+
+// ---------------------------------------------------------------------
+// Circuit-breaker state machine (see serve/breaker.h).
+
+serve::BreakerConfig SmallBreaker() {
+  serve::BreakerConfig config;
+  config.trip_after = 2;
+  config.probe_period = 3;
+  config.probe_passes = 2;
+  return config;
+}
+
+TEST(QueryBreaker, TripsOnlyOnConsecutiveAborts) {
+  serve::QueryBreaker breaker(SmallBreaker());
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kHealthy);
+  EXPECT_TRUE(breaker.ShouldRun());
+
+  breaker.OnBudgetAbort();
+  breaker.OnRunOk();  // a clean run resets the streak
+  breaker.OnBudgetAbort();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kHealthy);
+  EXPECT_EQ(breaker.trips(), 0u);
+
+  breaker.OnBudgetAbort();  // second consecutive abort
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kTripped);
+  EXPECT_FALSE(breaker.ShouldRun());
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.budget_aborts(), 3u);
+}
+
+TEST(QueryBreaker, ProbeAfterSkipsThenRecoverOrRetrip) {
+  serve::QueryBreaker breaker(SmallBreaker());
+  breaker.OnBudgetAbort();
+  breaker.OnBudgetAbort();
+  ASSERT_EQ(breaker.state(), serve::BreakerState::kTripped);
+
+  // probe_period skips open the probe window.
+  breaker.OnSkipped();
+  breaker.OnSkipped();
+  EXPECT_FALSE(breaker.ShouldRun());
+  breaker.OnSkipped();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kProbing);
+  EXPECT_TRUE(breaker.ShouldRun());
+
+  // A probe that aborts re-trips immediately (no trip_after grace).
+  breaker.OnBudgetAbort();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kTripped);
+  EXPECT_EQ(breaker.trips(), 2u);
+
+  // Probe again; this time probe_passes clean runs close the breaker.
+  breaker.OnSkipped();
+  breaker.OnSkipped();
+  breaker.OnSkipped();
+  ASSERT_EQ(breaker.state(), serve::BreakerState::kProbing);
+  breaker.OnRunOk();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kProbing);
+  breaker.OnRunOk();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::kHealthy);
+  EXPECT_TRUE(breaker.ShouldRun());
+}
+
+TEST(QueryBreaker, StateNamesAreStable) {
+  EXPECT_STREQ(serve::BreakerStateName(serve::BreakerState::kHealthy),
+               "healthy");
+  EXPECT_STREQ(serve::BreakerStateName(serve::BreakerState::kTripped),
+               "tripped");
+  EXPECT_STREQ(serve::BreakerStateName(serve::BreakerState::kProbing),
+               "probing");
 }
 
 }  // namespace

@@ -47,9 +47,20 @@
 // crash-consistent snapshots, and --inject=... runs the deterministic
 // fault harness (see runtime/fault_injection.h for the spec grammar).
 //
+// Per-query fault isolation (--queries serving): --query_pm_budget /
+// --query_deadline_ms cap each shared-extraction engine chunk;
+// --breaker_trips sets the circuit breaker's consecutive-abort trip
+// threshold. A query that keeps blowing its budget is suspended alone
+// (reported degraded) while every other query keeps exact answers.
+// --inject pathological_query registers a combinatorial-blowup pattern
+// mid-run and churn_storm hammers register/unregister; replay's
+// --verify_isolated 1 re-runs each initial query in isolation and exits
+// nonzero unless non-degraded served match sets are byte-identical.
+//
 // Notes: --load restores network weights only; the featurizer is refit
 // from --train, so pass the same training stream used with --save.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -161,7 +172,13 @@ int Usage() {
                " [--restore 0|1]\n"
                "       [--inject nan_burst[:B[:C]],model_corrupt,"
                "corrupt_source[:P],\n"
-               "                wedge[:W[:S]],source_fail[:AT[:N]]]\n");
+               "                wedge[:W[:S]],source_fail[:AT[:N]],\n"
+               "                pathological_query[:AT[:W]],"
+               "churn_storm[:N]]\n"
+               "  per-query isolation flags (--queries serving):\n"
+               "       [--query_pm_budget N] [--query_deadline_ms MS]"
+               " [--breaker_trips N]\n"
+               "       [--verify_isolated 0|1]   (replay only)\n");
   return 2;
 }
 
@@ -447,6 +464,19 @@ OnlineConfig MakeOnlineConfig(const Args& args) {
   return config;
 }
 
+/// End-of-run recall-loss warning: nonzero means the engine's legacy
+/// storage cap silently truncated partial matches during extraction and
+/// the reported match sets may be missing answers.
+void WarnDroppedPartialMatches(const RuntimeStats& stats) {
+  if (stats.cep_partial_matches_dropped == 0) return;
+  std::fprintf(stderr,
+               "WARNING: %llu partial matches silently dropped by the "
+               "engine storage cap — recall may be lost; raise the cap or "
+               "set an explicit --query_pm_budget to fail loudly\n",
+               static_cast<unsigned long long>(
+                   stats.cep_partial_matches_dropped));
+}
+
 int StreamOnline(const Args& args, const Pattern& pattern,
                  std::unique_ptr<StreamSource> source) {
   const Status online_ok = OnlineDlacep::ValidateForOnline(pattern);
@@ -512,6 +542,7 @@ int StreamOnline(const Args& args, const Pattern& pattern,
   std::printf("pattern : %s\n", pattern.ToString().c_str());
   std::printf("filter  : %s\n", filter.value().filter->name().c_str());
   std::printf("%s", result.stats.ToString().c_str());
+  WarnDroppedPartialMatches(result.stats);
   size_t shown = 0;
   for (const Match& match : result.matches) {
     if (++shown > 10) {
@@ -588,7 +619,25 @@ void PrintSharing(const serve::SharingStats& sharing) {
       "%zu guard-pruned, %zu type-pruned\n",
       sharing.partitions, sharing.engines_run, sharing.engines_shared,
       sharing.guard_pruned, sharing.type_pruned);
+  if (sharing.budget_aborts > 0 || sharing.breaker_trips > 0 ||
+      sharing.chunks_skipped > 0) {
+    std::printf(
+        "isolate : %zu chunks run, %zu skipped, %zu budget aborts, "
+        "%zu breaker trips\n",
+        sharing.chunks_run, sharing.chunks_skipped, sharing.budget_aborts,
+        sharing.breaker_trips);
+  }
 }
+
+size_t MaxCountWindow(const std::vector<Pattern>& patterns) {
+  size_t w = 0;
+  for (const Pattern& pattern : patterns) {
+    w = std::max(w, pattern.window().count_size());
+  }
+  return w;
+}
+
+bool SameMatches(const MatchSet& a, const MatchSet& b);
 
 void PrintHeadline(const serve::MultiQueryResult& result) {
   std::printf("headline: %zu queries x %.0f events/s = %.0f query-events/s\n",
@@ -596,8 +645,11 @@ void PrintHeadline(const serve::MultiQueryResult& result) {
               result.query_events_per_sec());
 }
 
+/// `replay_stream` is non-null in replay mode only; --verify_isolated
+/// and the pathological hook's hottest-type scan need the raw events.
 int StreamMultiQuery(const Args& args, std::vector<Pattern> patterns,
-                     std::unique_ptr<StreamSource> source) {
+                     std::unique_ptr<StreamSource> source,
+                     const EventStream* replay_stream) {
   for (const Pattern& pattern : patterns) {
     const Status online_ok = OnlineDlacep::ValidateForOnline(pattern);
     if (!online_ok.ok()) {
@@ -605,10 +657,13 @@ int StreamMultiQuery(const Args& args, std::vector<Pattern> patterns,
       return 1;
     }
   }
-  if (args.Has("inject")) {
-    std::fprintf(stderr, "--inject is not supported with --queries\n");
+
+  auto plan = ParseFaultSpec(args.Get("inject"));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
     return 1;
   }
+  FaultInjector injector(plan.value());
 
   // Shared trunk: --filter event trains ONE network over all queries
   // (unified labels, paper section 4.3) and serves per-query heads off
@@ -669,26 +724,112 @@ int StreamMultiQuery(const Args& args, std::vector<Pattern> patterns,
 
   serve::ServeConfig config;
   config.online = MakeOnlineConfig(args);
+  config.query_pm_budget =
+      static_cast<uint64_t>(args.GetInt("query_pm_budget", 0));
+  config.query_deadline_seconds =
+      args.GetDouble("query_deadline_ms", 0.0) / 1000.0;
+  config.breaker.trip_after =
+      static_cast<uint32_t>(args.GetInt("breaker_trips", 3));
+
+  // --verify_isolated pins the explicit geometry (2W/W over the initial
+  // queries) and disables overload so the serve run and the per-query
+  // isolated reference runs are byte-comparable (CompareMulti's recipe).
+  const bool verify_isolated = args.GetInt("verify_isolated", 0) != 0;
+  if (verify_isolated) {
+    if (replay_stream == nullptr) {
+      std::fprintf(stderr, "--verify_isolated needs replay --data\n");
+      return 1;
+    }
+    const size_t w = MaxCountWindow(patterns);
+    config.online.mark_size = 2 * w;
+    config.online.step_size = w;
+    config.online.overload.enabled = false;
+  }
+
+  // Fault wiring. pathological_query parses its blowup pattern up front
+  // (a SEQ of four hottest-type positions — argmax over the replay
+  // stream when available, else type 0) so a bad spec fails before the
+  // run; the hook just registers it from the worker thread.
+  std::unique_ptr<Pattern> pathological;
+  if (plan.value().any()) {
+    std::printf("injecting faults: %s\n", args.Get("inject").c_str());
+    injector.InstallNanHook();
+    source = injector.WrapSource(std::move(source));
+    config.online.worker_window_hook = [&injector](uint64_t seq) {
+      injector.OnWorkerWindow(seq);
+    };
+    if (plan.value().model_corrupt) {
+      TrainableFilter* trainable =
+          multi != nullptr
+              ? dynamic_cast<TrainableFilter*>(
+                    const_cast<EventNetworkFilter*>(heads))
+              : base.trainable;
+      if (trainable != nullptr) {
+        CorruptParams(trainable);
+      } else {
+        std::printf("  (model_corrupt: filter has no parameters, skipped)\n");
+      }
+    }
+    if (plan.value().pathological_query) {
+      std::shared_ptr<const Schema> schema = source->schema();
+      TypeId hottest = 0;
+      if (replay_stream != nullptr && schema->num_types() > 0) {
+        std::vector<uint64_t> counts(schema->num_types(), 0);
+        for (const Event& event : replay_stream->events()) {
+          if (!event.is_blank()) ++counts[event.type];
+        }
+        hottest = static_cast<TypeId>(
+            std::max_element(counts.begin(), counts.end()) - counts.begin());
+      }
+      const std::string type = schema->TypeName(hottest);
+      const std::string text =
+          "SEQ(" + type + " a, " + type + " b, " + type + " c, " + type +
+          " d) WITHIN " + std::to_string(plan.value().pathological_window) +
+          " EVENTS";
+      auto parsed = ParsePattern(text, schema);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "pathological_query: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      pathological = std::make_unique<Pattern>(std::move(parsed.value()));
+      injector.SetPathologicalHook([&args, &registry, &pathological] {
+        serve::QueryOptions options;
+        options.name = "pathological";
+        options.engine = ParseEngineKind(args);
+        (void)registry.Register(*pathological, options);
+      });
+    }
+  }
+
   serve::MultiQueryServer server(&registry, base_filter, heads, config);
 
   // --churn_every_ms: register/unregister a clone of query 0 on a cadence
   // while the stream drains — the RCU snapshot swap under live traffic.
+  // churn_storm injection drops the pacing and hammers the registry for
+  // a fixed number of cycles instead.
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> churn_cycles{0};
   std::thread churn;
   const double churn_ms = args.GetDouble("churn_every_ms", 0.0);
-  if (churn_ms > 0) {
-    churn = std::thread([&] {
+  const bool storm = plan.value().churn_storm;
+  if (churn_ms > 0 || storm) {
+    churn = std::thread([&, storm] {
       const auto half =
           std::chrono::duration<double, std::milli>(churn_ms / 2);
       while (!stop.load(std::memory_order_relaxed)) {
+        if (storm &&
+            churn_cycles.load(std::memory_order_relaxed) >=
+                plan.value().churn_cycles) {
+          break;
+        }
         serve::QueryOptions options;
         options.name = "churn";
         auto id = registry.Register(patterns[0], options);
-        std::this_thread::sleep_for(half);
+        if (!storm) std::this_thread::sleep_for(half);
         if (id.ok()) (void)registry.Unregister(id.value());
         churn_cycles.fetch_add(1, std::memory_order_relaxed);
-        std::this_thread::sleep_for(half);
+        if (!storm) std::this_thread::sleep_for(half);
       }
     });
   }
@@ -709,18 +850,72 @@ int StreamMultiQuery(const Args& args, std::vector<Pattern> patterns,
 
   std::printf("queries : %zu registered\n", patterns.size());
   for (const serve::QueryResult& query : result.queries) {
-    std::printf("  %-8s: matches=%zu marked=%zu%s\n", query.name.c_str(),
-                query.matches.size(), query.marked_events,
-                query.shared ? " (shared engine)" : "");
+    std::printf("  %-8s: matches=%zu marked=%zu cost=%llu%s%s\n",
+                query.name.c_str(), query.matches.size(),
+                query.marked_events,
+                static_cast<unsigned long long>(query.extract_cost),
+                query.shared ? " (shared engine)" : "",
+                query.degraded ? " DEGRADED" : "");
+    if (query.breaker_state != serve::BreakerState::kHealthy ||
+        query.budget_aborts > 0) {
+      std::printf("            breaker=%s trips=%llu aborts=%llu\n",
+                  serve::BreakerStateName(query.breaker_state),
+                  static_cast<unsigned long long>(query.breaker_trips),
+                  static_cast<unsigned long long>(query.budget_aborts));
+    }
   }
   if (churn_cycles.load() > 0) {
     std::printf("churn   : %llu register/unregister cycles\n",
                 static_cast<unsigned long long>(churn_cycles.load()));
   }
   std::printf("%s", result.stats.ToString().c_str());
+  WarnDroppedPartialMatches(result.stats);
   PrintSharing(result.sharing);
   PrintHeadline(result);
-  return result.stats.Accounted() ? 0 : 1;
+
+  int exit_code = result.stats.Accounted() ? 0 : 1;
+  if (verify_isolated) {
+    // Re-run every initial query alone through the single-query runtime
+    // (same filter, same explicit geometry, no budget) and compare.
+    // Non-degraded queries must be byte-identical — the isolation
+    // contract; degraded queries must still be a subset (no false
+    // positives). Mid-run registrations (churn, pathological) have no
+    // whole-stream reference and are skipped.
+    std::printf("\nisolated cross-check:\n");
+    bool all_ok = true;
+    for (size_t q = 0; q < patterns.size(); ++q) {
+      const std::string name = "q" + std::to_string(q);
+      const serve::QueryResult* served = nullptr;
+      for (const serve::QueryResult& query : result.queries) {
+        if (query.name == name) {
+          served = &query;
+          break;
+        }
+      }
+      if (served == nullptr) continue;  // unregistered mid-run
+      const StreamFilter* isolated_filter =
+          heads != nullptr ? heads : base_filter;
+      OnlineConfig alone_config = config.online;
+      alone_config.worker_window_hook = nullptr;
+      OnlineDlacep alone(patterns[q], isolated_filter, alone_config);
+      ReplaySource alone_source(replay_stream);
+      const OnlineResult isolated = alone.Run(&alone_source);
+      const bool equal = SameMatches(served->matches, isolated.matches);
+      const bool subset =
+          served->matches.IntersectionSize(isolated.matches) ==
+          served->matches.size();
+      const bool ok = served->degraded ? subset : equal;
+      all_ok = all_ok && ok;
+      std::printf("  %-8s: served=%zu isolated=%zu %s%s\n", name.c_str(),
+                  served->matches.size(), isolated.matches.size(),
+                  served->degraded ? (subset ? "subset" : "NOT-SUBSET")
+                                   : (equal ? "identical" : "DIFFER"),
+                  served->degraded ? " (degraded)" : "");
+    }
+    std::printf("isolated identical : %s\n", all_ok ? "yes" : "NO");
+    if (!all_ok) exit_code = 1;
+  }
+  return exit_code;
 }
 
 bool SameMatches(const MatchSet& a, const MatchSet& b) {
@@ -818,7 +1013,7 @@ int Replay(const Args& args) {
     auto source = std::make_unique<ReplaySource>(
         &stream.value(), args.GetDouble("rate", 0.0));
     return StreamMultiQuery(args, std::move(patterns.value()),
-                            std::move(source));
+                            std::move(source), &stream.value());
   }
   auto pattern = ParsePattern(args.Get("query"), stream.value().schema_ptr());
   if (!pattern.ok()) {
@@ -844,7 +1039,7 @@ int Serve(const Args& args) {
       return 1;
     }
     return StreamMultiQuery(args, std::move(patterns.value()),
-                            std::move(source));
+                            std::move(source), /*replay_stream=*/nullptr);
   }
   auto pattern = ParsePattern(args.Get("query"), source->schema());
   if (!pattern.ok()) {
