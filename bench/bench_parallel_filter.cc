@@ -26,10 +26,14 @@
 #include <cstdio>
 #include <thread>
 
+#include "cep/adaptive_engine.h"
+#include "cep/engine.h"
 #include "obs/metrics.h"
 #include "obs/stages.h"
+#include "pattern/builder.h"
 #include "runtime/online.h"
 #include "runtime/source.h"
+#include "stream/stocksim.h"
 #include "workloads/queries_a.h"
 #include "workloads/recipes.h"
 #include "workloads/report.h"
@@ -347,6 +351,76 @@ void SweepMetricsOverhead(const std::string& label, const Pattern& pattern,
   JsonReport::Metric(key, "overhead_pct", overhead_pct);
 }
 
+/// Adaptive engine-selection gate on the Zipf-skewed stock workload:
+/// SEQ(hot, hot, rare) with band conditions. In chain order the NFA
+/// opens a partial match at nearly every hot event, while the lazy
+/// engine's frequency-ordered chain anchors on the rare tail type and
+/// touches only a fraction of the candidates — so the static engines
+/// are far apart by construction, and the adaptive engine's cost model
+/// must find the cheap one. CI gates the "adaptive-gate engine=..."
+/// rows: adaptive events_per_sec >= 0.9x the best static engine and
+/// >= 1.2x the worst (the cost of picking wrong).
+void SweepEngines() {
+  const EventStream stream = GenerateStockStream(StockConfig(30000, 4242));
+  PatternBuilder b(stream.schema_ptr());
+  std::vector<PatternBuilder::Node> children;
+  children.push_back(b.PrimAnyOfIds(TopK(3), "s1"));
+  children.push_back(b.PrimAnyOfIds(TopK(3), "s2"));
+  children.push_back(b.PrimAnyOfIds(RankRange(40, 50), "s3"));
+  auto root = b.SeqOf(std::move(children));
+  b.Where(MakeBandCondition(b.Var("s3"), 0, b.Var("s1"), 0, 0.9, 1.1));
+  b.Where(MakeBandCondition(b.Var("s3"), 0, b.Var("s2"), 0, 0.9, 1.1));
+  const Pattern pattern =
+      b.BuildOrDie(std::move(root), WindowSpec::Count(30));
+
+  const std::span<const Event> span(stream.events().data(), stream.size());
+  constexpr EngineKind kKinds[] = {EngineKind::kNfa, EngineKind::kTree,
+                                   EngineKind::kLazy, EngineKind::kAdaptive};
+  MatchSet reference;
+  bool have_reference = false;
+  for (const EngineKind kind : kKinds) {
+    double best_seconds = 0.0;
+    bool identical = true;
+    size_t match_count = 0;
+    std::string selected;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      auto engine = CreateEngine(kind, pattern);
+      DLACEP_CHECK_MSG(engine.ok(), engine.status().ToString());
+      MatchSet matches;
+      const Status status = engine.value()->Evaluate(span, &matches);
+      DLACEP_CHECK_MSG(status.ok(), status.ToString());
+      const double seconds = engine.value()->stats().elapsed_seconds;
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      match_count = matches.size();
+      if (!have_reference) {
+        reference = matches;
+        have_reference = true;
+      }
+      identical = identical && matches.size() == reference.size() &&
+                  matches.IntersectionSize(reference) == reference.size();
+      if (kind == EngineKind::kAdaptive) {
+        selected = EngineKindName(
+            static_cast<AdaptiveEngine*>(engine.value().get())
+                ->selected_kind());
+      }
+    }
+    const double events_per_sec =
+        static_cast<double>(stream.size()) / std::max(best_seconds, 1e-9);
+    std::printf("%-28s engine=%-12s  eval=%8.4fs  %9.0f ev/s  "
+                "matches=%zu  identical=%s%s%s\n",
+                "adaptive-gate", EngineKindName(kind), best_seconds,
+                events_per_sec, match_count, identical ? "yes" : "NO",
+                selected.empty() ? "" : "  selected=", selected.c_str());
+    std::fflush(stdout);
+    const std::string key =
+        std::string("adaptive-gate engine=") + EngineKindName(kind);
+    JsonReport::Metric(key, "eval_seconds", best_seconds);
+    JsonReport::Metric(key, "events_per_sec", events_per_sec);
+    JsonReport::Metric(key, "matches", static_cast<double>(match_count));
+    JsonReport::Metric(key, "identical", identical ? 1.0 : 0.0);
+  }
+}
+
 int Run() {
   const EventStream train = GenerateStockStream(StockConfig(6000, 1001));
   const EventStream test = GenerateStockStream(StockConfig(3000, 2002));
@@ -358,6 +432,9 @@ int Run() {
 
   std::printf("=== Parallel filtration sweep (hardware threads: %u) ===\n",
               std::thread::hardware_concurrency());
+
+  std::printf("--- engine sweep: Zipf-skewed stock workload ---\n");
+  SweepEngines();
 
   {
     const Pattern pattern = QA1(s, 4, 4, 0.9, 1.1, 3, w);

@@ -1,5 +1,6 @@
 #include "cep/engine.h"
 
+#include "cep/adaptive_engine.h"
 #include "cep/lazy_engine.h"
 #include "cep/nfa_engine.h"
 #include "cep/tree_engine.h"
@@ -23,6 +24,7 @@ const char* EngineKindName(EngineKind kind) {
     case EngineKind::kNfa: return "nfa";
     case EngineKind::kTree: return "zstream-tree";
     case EngineKind::kLazy: return "lazy";
+    case EngineKind::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -42,6 +44,11 @@ StatusOr<std::unique_ptr<CepEngine>> CreateEngine(
     }
     case EngineKind::kLazy: {
       auto engine = LazyEngine::Create(pattern, options);
+      if (!engine.ok()) return engine.status();
+      return std::unique_ptr<CepEngine>(std::move(engine).value());
+    }
+    case EngineKind::kAdaptive: {
+      auto engine = AdaptiveEngine::Create(pattern, options);
       if (!engine.ok()) return engine.status();
       return std::unique_ptr<CepEngine>(std::move(engine).value());
     }

@@ -40,11 +40,24 @@ struct EngineStats {
   /// Evaluate() calls aborted with kBudgetExceeded (partial-match budget
   /// or wall-clock deadline). The engine stays reusable after an abort.
   uint64_t budget_aborts = 0;
+  /// Evaluate() calls completed or aborted — the denominator of the
+  /// per-evaluate work estimate the adaptive selector's cost model
+  /// consumes.
+  uint64_t evaluations = 0;
   double elapsed_seconds = 0.0;
 
   double throughput() const {
     return Throughput(static_cast<double>(events_processed),
                       elapsed_seconds);
+  }
+
+  /// Observed work (extension attempts + stored partials) per Evaluate()
+  /// call; 0 until the engine has run once.
+  double work_per_evaluate() const {
+    return evaluations == 0
+               ? 0.0
+               : static_cast<double>(transitions + partial_matches) /
+                     static_cast<double>(evaluations);
   }
 };
 
@@ -69,9 +82,10 @@ class CepEngine {
 };
 
 enum class EngineKind {
-  kNfa,    ///< skip-till-any-match NFA (the baseline ECEP mechanism)
-  kTree,   ///< ZStream-style cost-based tree engine
-  kLazy,   ///< lazy (frequency-ordered) evaluation
+  kNfa,       ///< skip-till-any-match NFA (the baseline ECEP mechanism)
+  kTree,      ///< ZStream-style cost-based tree engine
+  kLazy,      ///< lazy (frequency-ordered) evaluation
+  kAdaptive,  ///< runtime-adaptive selection over the static engines
 };
 
 const char* EngineKindName(EngineKind kind);
@@ -97,6 +111,19 @@ struct EngineOptions {
   /// Sample size for selectivity estimation (tree engine cost model).
   size_t selectivity_samples = 1000;
   uint64_t seed = 42;
+
+  // --- Adaptive selection (EngineKind::kAdaptive) --------------------
+  /// Windows observed between cost-model re-evaluations (the "K" of the
+  /// online reselection cadence). Also the decay period of the type
+  /// frequency estimator.
+  size_t adaptive_reselect_windows = 16;
+  /// A challenger engine must undercut the incumbent's modelled cost by
+  /// this factor before the selector switches — hysteresis against
+  /// flapping on near-ties.
+  double adaptive_hysteresis = 0.9;
+  /// Label for dlacep_engine_selected_total{engine,pattern}; callers
+  /// that serve several patterns set a distinguishing name here.
+  std::string pattern_label = "query";
 };
 
 /// Per-Evaluate() cooperative budget tracker shared by all engines.

@@ -1,0 +1,80 @@
+// Runtime per-type frequency estimation for lazy chain ordering and the
+// adaptive engine selector.
+//
+// The estimator keeps one decayed count per event type: Observe() adds
+// the event's weight, Decay() multiplies every count by a fixed factor.
+// The adaptive selector calls Decay() once per reselection period, so
+// recent traffic dominates while the estimate never forgets a type
+// entirely. Everything is plain counter arithmetic on an ordered map —
+// no wall clock, no randomness — so two runs fed the same event
+// sequence produce bit-identical estimates, which is what keeps
+// adaptive engine selection (and checkpoint resume) deterministic.
+
+#ifndef DLACEP_CEP_FREQUENCY_H_
+#define DLACEP_CEP_FREQUENCY_H_
+
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace dlacep {
+
+class TypeFrequencyEstimator {
+ public:
+  explicit TypeFrequencyEstimator(double decay = 0.5) : decay_(decay) {}
+
+  void Observe(TypeId type, double weight = 1.0) {
+    counts_[type] += weight;
+    total_ += weight;
+  }
+
+  /// Adds one count per non-blank event in `events`.
+  void ObserveSpan(std::span<const Event> events) {
+    for (const Event& e : events) {
+      if (!e.is_blank()) Observe(e.type);
+    }
+  }
+
+  /// Halves (by default) every count; called once per estimation period.
+  void Decay() {
+    total_ = 0.0;
+    for (auto& [type, count] : counts_) {
+      count *= decay_;
+      total_ += count;
+    }
+  }
+
+  double count(TypeId type) const {
+    const auto it = counts_.find(type);
+    return it == counts_.end() ? 0.0 : it->second;
+  }
+
+  double total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+
+  /// Deterministic (type-ascending) snapshot, checkpoint-serializable.
+  std::vector<std::pair<int32_t, double>> Snapshot() const {
+    return {counts_.begin(), counts_.end()};
+  }
+
+  void Restore(std::span<const std::pair<int32_t, double>> entries) {
+    counts_.clear();
+    total_ = 0.0;
+    for (const auto& [type, count] : entries) {
+      counts_[type] = count;
+      total_ += count;
+    }
+  }
+
+ private:
+  double decay_;
+  double total_ = 0.0;
+  std::map<TypeId, double> counts_;  ///< ordered for determinism
+};
+
+}  // namespace dlacep
+
+#endif  // DLACEP_CEP_FREQUENCY_H_

@@ -37,8 +37,9 @@ namespace {
 class LazySearch {
  public:
   LazySearch(const LinearPlan& plan, const Pattern& pattern,
-             std::span<const Event> events, EngineStats* stats,
-             MatchSet* out, EngineBudget* budget)
+             std::span<const Event> events,
+             const std::vector<std::pair<int32_t, double>>& frequencies,
+             EngineStats* stats, MatchSet* out, EngineBudget* budget)
       : plan_(plan),
         pattern_(pattern),
         events_(events),
@@ -57,14 +58,31 @@ class LazySearch {
       }
     }
     // Lazy evaluation order: ascending frequency of the position's
-    // accepted types.
+    // accepted types. With an external estimate installed the chain is
+    // ordered by the estimated per-position rate (the decayed runtime
+    // counts outlive any one span); otherwise the span's own bucket
+    // sizes stand in. Both orderings are deterministic (stable sort,
+    // position index breaking ties) and affect pruning only.
     order_.resize(plan_.num_positions());
     for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-    std::stable_sort(order_.begin(), order_.end(),
-                     [&](size_t a, size_t b) {
-                       return candidates_[a].size() <
-                              candidates_[b].size();
-                     });
+    if (frequencies.empty()) {
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](size_t a, size_t b) {
+                         return candidates_[a].size() <
+                                candidates_[b].size();
+                       });
+    } else {
+      std::vector<double> weight(plan_.num_positions(), 0.0);
+      for (size_t p = 0; p < plan_.num_positions(); ++p) {
+        for (const auto& [type, count] : frequencies) {
+          if (plan_.positions[p].Matches(type)) weight[p] += count;
+        }
+      }
+      std::stable_sort(order_.begin(), order_.end(),
+                       [&](size_t a, size_t b) {
+                         return weight[a] < weight[b];
+                       });
+    }
   }
 
   void Run() { Rec(0); }
@@ -133,7 +151,14 @@ class LazySearch {
     for (; it != bucket.end() && (*it)->id <= ub; ++it) {
       if (!budget_->OnWork()) return;
       const Event* e = *it;
-      if (AlreadyBound(e)) continue;
+      // Each examined candidate is one chain step; it either prunes or
+      // survives as a search node, so (like the NFA's edge traversals)
+      // transitions == partial_matches + partial_matches_pruned.
+      ++stats_->transitions;
+      if (AlreadyBound(e)) {
+        ++stats_->partial_matches_pruned;
+        continue;
+      }
       if (window.kind == WindowKind::kTime) {
         bool ok = true;
         for (const Event* b : bound_) {
@@ -143,7 +168,10 @@ class LazySearch {
             break;
           }
         }
-        if (!ok) continue;
+        if (!ok) {
+          ++stats_->partial_matches_pruned;
+          continue;
+        }
       }
       binding_.Bind(pos.var, e);
       bound_[p] = e;
@@ -167,6 +195,8 @@ class LazySearch {
         ++stats_->partial_matches;  // a surviving search node
         if (!budget_->OnPartialMatch()) return;
         Rec(order_index + 1);
+      } else {
+        ++stats_->partial_matches_pruned;
       }
       bound_[p] = nullptr;
       binding_.Unbind(pos.var);
@@ -190,7 +220,8 @@ class LazySearch {
 void LazyEngine::EvaluatePlan(const LinearPlan& plan,
                               std::span<const Event> events, MatchSet* out,
                               EngineBudget* budget) {
-  LazySearch search(plan, pattern_, events, &stats_, out, budget);
+  LazySearch search(plan, pattern_, events, type_frequencies_, &stats_, out,
+                    budget);
   search.Run();
 }
 
@@ -207,6 +238,7 @@ Status LazyEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
     if (budget.exceeded()) break;
   }
   stats_.events_processed += events.size();
+  ++stats_.evaluations;
   stats_.elapsed_seconds += watch.ElapsedSeconds();
   if (budget.exceeded()) {
     ++stats_.budget_aborts;

@@ -8,12 +8,21 @@
 // type frequency, and runs a backtracking join in that order; each search
 // node (candidate binding extension) counts as a partial match.
 //
+// Chain ordering: by default each Evaluate() orders positions by the
+// candidate-bucket sizes of the span at hand. A caller running a
+// longer-lived frequency estimate (the adaptive selector's decayed
+// per-type counts) can instead install it with SetTypeFrequencies();
+// the chain is then reordered by the estimated rate of each position's
+// accepted types — the lazy chain-automaton reordering step. Either
+// ordering only changes how the search is pruned, never the match set.
+//
 // Supported pattern class: same as the tree engine — DISJ branches of
 // SEQ / CONJ over primitives.
 
 #ifndef DLACEP_CEP_LAZY_ENGINE_H_
 #define DLACEP_CEP_LAZY_ENGINE_H_
 
+#include <utility>
 #include <vector>
 
 #include "cep/engine.h"
@@ -29,6 +38,14 @@ class LazyEngine : public CepEngine {
 
   Status Evaluate(std::span<const Event> events, MatchSet* out) override;
 
+  /// Installs (replaces) the external per-type frequency estimate that
+  /// drives chain ordering; an empty vector reverts to per-span bucket
+  /// sizes. Entries are (type, decayed count), types unique.
+  void SetTypeFrequencies(
+      std::vector<std::pair<int32_t, double>> frequencies) {
+    type_frequencies_ = std::move(frequencies);
+  }
+
  private:
   LazyEngine(Pattern pattern, EngineOptions options);
 
@@ -38,6 +55,7 @@ class LazyEngine : public CepEngine {
   Pattern pattern_;
   EngineOptions options_;
   std::vector<LinearPlan> plans_;
+  std::vector<std::pair<int32_t, double>> type_frequencies_;
 };
 
 }  // namespace dlacep

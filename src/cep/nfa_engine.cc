@@ -204,6 +204,7 @@ Status NfaEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
     if (budget.exceeded()) break;
   }
   stats_.events_processed += events.size();
+  ++stats_.evaluations;
   stats_.elapsed_seconds += watch.ElapsedSeconds();
   if (budget.exceeded()) {
     ++stats_.budget_aborts;

@@ -158,6 +158,12 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
     const PlanPosition& pos = plan.positions[node.lo];
     for (const Event& e : events) {
       if (!pos.Matches(e.type)) continue;
+      // Each type-matching leaf candidate is one transition; it either
+      // prunes on its leaf conditions or becomes a stored item, so
+      // transitions == partial_matches + partial_matches_pruned holds
+      // for the tree engine with transitions counting leaf candidates
+      // plus join probes.
+      ++stats_.transitions;
       Item item;
       item.binding = Binding(pattern_.num_vars());
       item.binding.Bind(pos.var, &e);
@@ -170,7 +176,10 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
           break;
         }
       }
-      if (!pass) continue;
+      if (!pass) {
+        ++stats_.partial_matches_pruned;
+        continue;
+      }
       ++stats_.partial_matches;
       if (!budget->OnPartialMatch()) return out;
       out.push_back(std::move(item));
@@ -190,13 +199,22 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
     if (budget->exceeded()) return out;
     for (const Item& r : right) {
       if (!budget->OnWork()) return out;
-      if (tree.ordered && l.max_id >= r.min_id) continue;
+      // Every join probe is one transition; every rejection below is a
+      // prune, keeping the work identity exact for join nodes too.
+      ++stats_.transitions;
+      if (tree.ordered && l.max_id >= r.min_id) {
+        ++stats_.partial_matches_pruned;
+        continue;
+      }
       Item item;
       item.min_id = std::min(l.min_id, r.min_id);
       item.max_id = std::max(l.max_id, r.max_id);
       item.min_ts = std::min(l.min_ts, r.min_ts);
       item.max_ts = std::max(l.max_ts, r.max_ts);
-      if (!fits_window(item)) continue;
+      if (!fits_window(item)) {
+        ++stats_.partial_matches_pruned;
+        continue;
+      }
       item.binding = l.binding;
       for (size_t v = 0; v < r.binding.slots.size(); ++v) {
         for (const Event* e : r.binding.slots[v]) {
@@ -207,6 +225,7 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
       // must contribute its own event.
       if (!tree.ordered &&
           MatchFromBinding(item.binding).ids.size() != merged_positions) {
+        ++stats_.partial_matches_pruned;
         continue;
       }
       bool pass = true;
@@ -216,7 +235,10 @@ std::vector<TreeEngine::Item> TreeEngine::EvalNode(
           break;
         }
       }
-      if (!pass) continue;
+      if (!pass) {
+        ++stats_.partial_matches_pruned;
+        continue;
+      }
       ++stats_.partial_matches;
       if (!budget->OnPartialMatch()) return out;
       if (out.size() < options_.max_partial_matches) {
@@ -273,6 +295,7 @@ Status TreeEngine::Evaluate(std::span<const Event> events, MatchSet* out) {
     if (budget.exceeded()) break;
   }
   stats_.events_processed += events.size();
+  ++stats_.evaluations;
   stats_.elapsed_seconds += watch.ElapsedSeconds();
   if (budget.exceeded()) {
     ++stats_.budget_aborts;

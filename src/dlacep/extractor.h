@@ -12,8 +12,10 @@
 #define DLACEP_DLACEP_EXTRACTOR_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "cep/adaptive_engine.h"
 #include "cep/engine.h"
 #include "pattern/pattern.h"
 
@@ -22,7 +24,10 @@ namespace dlacep {
 class CepExtractor {
  public:
   /// `engine_kind` defaults to the NFA engine; Fig 12 style setups may
-  /// plug the tree or lazy engine instead.
+  /// plug the tree, lazy, or adaptive engine instead. With
+  /// EngineKind::kAdaptive the selector's decisions are published to
+  /// dlacep_engine_selected_total{engine,pattern} under
+  /// options.pattern_label.
   CepExtractor(const Pattern& pattern,
                EngineKind engine_kind = EngineKind::kNfa,
                const EngineOptions& options = EngineOptions{});
@@ -31,11 +36,24 @@ class CepExtractor {
   /// matches. The returned set is merged into `out`.
   Status Extract(std::vector<const Event*> marked, MatchSet* out);
 
+  /// Feeds one closed assembler window into the adaptive selector's
+  /// frequency estimator (no-op for static engines). The online runtime
+  /// calls this from the router so observation order — and therefore
+  /// the selection trail — is deterministic at every shard count.
+  void ObserveWindow(std::span<const Event> events) {
+    if (adaptive_ != nullptr) adaptive_->ObserveWindow(events);
+  }
+
   const EngineStats& stats() const { return engine_->stats(); }
   void ResetStats() { engine_->ResetStats(); }
 
+  /// Non-null iff the extractor runs the adaptive engine.
+  AdaptiveEngine* adaptive() { return adaptive_; }
+  const AdaptiveEngine* adaptive() const { return adaptive_; }
+
  private:
   std::unique_ptr<CepEngine> engine_;
+  AdaptiveEngine* adaptive_ = nullptr;  ///< typed alias, not owned
 };
 
 }  // namespace dlacep

@@ -153,6 +153,17 @@ Counter* CepBudgetAborts(const std::string& engine) {
   return Cep("budget_aborts", engine);
 }
 
+// Selection decisions are per (engine, pattern) and happen once per
+// reselection period, not per event — the registry find-or-create per
+// call is fine.
+Counter* EngineSelected(const std::string& engine,
+                        const std::string& pattern) {
+  return MetricsRegistry::Global().GetCounter(
+      "dlacep_engine_selected_total",
+      {{"engine", engine}, {"pattern", pattern}},
+      "Adaptive engine-selection decisions by chosen engine");
+}
+
 namespace {
 
 // Shard label values are small dense integers; cache the resolved
@@ -380,7 +391,7 @@ void TouchStandardMetrics() {
   OverloadTransitions(0, 3);
   OverloadTransitions(3, 0);
 
-  for (const char* engine : {"nfa", "zstream-tree", "lazy"}) {
+  for (const char* engine : {"nfa", "zstream-tree", "lazy", "adaptive"}) {
     CepEvents(engine);
     CepPartialMatches(engine);
     CepPartialMatchesPruned(engine);
@@ -388,6 +399,7 @@ void TouchStandardMetrics() {
     CepMatches(engine);
     CepPartialMatchesDropped(engine);
     CepBudgetAborts(engine);
+    EngineSelected(engine, "default");
   }
 
   NnBatchWindows();

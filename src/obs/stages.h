@@ -87,6 +87,12 @@ Counter* CepPartialMatchesDropped(const std::string& engine);
 /// dlacep_cep_budget_aborts_total{engine}: Evaluate() calls aborted
 /// with kBudgetExceeded under a cooperative engine budget.
 Counter* CepBudgetAborts(const std::string& engine);
+/// dlacep_engine_selected_total{engine,pattern}: adaptive-selection
+/// decisions — one increment per cost-model (re)evaluation, labelled
+/// with the engine it settled on, so the decision trail of an adaptive
+/// run is observable and replayable from a scrape.
+Counter* EngineSelected(const std::string& engine,
+                        const std::string& pattern);
 
 // --- Sharded runtime (labelled {shard="k"}) --------------------------
 // dlacep_shard_windows_total{shard}: windows marked by shard k.

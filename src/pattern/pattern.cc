@@ -247,17 +247,18 @@ void RenderNode(const PatternNode& node, const Schema& schema,
                 const std::vector<VarInfo>& vars, std::ostringstream* out) {
   switch (node.kind) {
     case OpKind::kPrimitive: {
+      // Rendered as re-parseable PQL: ParsePattern(ToString()) must
+      // accept the output (pinned by the grammar fuzz test), so every
+      // type of an ANY position is spelled out.
       if (node.types.size() == 1) {
         *out << schema.TypeName(node.types[0]);
-      } else if (node.types.size() <= 4) {
+      } else {
         *out << "ANY(";
         for (size_t i = 0; i < node.types.size(); ++i) {
-          if (i > 0) *out << ',';
+          if (i > 0) *out << ", ";
           *out << schema.TypeName(node.types[i]);
         }
         *out << ')';
-      } else {
-        *out << "ANY<" << node.types.size() << " types>";
       }
       if (node.var >= 0 && static_cast<size_t>(node.var) < vars.size()) {
         *out << ' ' << vars[static_cast<size_t>(node.var)].name;
@@ -334,7 +335,7 @@ std::string Pattern::ToString() const {
     }
   }
   out << " WITHIN " << window_.size
-      << (window_.kind == WindowKind::kCount ? " events" : " time units");
+      << (window_.kind == WindowKind::kCount ? " EVENTS" : " TIME");
   return out.str();
 }
 

@@ -14,7 +14,10 @@ namespace dlacep {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'L', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+// v2 appends the adaptive engine-selection block; v1 files (no block)
+// still load, restoring has_adaptive == 0.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 // Bounds applied before any allocation driven by file contents.
 constexpr uint64_t kMaxVecLen = 1ull << 32;
@@ -37,9 +40,14 @@ void AppendEvent(std::string* buf, const Event& e) {
   AppendRaw(buf, e.attrs.data(), e.attrs.size() * sizeof(double));
 }
 
-void AppendIdVec(std::string* buf, const std::vector<uint64_t>& v) {
+template <typename T>
+void AppendFlatVec(std::string* buf, const std::vector<T>& v) {
   AppendScalar<uint64_t>(buf, v.size());
-  AppendRaw(buf, v.data(), v.size() * sizeof(uint64_t));
+  AppendRaw(buf, v.data(), v.size() * sizeof(T));
+}
+
+void AppendIdVec(std::string* buf, const std::vector<uint64_t>& v) {
+  AppendFlatVec(buf, v);
 }
 
 void AppendEventVec(std::string* buf, const std::vector<Event>& v) {
@@ -78,12 +86,15 @@ class Reader {
     return true;
   }
 
-  bool ReadIdVec(std::vector<uint64_t>* out) {
+  template <typename T>
+  bool ReadFlatVec(std::vector<T>* out) {
     uint64_t n = 0;
     if (!ReadScalar(&n) || n > kMaxVecLen) return false;
     out->resize(n);
-    return Read(out->data(), n * sizeof(uint64_t));
+    return Read(out->data(), n * sizeof(T));
   }
+
+  bool ReadIdVec(std::vector<uint64_t>* out) { return ReadFlatVec(out); }
 
   bool ReadEventVec(std::vector<Event>* out) {
     uint64_t n = 0;
@@ -136,10 +147,18 @@ std::string SerializePayload(const CheckpointState& s) {
   AppendScalar<int32_t>(&p, s.controller_level);
   AppendScalar<uint64_t>(&p, s.probe_pass_run);
   AppendScalar<uint64_t>(&p, s.degraded_since_probe);
+  // v2: adaptive engine-selection block.
+  AppendScalar<uint8_t>(&p, s.has_adaptive);
+  AppendScalar<int32_t>(&p, s.adaptive_selected);
+  AppendScalar<uint64_t>(&p, s.adaptive_windows_observed);
+  AppendScalar<uint64_t>(&p, s.adaptive_switches);
+  AppendScalar<uint8_t>(&p, s.adaptive_external_feed);
+  AppendFlatVec(&p, s.adaptive_freq_types);
+  AppendFlatVec(&p, s.adaptive_freq_counts);
   return p;
 }
 
-bool ParsePayload(Reader* r, CheckpointState* s) {
+bool ParsePayload(Reader* r, uint32_t version, CheckpointState* s) {
   return r->ReadScalar(&s->mark_size) && r->ReadScalar(&s->step_size) &&
          r->ReadScalar(&s->appended) && r->ReadScalar(&s->next_begin) &&
          r->ReadScalar(&s->windows_dispatched) &&
@@ -161,7 +180,18 @@ bool ParsePayload(Reader* r, CheckpointState* s) {
          r->ReadScalar(&s->drift_flags) &&
          r->ReadScalar(&s->controller_level) &&
          r->ReadScalar(&s->probe_pass_run) &&
-         r->ReadScalar(&s->degraded_since_probe) && r->AtEnd();
+         r->ReadScalar(&s->degraded_since_probe) &&
+         (version < 2 ||
+          (r->ReadScalar(&s->has_adaptive) &&
+           r->ReadScalar(&s->adaptive_selected) &&
+           r->ReadScalar(&s->adaptive_windows_observed) &&
+           r->ReadScalar(&s->adaptive_switches) &&
+           r->ReadScalar(&s->adaptive_external_feed) &&
+           r->ReadFlatVec(&s->adaptive_freq_types) &&
+           r->ReadFlatVec(&s->adaptive_freq_counts) &&
+           s->adaptive_freq_types.size() ==
+               s->adaptive_freq_counts.size())) &&
+         r->AtEnd();
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
@@ -289,7 +319,7 @@ StatusOr<CheckpointState> LoadCheckpoint(const std::string& dir) {
   }
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version in " +
                                    path);
   }
@@ -304,7 +334,7 @@ StatusOr<CheckpointState> LoadCheckpoint(const std::string& dir) {
   }
   Reader reader(payload, payload_len);
   CheckpointState state;
-  if (!ParsePayload(&reader, &state)) {
+  if (!ParsePayload(&reader, version, &state)) {
     return Status::InvalidArgument("corrupt checkpoint payload: " + path);
   }
   return state;

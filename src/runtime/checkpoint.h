@@ -83,6 +83,20 @@ struct CheckpointState {
   int32_t controller_level = 0;
   uint64_t probe_pass_run = 0;
   uint64_t degraded_since_probe = 0;  ///< probe-period phase
+
+  // Adaptive engine-selection state (format version >= 2; absent from
+  // v1 files, which still load with has_adaptive == 0). Selection is a
+  // pure function of the observed windows, so persisting the current
+  // choice, the observation counter, and the decayed frequency counts
+  // makes a resumed adaptive run byte-identical to an uninterrupted
+  // one — including where it would have switched engines next.
+  uint8_t has_adaptive = 0;
+  int32_t adaptive_selected = 0;  ///< EngineKind at snapshot time
+  uint64_t adaptive_windows_observed = 0;
+  uint64_t adaptive_switches = 0;
+  uint8_t adaptive_external_feed = 0;
+  std::vector<int32_t> adaptive_freq_types;   ///< ascending, unique
+  std::vector<double> adaptive_freq_counts;   ///< parallel to types
 };
 
 /// Final path of the checkpoint file inside `dir`.

@@ -178,7 +178,7 @@ OnlineDlacep::OnlineDlacep(const Pattern& pattern, const StreamFilter* filter,
       type_shed_(pattern_),
       random_shed_(config.overload.random_keep_probability,
                    config.overload.random_seed),
-      extractor_(pattern_) {
+      extractor_(pattern_, config.engine, config.engine_options) {
   DLACEP_CHECK(filter_ != nullptr);
   DLACEP_CHECK_MSG(ValidateForOnline(pattern_).ok(),
                    ValidateForOnline(pattern_).message());
@@ -631,6 +631,15 @@ void OnlineDlacep::CloseWindow(RunState* state, size_t begin, size_t end) {
     events->AppendArrival(state->buffer[i - state->buffer_offset]);
   }
 
+  // Adaptive engine selection (config.engine == kAdaptive): the router
+  // feeds each closed window into the selector's frequency estimator
+  // right here — before dispatch, on the one thread that closes windows
+  // in both runtimes — so the observation order, the decayed counts,
+  // and every reselection point are deterministic at any shard count.
+  // No-op for static engines.
+  extractor_.ObserveWindow(
+      std::span<const Event>(events->events().data(), events->size()));
+
   const size_t seq = state->windows_dispatched++;
   state->last_end = end;
   state->next_begin = begin + step_size_;
@@ -803,6 +812,20 @@ void OnlineDlacep::WriteCheckpointNow(RunState* state) {
   snap.controller_level = state->controller.level();
   snap.probe_pass_run = state->guard.probe_pass_run();
   snap.degraded_since_probe = state->degraded_since_probe;
+  if (const AdaptiveEngine* adaptive = extractor_.adaptive()) {
+    const AdaptiveSnapshot a = adaptive->Snapshot();
+    snap.has_adaptive = 1;
+    snap.adaptive_selected = a.selected;
+    snap.adaptive_windows_observed = a.windows_observed;
+    snap.adaptive_switches = a.switches;
+    snap.adaptive_external_feed = a.external_feed;
+    snap.adaptive_freq_types.reserve(a.frequencies.size());
+    snap.adaptive_freq_counts.reserve(a.frequencies.size());
+    for (const auto& [type, count] : a.frequencies) {
+      snap.adaptive_freq_types.push_back(type);
+      snap.adaptive_freq_counts.push_back(count);
+    }
+  }
 
   const Status status = SaveCheckpoint(snap, config_.checkpoint.dir);
   if (status.ok()) {
@@ -831,6 +854,34 @@ Status OnlineDlacep::RestoreFrom(RunState* state, StreamSource* source) {
   if (cs.buffer.size() != cs.appended - cs.buffer_offset) {
     return Status::InvalidArgument(
         "checkpoint buffer does not cover [buffer_offset, appended)");
+  }
+  // Engine-selection state must round-trip exactly: an adaptive resume
+  // needs the frequency counts and observation counter to land on the
+  // same reselection points, and a static resume must not silently
+  // discard a selection trail the checkpoint carries.
+  AdaptiveEngine* adaptive = extractor_.adaptive();
+  if (cs.has_adaptive != 0) {
+    if (adaptive == nullptr) {
+      return Status::FailedPrecondition(
+          "checkpoint carries adaptive engine-selection state but this "
+          "runtime is configured with a static engine");
+    }
+    AdaptiveSnapshot a;
+    a.selected = cs.adaptive_selected;
+    a.windows_observed = cs.adaptive_windows_observed;
+    a.switches = cs.adaptive_switches;
+    a.external_feed = cs.adaptive_external_feed;
+    a.frequencies.reserve(cs.adaptive_freq_types.size());
+    for (size_t i = 0; i < cs.adaptive_freq_types.size(); ++i) {
+      a.frequencies.emplace_back(cs.adaptive_freq_types[i],
+                                 cs.adaptive_freq_counts[i]);
+    }
+    const Status restored = adaptive->Restore(a);
+    if (!restored.ok()) return restored;
+  } else if (adaptive != nullptr) {
+    return Status::FailedPrecondition(
+        "adaptive engine selection configured but the checkpoint has no "
+        "selection state (taken by a static-engine or pre-v2 run)");
   }
 
   state->appended = cs.appended;
@@ -1145,6 +1196,15 @@ Status OnlineDlacep::Run(StreamSource* source, OnlineResult* result) {
     obs::StageCepEval()->Observe(state.stats.extract_seconds);
     state.stats.cep_partial_matches_dropped =
         extractor_.stats().partial_matches_dropped;
+    // Selection lives in the adaptive engine, not EngineStats, so it
+    // survives the ResetStats() above; read it after the final Evaluate
+    // in case a windowless run selected on the extraction span itself.
+    const AdaptiveEngine* adaptive = extractor_.adaptive();
+    state.stats.engine_selected =
+        adaptive != nullptr ? EngineKindName(adaptive->selected_kind())
+                            : EngineKindName(config_.engine);
+    state.stats.engine_switches =
+        adaptive != nullptr ? adaptive->switches() : 0;
   }
   state.stats.matches = result->matches.size();
   state.stats.elapsed_seconds = state.watch.ElapsedSeconds();

@@ -170,6 +170,19 @@ struct OnlineConfig {
   bool collect_relayed = false;
   bool skip_extraction = false;
 
+  /// Exact-CEP engine for the end-of-run extraction. kAdaptive lets a
+  /// cost model over per-engine EngineStats pick the cheapest engine
+  /// per pattern: the router feeds every closed window into a decayed
+  /// per-type frequency estimator, the choice is re-evaluated every
+  /// engine_options.adaptive_reselect_windows windows, and the decision
+  /// trail lands in dlacep_engine_selected_total{engine,pattern} and
+  /// RuntimeStats. Selection is a pure function of the event stream, so
+  /// matches stay byte-identical to any static engine. Tree/lazy kinds
+  /// abort construction (like the batch pipeline) when the pattern is
+  /// outside their class; adaptive never does.
+  EngineKind engine = EngineKind::kNfa;
+  EngineOptions engine_options;
+
   OverloadConfig overload;
   DriftConfig drift;
   HealthConfig health;

@@ -135,6 +135,11 @@ std::string RuntimeStats::ToString() const {
   }
   out += StrFormat("drift flags     : %llu\n",
                    static_cast<unsigned long long>(drift_flags));
+  if (!engine_selected.empty()) {
+    out += StrFormat("engine          : %s (%llu switches)\n",
+                     engine_selected.c_str(),
+                     static_cast<unsigned long long>(engine_switches));
+  }
   out += StrFormat("matches         : %zu\n", matches);
   out += StrFormat("elapsed         : %.3fs (extract %.3fs)\n",
                    elapsed_seconds, extract_seconds);

@@ -125,6 +125,13 @@ struct RuntimeStats {
   LatencyHistogram window_latency;
 
   size_t matches = 0;
+  /// Engine that ran the extraction: the configured kind's name, or —
+  /// under adaptive selection — the engine the cost model had selected
+  /// when the stream drained.
+  std::string engine_selected;
+  /// Adaptive reselections that changed the engine choice (0 for static
+  /// engines and for adaptive runs that never switched).
+  uint64_t engine_switches = 0;
   /// Partial matches silently truncated by the engine's legacy storage
   /// cap during extraction. Nonzero means the run may have lost recall;
   /// the CLI prints an end-of-run warning (not checkpoint-serialized —

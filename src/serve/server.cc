@@ -284,8 +284,10 @@ Status MultiQueryServer::ExtractShared(const RegistrySnapshot& snapshot,
         begin = next;
       }
 
+      EngineOptions unit_options = engine_options;
+      unit_options.pattern_label = canonical.name;
       auto engine =
-          CreateEngine(canonical.engine, *canonical.pattern, engine_options);
+          CreateEngine(canonical.engine, *canonical.pattern, unit_options);
       DLACEP_CHECK_MSG(engine.ok(), engine.status().ToString());
       unit.engine = std::move(engine).value();
       units.push_back(std::move(unit));

@@ -278,30 +278,51 @@ TEST(AccountingDifferential, QuarantineRunCountersEqualStats) {
 // NFA work invariant, in EngineStats and in the registry counters.
 
 TEST(EngineWorkInvariant, TransitionsSplitIntoStoredAndPruned) {
+  // The identity holds per engine: every examined candidate either
+  // prunes or is stored as a partial match. The obs counters are
+  // labelled by engine name, so each engine's totals are checked
+  // against its own registry slice (adaptive folds its delegate's
+  // deltas into the "adaptive" label).
+  const struct {
+    EngineKind kind;
+    const char* label;
+  } engines[] = {{EngineKind::kNfa, "nfa"},
+                 {EngineKind::kTree, "zstream-tree"},
+                 {EngineKind::kLazy, "lazy"},
+                 {EngineKind::kAdaptive, "adaptive"}};
   obs::MetricsRegistry::Global().ResetValues();
-  uint64_t total_transitions = 0;
-  for (uint64_t seed : {3u, 13u, 23u}) {
-    const EventStream stream = SmallStream(500, seed, /*num_types=*/4);
-    // Longer pattern with cross-variable conditions: plenty of pruning.
-    const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 3, 12);
-    std::vector<const Event*> all;
-    for (size_t i = 0; i < stream.size(); ++i) all.push_back(&stream[i]);
-    CepExtractor extractor(pattern);
-    MatchSet out;
-    ASSERT_TRUE(extractor.Extract(std::move(all), &out).ok());
-    const EngineStats& stats = extractor.stats();
-    EXPECT_GT(stats.transitions, 0u);
-    EXPECT_GT(stats.partial_matches_pruned, 0u) << "seed " << seed;
-    EXPECT_EQ(stats.transitions,
-              stats.partial_matches + stats.partial_matches_pruned)
-        << "seed " << seed;
-    total_transitions += stats.transitions;
+  for (const auto& engine : engines) {
+    uint64_t total_transitions = 0;
+    for (uint64_t seed : {3u, 13u, 23u}) {
+      const EventStream stream = SmallStream(500, seed, /*num_types=*/4);
+      // Longer pattern with cross-variable conditions: plenty of
+      // pruning.
+      const Pattern pattern = AscendingSeqPattern(stream.schema_ptr(), 3, 12);
+      std::vector<const Event*> all;
+      for (size_t i = 0; i < stream.size(); ++i) all.push_back(&stream[i]);
+      CepExtractor extractor(pattern, engine.kind);
+      MatchSet out;
+      ASSERT_TRUE(extractor.Extract(std::move(all), &out).ok());
+      const EngineStats& stats = extractor.stats();
+      EXPECT_GT(stats.transitions, 0u) << engine.label;
+      EXPECT_GT(stats.partial_matches_pruned, 0u)
+          << engine.label << " seed " << seed;
+      EXPECT_EQ(stats.transitions,
+                stats.partial_matches + stats.partial_matches_pruned)
+          << engine.label << " seed " << seed;
+      EXPECT_EQ(stats.evaluations, 1u) << engine.label;
+      EXPECT_GT(stats.work_per_evaluate(), 0.0) << engine.label;
+      total_transitions += stats.transitions;
+    }
+    // The labelled counters carried the same totals across all three
+    // runs.
+    EXPECT_EQ(obs::CepTransitions(engine.label)->Value(), total_transitions)
+        << engine.label;
+    EXPECT_EQ(obs::CepTransitions(engine.label)->Value(),
+              obs::CepPartialMatches(engine.label)->Value() +
+                  obs::CepPartialMatchesPruned(engine.label)->Value())
+        << engine.label;
   }
-  // The labelled counters carried the same totals across all three runs.
-  EXPECT_EQ(obs::CepTransitions("nfa")->Value(), total_transitions);
-  EXPECT_EQ(obs::CepTransitions("nfa")->Value(),
-            obs::CepPartialMatches("nfa")->Value() +
-                obs::CepPartialMatchesPruned("nfa")->Value());
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 // Subcommands:
 //   generate  --kind stock|synthetic --events N [--seed S] --out F.csv
 //       Synthesize a dataset and write it as CSV.
-//   run       --query Q --data F.csv [--engine nfa|tree|lazy]
+//   run       --query Q --data F.csv [--engine nfa|tree|lazy|adaptive]
 //       Evaluate a PQL query exactly and print matches + statistics.
 //   compare   --query Q --train F.csv --test G.csv
 //             [--filter event|window] [--hidden N] [--layers N]
@@ -136,7 +136,7 @@ int Usage() {
                "  dlacep generate --kind stock|synthetic --events N "
                "[--seed S] --out F.csv\n"
                "  dlacep run --query Q --data F.csv "
-               "[--engine nfa|tree|lazy]\n"
+               "[--engine nfa|tree|lazy|adaptive]\n"
                "  dlacep compare --query Q --train F.csv --test G.csv\n"
                "       [--filter event|window] [--hidden N] [--layers N]"
                " [--epochs N]\n"
@@ -160,7 +160,7 @@ int Usage() {
                " oracle | event | window)\n"
                "  multi-query serving (replay/serve/compare):\n"
                "       [--queries N | --queries 'Q1;Q2;...']"
-               " [--engine nfa|tree|lazy]\n"
+               " [--engine nfa|tree|lazy|adaptive]\n"
                "       [--churn_every_ms MS]   (replay/serve only)\n"
                "  observability flags (replay/serve):\n"
                "       [--metrics_out FILE(.prom|.json)]"
@@ -230,9 +230,10 @@ int RunQuery(const Args& args) {
     return 1;
   }
   const std::string engine_name = args.Get("engine", "nfa");
-  const EngineKind kind = engine_name == "tree" ? EngineKind::kTree
-                          : engine_name == "lazy" ? EngineKind::kLazy
-                                                  : EngineKind::kNfa;
+  const EngineKind kind = engine_name == "tree"       ? EngineKind::kTree
+                          : engine_name == "lazy"     ? EngineKind::kLazy
+                          : engine_name == "adaptive" ? EngineKind::kAdaptive
+                                                      : EngineKind::kNfa;
   auto engine = CreateEngine(kind, pattern.value());
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
@@ -461,6 +462,11 @@ OnlineConfig MakeOnlineConfig(const Args& args) {
   config.batch_timeout_ms = args.GetDouble("batch_timeout_ms", 2.0);
   config.num_shards = static_cast<size_t>(args.GetInt("shards", 0));
   config.pin_shard_threads = args.GetInt("pin", 1) != 0;
+  const std::string engine = args.Get("engine", "nfa");
+  config.engine = engine == "tree"       ? EngineKind::kTree
+                  : engine == "lazy"     ? EngineKind::kLazy
+                  : engine == "adaptive" ? EngineKind::kAdaptive
+                                         : EngineKind::kNfa;
   return config;
 }
 
@@ -497,6 +503,14 @@ int StreamOnline(const Args& args, const Pattern& pattern,
   }
   FaultInjector injector(plan.value());
   OnlineConfig config = MakeOnlineConfig(args);
+  // Fail with a Status instead of the extractor's CHECK when the chosen
+  // engine rejects this pattern shape (tree/lazy cover SEQ/CONJ/DISJ
+  // only; nfa and adaptive accept everything).
+  if (auto probe = CreateEngine(config.engine, pattern, config.engine_options);
+      !probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 1;
+  }
   if (plan.value().any()) {
     std::printf("injecting faults: %s\n", args.Get("inject").c_str());
     injector.InstallNanHook();
@@ -559,9 +573,10 @@ int StreamOnline(const Args& args, const Pattern& pattern,
 
 EngineKind ParseEngineKind(const Args& args) {
   const std::string name = args.Get("engine", "nfa");
-  return name == "tree"   ? EngineKind::kTree
-         : name == "lazy" ? EngineKind::kLazy
-                          : EngineKind::kNfa;
+  return name == "tree"       ? EngineKind::kTree
+         : name == "lazy"     ? EngineKind::kLazy
+         : name == "adaptive" ? EngineKind::kAdaptive
+                              : EngineKind::kNfa;
 }
 
 /// --queries is either an integer N (N copies of --query) or a
